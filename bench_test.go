@@ -1,0 +1,230 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §5 for the experiment index) plus micro-benchmarks of the
+// core machinery. Each BenchmarkTable*/BenchmarkFigure* iteration executes
+// the full experiment at Small scale; run cmd/experiments with
+// -scale=medium|paper for the larger configurations.
+package tkplq_test
+
+import (
+	"sync"
+	"testing"
+
+	"tkplq"
+	"tkplq/internal/core"
+	"tkplq/internal/experiments"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+	"tkplq/internal/sim"
+)
+
+// benchCfg shares one dataset cache across all experiment benches so the
+// simulation cost is paid once per `go test -bench` process.
+var (
+	benchCfgOnce sync.Once
+	benchCfg     *experiments.Config
+)
+
+func sharedConfig() *experiments.Config {
+	benchCfgOnce.Do(func() {
+		benchCfg = &experiments.Config{
+			Scale:    experiments.Small,
+			Queries:  1,
+			MCRounds: 10,
+			Seed:     1,
+		}
+	})
+	return benchCfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := sharedConfig()
+	// Warm the dataset cache outside the timed region.
+	if _, err := exp.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper artifacts: one benchmark per table/figure.
+
+func BenchmarkTable4DefaultComparison(b *testing.B) { benchExperiment(b, "T4") }
+func BenchmarkTable5EffectMSS(b *testing.B)         { benchExperiment(b, "T5") }
+func BenchmarkFigure7EffectivenessMSS(b *testing.B) { benchExperiment(b, "F7") }
+func BenchmarkFigure8EfficiencyK(b *testing.B)      { benchExperiment(b, "F8") }
+func BenchmarkFigure9EfficiencyQ(b *testing.B)      { benchExperiment(b, "F9") }
+func BenchmarkFigure10EfficiencyDt(b *testing.B)    { benchExperiment(b, "F10") }
+func BenchmarkFigure11EffectivenessK(b *testing.B)  { benchExperiment(b, "F11") }
+func BenchmarkFigure12EffectivenessQ(b *testing.B)  { benchExperiment(b, "F12") }
+func BenchmarkFigure13EffectivenessDt(b *testing.B) { benchExperiment(b, "F13") }
+func BenchmarkFigure14EfficiencyTMu(b *testing.B)   { benchExperiment(b, "F14") }
+func BenchmarkFigure15EffectivenessT(b *testing.B)  { benchExperiment(b, "F15") }
+func BenchmarkFigure16EffectivenessMu(b *testing.B) { benchExperiment(b, "F16") }
+func BenchmarkFigure17EfficiencyO(b *testing.B)     { benchExperiment(b, "F17") }
+func BenchmarkFigure18EffectivenessK(b *testing.B)  { benchExperiment(b, "F18") }
+func BenchmarkFigure19EffectivenessQ(b *testing.B)  { benchExperiment(b, "F19") }
+func BenchmarkFigure20EffectivenessO(b *testing.B)  { benchExperiment(b, "F20") }
+func BenchmarkFigure21EffectivenessDt(b *testing.B) { benchExperiment(b, "F21") }
+func BenchmarkTable7RFIDComparison(b *testing.B)    { benchExperiment(b, "T7") }
+func BenchmarkAblationEngines(b *testing.B)         { benchExperiment(b, "A1") }
+func BenchmarkAblationReduction(b *testing.B)       { benchExperiment(b, "A2") }
+
+// Micro-benchmarks of the core machinery.
+
+// benchDataset builds a small RD-like workload once for the micro benches.
+type benchData struct {
+	building *sim.Building
+	table    *iupt.Table
+	slocs    []indoor.SLocID
+	span     iupt.Time
+}
+
+var (
+	microOnce sync.Once
+	micro     *benchData
+)
+
+func microData(b *testing.B) *benchData {
+	b.Helper()
+	microOnce.Do(func() {
+		building, err := sim.RealDataFloor()
+		if err != nil {
+			panic(err)
+		}
+		trajs, err := sim.SimulateMovement(building, sim.MovementConfig{
+			Objects: 20, Duration: 1800, MaxSpeed: 1,
+			MinDwell: 60, MaxDwell: 300,
+			MinLifespan: 900, MaxLifespan: 1800, Seed: 5,
+		})
+		if err != nil {
+			panic(err)
+		}
+		table, err := sim.GenerateIUPT(building, trajs, sim.PositioningConfig{
+			MaxPeriod: 3, MSS: 4, ErrorRadius: 2.1, Gamma: 0.2, Seed: 6,
+		})
+		if err != nil {
+			panic(err)
+		}
+		slocs := make([]indoor.SLocID, building.Space.NumSLocations())
+		for i := range slocs {
+			slocs[i] = indoor.SLocID(i)
+		}
+		micro = &benchData{building: building, table: table, slocs: slocs, span: 1800}
+	})
+	return micro
+}
+
+func BenchmarkFlowSingleLocation(b *testing.B) {
+	d := microData(b)
+	eng := core.NewEngine(d.building.Space, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Flow(d.table, d.slocs[i%len(d.slocs)], 0, d.span)
+	}
+}
+
+func BenchmarkReduceData(b *testing.B) {
+	d := microData(b)
+	eng := core.NewEngine(d.building.Space, core.Options{})
+	seqs := d.table.SequencesInRange(0, d.span)
+	var seq iupt.Sequence
+	for _, s := range seqs {
+		if len(s) > len(seq) {
+			seq = s
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ReduceData(seq, nil)
+	}
+}
+
+func BenchmarkSummarizeDP(b *testing.B) {
+	d := microData(b)
+	eng := core.NewEngine(d.building.Space, core.Options{Engine: core.EngineDP})
+	red := longestReduction(eng, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Summarize(red)
+	}
+}
+
+func BenchmarkSummarizeEnum(b *testing.B) {
+	d := microData(b)
+	eng := core.NewEngine(d.building.Space, core.Options{Engine: core.EngineEnum})
+	red := longestReduction(eng, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Summarize(red)
+	}
+}
+
+func longestReduction(eng *core.Engine, d *benchData) []iupt.SampleSet {
+	seqs := d.table.SequencesInRange(0, d.span)
+	var best []iupt.SampleSet
+	for _, s := range seqs {
+		if red, ok := eng.ReduceData(s, nil); ok && len(red.Seq) > len(best) {
+			best = red.Seq
+		}
+	}
+	return best
+}
+
+func BenchmarkTopKAlgorithms(b *testing.B) {
+	d := microData(b)
+	for _, algo := range []struct {
+		name string
+		a    core.Algorithm
+	}{
+		{"Naive", core.AlgoNaive},
+		{"NestedLoop", core.AlgoNestedLoop},
+		{"BestFirst", core.AlgoBestFirst},
+	} {
+		b.Run(algo.name, func(b *testing.B) {
+			eng := core.NewEngine(d.building.Space, core.Options{})
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.TopK(d.table, d.slocs, 3, 0, d.span, algo.a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	// Generation + query, the full public-API path.
+	for i := 0; i < b.N; i++ {
+		building, err := tkplq.RealDataBuilding()
+		if err != nil {
+			b.Fatal(err)
+		}
+		trajs, err := tkplq.SimulateMovement(building, tkplq.MovementConfig{
+			Objects: 5, Duration: 600, MaxSpeed: 1,
+			MinDwell: 30, MaxDwell: 120,
+			MinLifespan: 300, MaxLifespan: 600, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := tkplq.GenerateIUPT(building, trajs, tkplq.DefaultPositioningConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := tkplq.NewSystem(building.Space, table, tkplq.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sys.TopK(sys.AllSLocations(), 3, 0, 600, tkplq.BestFirst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"sort"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+	"tkplq/internal/sim"
+)
+
+// SCC is the semi-constrained counting method (Ahmed et al., §5.3.3 /
+// related work [3,4]): it assumes every semantic location's entries and
+// exits carry RFID readers and counts an object for a location when a
+// reader on one of the location's doors detects it. In a general deployment
+// where reader ranges must not overlap, some doors have no reader, and
+// SCC's counting falls short — exactly the degradation Table 7 shows for
+// larger query sets.
+func SCC(space *indoor.Space, dep *sim.RFIDDeployment, recs []sim.RFIDRecord, query []indoor.SLocID, ts, te iupt.Time) map[indoor.SLocID]float64 {
+	inQuery := make(map[indoor.SLocID]bool, len(query))
+	flows := make(map[indoor.SLocID]float64, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+		flows[q] = 0
+	}
+	type key struct {
+		oid iupt.ObjectID
+		sl  indoor.SLocID
+	}
+	counted := make(map[key]bool)
+	for _, rec := range recs {
+		if rec.TE < ts || rec.TS > te {
+			continue
+		}
+		door := dep.Readers[rec.Reader].Door
+		for _, pid := range space.Door(door).Partitions {
+			for _, sl := range space.SLocsOfPartition(pid) {
+				if !inQuery[sl] {
+					continue
+				}
+				k := key{rec.OID, sl}
+				if !counted[k] {
+					counted[k] = true
+					flows[sl]++
+				}
+			}
+		}
+	}
+	return flows
+}
+
+// URConfig parametrizes the uncertainty-region method.
+type URConfig struct {
+	// MaxSpeed bounds the object speed, sizing the ellipses (paper: 1).
+	MaxSpeed float64
+	// DetectionRange is the reader radius, sizing the detection circles.
+	DetectionRange float64
+	// GridN is the sampling resolution for ellipse-rectangle overlap.
+	GridN int
+}
+
+// DefaultURConfig matches the paper's Vmax = 1 m/s and 3 m reader range.
+func DefaultURConfig() URConfig {
+	return URConfig{MaxSpeed: 1, DetectionRange: 3, GridN: 24}
+}
+
+// UR is the uncertainty-region method (Lu et al., §5.3.3 / related work
+// [27]): between two consecutive reader detections, an object lies in the
+// ellipse whose foci are the reader positions and whose major axis is
+// bounded by Vmax times the gap duration; during a detection it lies in the
+// reader's range circle. A location's flow accrues each object's overlap
+// mass: 1 - Π(1 - areaFraction) over the object's regions intersecting the
+// location, capping the per-object contribution at 1 so the flows are
+// comparable with the other methods (substitution documented in DESIGN.md).
+// Cross-floor detection pairs contribute their circles but no gap ellipse.
+func UR(space *indoor.Space, dep *sim.RFIDDeployment, recs []sim.RFIDRecord, query []indoor.SLocID, ts, te iupt.Time, cfg URConfig) map[indoor.SLocID]float64 {
+	if cfg.GridN < 4 {
+		cfg.GridN = 4
+	}
+	flows := make(map[indoor.SLocID]float64, len(query))
+	for _, q := range query {
+		flows[q] = 0
+	}
+	// Floor-local S-location rectangles per floor.
+	type slocRect struct {
+		sl    indoor.SLocID
+		floor int
+		rect  geom.Rect
+	}
+	slocRects := make([]slocRect, 0, len(query))
+	for _, q := range query {
+		parts := space.SLocation(q).Partitions
+		rect := geom.EmptyRect()
+		for _, pid := range parts {
+			rect = rect.Union(space.Partition(pid).Bounds)
+		}
+		slocRects = append(slocRects, slocRect{
+			sl: q, floor: space.Partition(parts[0]).Floor, rect: rect,
+		})
+	}
+
+	byObject := make(map[iupt.ObjectID][]sim.RFIDRecord)
+	for _, rec := range recs {
+		byObject[rec.OID] = append(byObject[rec.OID], rec)
+	}
+	oids := make([]iupt.ObjectID, 0, len(byObject))
+	for oid := range byObject {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+
+	type region struct {
+		floor int
+		e     geom.Ellipse
+	}
+	for _, oid := range oids {
+		orecs := byObject[oid]
+		sort.Slice(orecs, func(i, j int) bool { return orecs[i].TS < orecs[j].TS })
+		var regions []region
+		for i, rec := range orecs {
+			reader := dep.Readers[rec.Reader]
+			// Detection circle while the record overlaps the interval.
+			if rec.TE >= ts && rec.TS <= te {
+				regions = append(regions, region{
+					floor: reader.Floor,
+					e:     geom.NewEllipse(reader.Pos, reader.Pos, 2*cfg.DetectionRange),
+				})
+			}
+			// Gap ellipse to the next detection.
+			if i+1 < len(orecs) {
+				next := orecs[i+1]
+				if next.TS <= rec.TE { // overlapping/contiguous: no gap
+					continue
+				}
+				if next.TS < ts || rec.TE > te { // gap outside the interval
+					continue
+				}
+				nr := dep.Readers[next.Reader]
+				if nr.Floor != reader.Floor {
+					continue
+				}
+				sum := cfg.MaxSpeed * float64(next.TS-rec.TE)
+				regions = append(regions, region{
+					floor: reader.Floor,
+					e:     geom.NewEllipse(reader.Pos, nr.Pos, sum),
+				})
+			}
+		}
+		if len(regions) == 0 {
+			continue
+		}
+		for _, sr := range slocRects {
+			noHit := 1.0
+			for _, rg := range regions {
+				if rg.floor != sr.floor {
+					continue
+				}
+				frac := rg.e.OverlapFraction(sr.rect, cfg.GridN)
+				noHit *= 1 - frac
+				if noHit == 0 {
+					break
+				}
+			}
+			flows[sr.sl] += 1 - noHit
+		}
+	}
+	return flows
+}

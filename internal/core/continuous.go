@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// Monitor answers the *online, continuous* variant of the top-k popular
+// location query that the paper's §7 leaves as future work: positioning
+// records stream in, and at any moment the k most popular S-locations over
+// a sliding window of the recent past can be requested.
+//
+// The monitor maintains its own table of observed records and evaluates
+// window queries with the Best-First algorithm. Results are cached and
+// reused while no new record arrives and the window endpoint is unchanged.
+// Monitor is safe for concurrent use.
+type Monitor struct {
+	eng    *Engine
+	query  []indoor.SLocID
+	k      int
+	window iupt.Time
+
+	mu       sync.Mutex
+	table    *iupt.Table
+	observed int
+
+	cachedAt    iupt.Time
+	cachedCount int
+	cachedRes   []Result
+	cachedStats Stats
+	cacheValid  bool
+}
+
+// NewMonitor creates a continuous monitor over the query set with a
+// sliding window of the given length (seconds).
+func (e *Engine) NewMonitor(query []indoor.SLocID, k int, window iupt.Time) (*Monitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: monitor k must be positive, got %d", k)
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("core: monitor query set empty")
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("core: monitor window must be positive, got %d", window)
+	}
+	for _, s := range query {
+		if int(s) < 0 || int(s) >= e.space.NumSLocations() {
+			return nil, fmt.Errorf("core: unknown S-location %d", s)
+		}
+	}
+	return &Monitor{
+		eng:    e,
+		query:  append([]indoor.SLocID(nil), query...),
+		k:      k,
+		window: window,
+		table:  iupt.NewTable(),
+	}, nil
+}
+
+// Observe ingests one positioning record. Records may arrive out of order.
+func (m *Monitor) Observe(rec iupt.Record) error {
+	if err := rec.Samples.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.table.Append(rec)
+	m.observed++
+	m.cacheValid = false
+	return nil
+}
+
+// ObserveBatch ingests many records at once.
+func (m *Monitor) ObserveBatch(recs []iupt.Record) error {
+	for _, rec := range recs {
+		if err := m.Observe(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Observed returns the number of records ingested so far.
+func (m *Monitor) Observed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}
+
+// Window returns the sliding-window length.
+func (m *Monitor) Window() iupt.Time { return m.window }
+
+// Current evaluates the top-k over the window [now-window, now]. Repeated
+// calls with the same `now` and no interleaved Observe return the cached
+// result.
+func (m *Monitor) Current(now iupt.Time) ([]Result, Stats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cacheValid && m.cachedAt == now && m.cachedCount == m.observed {
+		return append([]Result(nil), m.cachedRes...), m.cachedStats, nil
+	}
+	ts := now - m.window
+	if ts < 0 {
+		ts = 0
+	}
+	res, stats, err := m.eng.TopK(m.table, m.query, m.k, ts, now, AlgoBestFirst)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	m.cachedAt = now
+	m.cachedCount = m.observed
+	m.cachedRes = append(m.cachedRes[:0], res...)
+	m.cachedStats = stats
+	m.cacheValid = true
+	return append([]Result(nil), res...), stats, nil
+}

@@ -1,0 +1,215 @@
+// Package core implements the paper's primary contribution: uncertainty-
+// aware indoor flow computation and the Top-k Popular Location Query
+// (TkPLQ).
+//
+// It provides:
+//
+//   - the data reduction method of §3.2 (Algorithm 1): intra-merge of
+//     equivalent P-locations, inter-merge of consecutive identical sample
+//     sets, and PSL-based object pruning;
+//   - object presence and indoor flow per §2.3 (Equations 1 and 2), with two
+//     interchangeable engines: the paper-faithful path-enumeration engine
+//     (Algorithm 2's path construction) and an exactly-equivalent forward
+//     dynamic-programming engine that avoids materializing the exponential
+//     path set;
+//   - the flow computation for a single S-location (§3.3, Algorithm 2);
+//   - the three TkPLQ search algorithms of §4: Naive, Nested-Loop
+//     (Algorithm 3) and Best-First (Algorithm 4, aggregate R-tree join with
+//     max-heap upper-bound pruning).
+package core
+
+import (
+	"errors"
+
+	"tkplq/internal/indoor"
+)
+
+// EngineKind selects how object presence is computed.
+type EngineKind uint8
+
+const (
+	// EngineDP computes presence with a forward dynamic program over the
+	// positioning sequence. It produces exactly the same values as
+	// EngineEnum in polynomial time and is the default.
+	EngineDP EngineKind = iota
+	// EngineEnum materializes the valid possible paths exactly as the
+	// paper's Algorithm 2 does. Worst-case exponential in sequence length;
+	// bounded by Options.PathBudget with automatic fallback to the DP.
+	EngineEnum
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	if k == EngineEnum {
+		return "enum"
+	}
+	return "dp"
+}
+
+// PresenceMode selects the normalization of Equation 1.
+type PresenceMode uint8
+
+const (
+	// NormalizedValid divides the pass-weighted mass by the total mass of
+	// valid paths, as written in Equation 1 and Algorithm 2 (lines 16-21).
+	NormalizedValid PresenceMode = iota
+	// UnnormalizedTotal divides by the total Cartesian mass (= 1), i.e.
+	// skips the division. This reproduces the paper's worked Example 3
+	// (Φ(r6, o2) = 0.85, flow 1.97), which is inconsistent with Equation 1
+	// as printed; see DESIGN.md §3 for the discrepancy note.
+	UnnormalizedTotal
+)
+
+// String implements fmt.Stringer.
+func (m PresenceMode) String() string {
+	if m == UnnormalizedTotal {
+		return "unnormalized"
+	}
+	return "normalized"
+}
+
+// Algorithm selects the TkPLQ search strategy (§4).
+type Algorithm uint8
+
+const (
+	// AlgoNaive computes the flow of every query location independently.
+	AlgoNaive Algorithm = iota
+	// AlgoNestedLoop shares per-object intermediate results across all
+	// query locations (Algorithm 3).
+	AlgoNestedLoop
+	// AlgoBestFirst joins an R-tree over the query locations with a
+	// COUNT-aggregate R-tree over object PSLs, guided by a max-heap of flow
+	// upper bounds, terminating after k results (Algorithm 4).
+	AlgoBestFirst
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNestedLoop:
+		return "nested-loop"
+	case AlgoBestFirst:
+		return "best-first"
+	default:
+		return "naive"
+	}
+}
+
+// DefaultPathBudget bounds the number of materialized paths per object for
+// EngineEnum before falling back to the DP engine.
+const DefaultPathBudget = 1 << 20
+
+// ErrPathBudget is returned by the enumeration engine when an object's valid
+// path set would exceed the configured budget.
+var ErrPathBudget = errors.New("core: path budget exceeded")
+
+// Options configures an Engine. The zero value selects the defaults used
+// throughout the evaluation: DP engine, normalized presence, full data
+// reduction.
+type Options struct {
+	// Engine selects presence computation; see EngineKind.
+	Engine EngineKind
+	// Presence selects Equation 1 normalization; see PresenceMode.
+	Presence PresenceMode
+	// DisableReduction turns off the whole data reduction method
+	// (the paper's -ORG variants): no merging and no PSL∩Q pruning.
+	// PSLs are still derived, because Best-First needs them for its
+	// aggregate R-tree.
+	DisableReduction bool
+	// DisableIntraMerge turns off only the intra-merge (ablation).
+	DisableIntraMerge bool
+	// DisableInterMerge turns off only the inter-merge (ablation).
+	DisableInterMerge bool
+	// PathBudget caps the enumerated path set per object for EngineEnum;
+	// 0 selects DefaultPathBudget.
+	PathBudget int
+	// StrictPaths keeps the paper's exact path semantics: a sequence with
+	// a topologically impossible step (no valid sample pair between two
+	// consecutive sample sets) has an empty valid-path set and presence 0
+	// everywhere. The default (false) splits such sequences at impossible
+	// steps and combines per-segment presences with the Equation 2 union
+	// rule — behavior is identical on sequences without impossible steps.
+	StrictPaths bool
+	// Parallelism is the number of goroutines used to reduce and summarize
+	// objects (they are independent). 0 or 1 runs single-threaded, exactly
+	// as the paper's algorithms are written; higher values change neither
+	// results nor statistics, only wall-clock time.
+	Parallelism int
+}
+
+func (o Options) pathBudget() int {
+	if o.PathBudget <= 0 {
+		return DefaultPathBudget
+	}
+	return o.PathBudget
+}
+
+// Engine computes flows and answers TkPLQ over one indoor space.
+// An Engine is immutable and safe for concurrent use; per-query state lives
+// in the query functions.
+type Engine struct {
+	space *indoor.Space
+	opts  Options
+}
+
+// NewEngine returns an engine for the space with the given options.
+func NewEngine(space *indoor.Space, opts Options) *Engine {
+	return &Engine{space: space, opts: opts}
+}
+
+// Space returns the engine's indoor space.
+func (e *Engine) Space() *indoor.Space { return e.space }
+
+// Options returns the engine's options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Result is one ranked answer of a TkPLQ.
+type Result struct {
+	SLoc indoor.SLocID
+	Flow float64
+}
+
+// Stats reports work performed by a flow computation or TkPLQ search.
+type Stats struct {
+	// ObjectsTotal is |O|: objects with records in the query interval.
+	ObjectsTotal int
+	// ObjectsComputed is |Of|: objects whose presence was actually
+	// computed. The paper's pruning ratio is derived from these two.
+	ObjectsComputed int
+	// PathsEnumerated counts materialized paths (enumeration engine only).
+	PathsEnumerated int64
+	// BudgetFallbacks counts objects whose enumeration exceeded PathBudget
+	// and fell back to the DP engine.
+	BudgetFallbacks int
+	// SampleSetsOriginal and SampleSetsReduced measure the data reduction:
+	// total sample sets before and after Algorithm 1 across processed
+	// objects.
+	SampleSetsOriginal int64
+	SampleSetsReduced  int64
+	// HeapPops counts Best-First heap extractions.
+	HeapPops int
+	// SequenceBreaks counts topologically impossible steps encountered
+	// (each splits a sequence into one more segment; see
+	// Options.StrictPaths).
+	SequenceBreaks int64
+}
+
+// PruningRatio returns σ = (|O| - |Of|) / |O| (§5.1); 0 for an empty O.
+func (s *Stats) PruningRatio() float64 {
+	if s.ObjectsTotal == 0 {
+		return 0
+	}
+	return float64(s.ObjectsTotal-s.ObjectsComputed) / float64(s.ObjectsTotal)
+}
+
+// add accumulates other into s.
+func (s *Stats) add(other *Stats) {
+	s.ObjectsTotal += other.ObjectsTotal
+	s.ObjectsComputed += other.ObjectsComputed
+	s.PathsEnumerated += other.PathsEnumerated
+	s.BudgetFallbacks += other.BudgetFallbacks
+	s.SampleSetsOriginal += other.SampleSetsOriginal
+	s.SampleSetsReduced += other.SampleSetsReduced
+	s.HeapPops += other.HeapPops
+	s.SequenceBreaks += other.SequenceBreaks
+}

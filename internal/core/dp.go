@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// summarizeDP computes the object summary without materializing paths.
+//
+// Both quantities of Equation 1 factorize over a path's transitions:
+//
+//	ValidMass   = Σ_φ Π_j prob_j
+//	G(c)        = Σ_φ Π_j prob_j · Π_j (1 - pr_j⊨c)
+//	PassMass[c] = ValidMass - G(c)
+//
+// so a forward pass with state = index of the tail sample computes both in
+// O(n·m²) per tracked cell, m = max sample-set size. The tracked cells are
+// exactly those appearing in some valid pair's M_IL entry — the only cells
+// with non-zero pass probability. Results match the enumeration engine
+// exactly up to floating-point summation order (tests assert 1e-9).
+//
+// Long sequences with pruned transitions decay the path mass exponentially;
+// whenever the running mass drops below rescaleThreshold the pass rescales f
+// (and later every g at the same steps, preserving ratios bit-for-bit) and
+// accumulates the factor in LogScale.
+func (e *Engine) summarizeDP(seq []iupt.SampleSet) *ObjectSummary {
+	sum := &ObjectSummary{PassMass: make(map[indoor.CellID]float64)}
+	if len(seq) == 0 {
+		return sum
+	}
+
+	if len(seq) == 1 {
+		for _, s := range seq[0] {
+			sum.ValidMass += s.Prob
+			cells := e.space.PLocCells(s.Loc)
+			pr := 1.0 / float64(len(cells))
+			for _, c := range cells {
+				sum.PassMass[c] += s.Prob * pr
+			}
+		}
+		return sum
+	}
+
+	// Precompute valid transitions per step and collect tracked cells.
+	type transition struct {
+		a, b  int // sample indices in consecutive sets
+		cells []indoor.CellID
+		pr    float64 // 1/len(cells)
+	}
+	trans := make([][]transition, len(seq)-1)
+	trackedSet := make(map[indoor.CellID]bool)
+	var tracked []indoor.CellID
+	for i := 1; i < len(seq); i++ {
+		prev, cur := seq[i-1], seq[i]
+		ts := make([]transition, 0, len(prev)*len(cur))
+		for ai, as := range prev {
+			for bi, bs := range cur {
+				cells, pr, ok := e.pairPass(as.Loc, bs.Loc)
+				if !ok {
+					continue
+				}
+				ts = append(ts, transition{a: ai, b: bi, cells: cells, pr: pr})
+				for _, c := range cells {
+					if !trackedSet[c] {
+						trackedSet[c] = true
+						tracked = append(tracked, c)
+					}
+				}
+			}
+		}
+		if len(ts) == 0 {
+			return sum // no valid path exists at all
+		}
+		trans[i-1] = ts
+	}
+
+	// Forward pass for ValidMass, recording the rescale factor applied
+	// after each step (1 = none) so the per-cell passes can replay it.
+	scales := make([]float64, len(seq))
+	f := make([]float64, len(seq[0]))
+	for j, s := range seq[0] {
+		f[j] = s.Prob
+	}
+	scales[0] = 1
+	logScale := 0.0
+	for i := 1; i < len(seq); i++ {
+		nf := make([]float64, len(seq[i]))
+		for _, t := range trans[i-1] {
+			nf[t.b] += f[t.a] * seq[i][t.b].Prob
+		}
+		total := 0.0
+		for _, v := range nf {
+			total += v
+		}
+		if total <= 0 {
+			return sum // mass fully pruned: no valid path
+		}
+		if total < rescaleThreshold {
+			inv := 1 / total
+			for j := range nf {
+				nf[j] *= inv
+			}
+			scales[i] = total
+			logScale += math.Log(total)
+		} else {
+			scales[i] = 1
+		}
+		f = nf
+	}
+	for _, v := range f {
+		sum.ValidMass += v
+	}
+	sum.LogScale = logScale
+	if sum.ValidMass == 0 {
+		return sum
+	}
+
+	// One damped forward pass per tracked cell for G(c), replaying the
+	// exact rescale factors of the f pass so ratios are preserved.
+	for _, c := range tracked {
+		g := make([]float64, len(seq[0]))
+		for j, s := range seq[0] {
+			g[j] = s.Prob
+		}
+		for i := 1; i < len(seq); i++ {
+			ng := make([]float64, len(seq[i]))
+			for _, t := range trans[i-1] {
+				w := 1.0
+				for _, tc := range t.cells {
+					if tc == c {
+						w = 1 - t.pr
+						break
+					}
+				}
+				ng[t.b] += g[t.a] * w * seq[i][t.b].Prob
+			}
+			if scales[i] != 1 {
+				inv := 1 / scales[i]
+				for j := range ng {
+					ng[j] *= inv
+				}
+			}
+			g = ng
+		}
+		gc := 0.0
+		for _, v := range g {
+			gc += v
+		}
+		if mass := sum.ValidMass - gc; mass > sum.ValidMass*1e-15 {
+			sum.PassMass[c] = mass
+		}
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// Flow computes the indoor flow Θ_{ts,te,O}(q) for a single S-location
+// (paper §3.3, Algorithm 2): fetch the records in [ts, te] via the time
+// index, group them per object, reduce each object's sequence, construct its
+// valid paths (or the equivalent DP), and accumulate object presences.
+func (e *Engine) Flow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
+	seqs := table.SequencesInRange(ts, te)
+	oracle := newOracle(e, seqs, map[indoor.SLocID]bool{q: true})
+	return e.flowWithOracle(oracle, q), oracle.stats
+}
+
+// flowWithOracle sums presences of all (non-pruned) objects for q.
+func (e *Engine) flowWithOracle(oracle *presenceOracle, q indoor.SLocID) float64 {
+	cell := e.space.CellOfSLoc(q)
+	flow := 0.0
+	for _, oid := range oracle.objects() {
+		if _, ok := oracle.reduction(oid); !ok {
+			continue
+		}
+		flow += oracle.summary(oid).Presence(cell, e.opts.Presence)
+	}
+	return flow
+}
+
+// Presence computes Φ_{ts,te}(q, o) for a single object (paper Equation 1),
+// mainly useful for inspection and tests.
+func (e *Engine) Presence(table *iupt.Table, q indoor.SLocID, oid iupt.ObjectID, ts, te iupt.Time) float64 {
+	seqs := table.SequencesInRange(ts, te)
+	seq, ok := seqs[oid]
+	if !ok {
+		return 0
+	}
+	red, ok := e.ReduceData(seq, nil)
+	if !ok {
+		return 0
+	}
+	sum, _ := e.Summarize(red.Seq)
+	return sum.Presence(e.space.CellOfSLoc(q), e.opts.Presence)
+}

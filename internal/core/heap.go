@@ -1,0 +1,44 @@
+package core
+
+import (
+	"container/heap"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+	"tkplq/internal/rtree"
+)
+
+// bfEntry is one element of the Best-First max-heap: an RQ entry (a group of
+// query locations, or a single one at the leaf level), its join list of RC
+// entries, and the flow upper bound derived from the join list's COUNT
+// aggregates. flowDone marks a leaf whose concrete flow has been computed
+// (the "null join list" state of Algorithm 4 line 23).
+type bfEntry struct {
+	ub       float64
+	qEntry   rtree.Entry[indoor.SLocID]
+	list     []rtree.Entry[iupt.ObjectID]
+	flowDone bool
+	seq      int // FIFO tie-break for determinism
+}
+
+// bfHeap is a max-heap on ub (ties: lower seq first).
+type bfHeap []bfEntry
+
+func (h bfHeap) Len() int { return len(h) }
+func (h bfHeap) Less(i, j int) bool {
+	if h[i].ub != h[j].ub {
+		return h[i].ub > h[j].ub
+	}
+	return h[i].seq < h[j].seq
+}
+func (h bfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bfHeap) Push(x interface{}) { *h = append(*h, x.(bfEntry)) }
+func (h *bfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+var _ heap.Interface = (*bfHeap)(nil)

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// presenceOracle lazily reduces and summarizes objects for one query,
+// caching results so that every object's paths are constructed at most once
+// regardless of how many query locations need it. This realizes the
+// "intermediate result sharing" of Algorithm 3 and the shared flow
+// computation required by Algorithm 4 (paper §4.2, line 28 remark).
+type presenceOracle struct {
+	eng   *Engine
+	query map[indoor.SLocID]bool
+	seqs  map[iupt.ObjectID]iupt.Sequence
+
+	reductions map[iupt.ObjectID]*Reduction // nil value = pruned
+	summaries  map[iupt.ObjectID]*ObjectSummary
+	stats      Stats
+}
+
+func newOracle(e *Engine, seqs map[iupt.ObjectID]iupt.Sequence, query map[indoor.SLocID]bool) *presenceOracle {
+	return &presenceOracle{
+		eng:        e,
+		query:      query,
+		seqs:       seqs,
+		reductions: make(map[iupt.ObjectID]*Reduction, len(seqs)),
+		summaries:  make(map[iupt.ObjectID]*ObjectSummary, len(seqs)),
+		stats:      Stats{ObjectsTotal: len(seqs)},
+	}
+}
+
+// objects returns all object ids in ascending order, for deterministic
+// iteration.
+func (o *presenceOracle) objects() []iupt.ObjectID {
+	out := make([]iupt.ObjectID, 0, len(o.seqs))
+	for oid := range o.seqs {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reduction returns the object's data reduction, or (nil, false) when the
+// object was pruned by the PSL∩Q check.
+func (o *presenceOracle) reduction(oid iupt.ObjectID) (*Reduction, bool) {
+	if red, ok := o.reductions[oid]; ok {
+		return red, red != nil
+	}
+	red, ok := o.eng.ReduceData(o.seqs[oid], o.query)
+	if !ok {
+		o.reductions[oid] = nil
+		return nil, false
+	}
+	o.reductions[oid] = red
+	return red, true
+}
+
+// summary returns the object's presence summary, computing it on first use.
+// It returns nil for pruned objects.
+func (o *presenceOracle) summary(oid iupt.ObjectID) *ObjectSummary {
+	if s, ok := o.summaries[oid]; ok {
+		return s
+	}
+	red, ok := o.reduction(oid)
+	if !ok {
+		o.summaries[oid] = nil
+		return nil
+	}
+	s, fellBack := o.eng.Summarize(red.Seq)
+	o.summaries[oid] = s
+	o.stats.ObjectsComputed++
+	o.stats.PathsEnumerated += s.Paths
+	if s.Segments > 1 {
+		o.stats.SequenceBreaks += int64(s.Segments - 1)
+	}
+	if fellBack {
+		o.stats.BudgetFallbacks++
+	}
+	o.stats.SampleSetsOriginal += int64(len(o.seqs[oid]))
+	o.stats.SampleSetsReduced += int64(len(red.Seq))
+	return s
+}
+
+// precomputeAll fills the reduction and summary caches for every object,
+// fanning the per-object work (which is independent) across
+// Options.Parallelism goroutines. Statistics are accumulated afterwards in
+// ascending object order, so results and stats are identical to the
+// sequential path.
+func (o *presenceOracle) precomputeAll() {
+	workers := o.eng.opts.Parallelism
+	if workers <= 1 {
+		return // the sequential lazy path handles everything
+	}
+	oids := o.objects()
+	type outcome struct {
+		red      *Reduction
+		sum      *ObjectSummary
+		fellBack bool
+	}
+	results := make([]outcome, len(oids))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				oid := oids[i]
+				red, ok := o.eng.ReduceData(o.seqs[oid], o.query)
+				if !ok {
+					continue
+				}
+				sum, fb := o.eng.Summarize(red.Seq)
+				results[i] = outcome{red: red, sum: sum, fellBack: fb}
+			}
+		}()
+	}
+	for i := range oids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, oid := range oids {
+		r := results[i]
+		if r.red == nil {
+			o.reductions[oid] = nil
+			o.summaries[oid] = nil
+			continue
+		}
+		o.reductions[oid] = r.red
+		o.summaries[oid] = r.sum
+		o.stats.ObjectsComputed++
+		o.stats.PathsEnumerated += r.sum.Paths
+		if r.sum.Segments > 1 {
+			o.stats.SequenceBreaks += int64(r.sum.Segments - 1)
+		}
+		if r.fellBack {
+			o.stats.BudgetFallbacks++
+		}
+		o.stats.SampleSetsOriginal += int64(len(o.seqs[oid]))
+		o.stats.SampleSetsReduced += int64(len(r.red.Seq))
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// rectWithFloor tags a global-plane rectangle with its floor, used when
+// inserting PSL MBRs into the Best-First aggregate R-tree.
+type rectWithFloor struct {
+	floor int
+	rect  geom.Rect
+}
+
+// ObjectSummary condenses everything Equation 1 needs about one object's
+// valid possible paths: the total probability mass of valid paths and, for
+// every cell c the paths can pass, the pass-weighted mass
+// Σ_φ pr_φ · pr_{φ⊨c}. The presence in any S-location q then follows in
+// O(1) as a lookup of Cell(q) — this is the "intermediate result sharing"
+// of Algorithm 3, factored into a reusable form.
+type ObjectSummary struct {
+	// ValidMass is Σ_{φ∈P} pr_φ over valid paths, divided by exp(LogScale).
+	// For short sequences LogScale is 0 and ValidMass is the exact mass;
+	// long sequences with many pruned transitions have masses that decay
+	// below float64 range, so the engines rescale internally and track the
+	// scale here. Presence ratios are unaffected by the scale.
+	ValidMass float64
+	// PassMass maps a cell c to Σ_{φ∈P} pr_φ · pr_{φ⊨c}, divided by
+	// exp(LogScale) like ValidMass.
+	PassMass map[indoor.CellID]float64
+	// LogScale is the natural log of the common factor divided out of
+	// ValidMass and PassMass (0 unless rescaling was necessary).
+	LogScale float64
+	// Paths is the number of valid paths materialized (enumeration engine;
+	// 0 for the DP engine).
+	Paths int64
+	// Segments is the number of maximal topologically-consistent segments
+	// the sequence was split into (1 when no impossible step occurred; see
+	// Options.StrictPaths).
+	Segments int
+}
+
+// rescaleThreshold triggers internal rescaling of the decaying path mass;
+// well above the subnormal range so products of pass probabilities retain
+// full precision.
+const rescaleThreshold = 1e-30
+
+// Presence evaluates Equation 1 for the S-location whose parent cell is
+// cell. Objects with no valid path have presence 0.
+func (s *ObjectSummary) Presence(cell indoor.CellID, mode PresenceMode) float64 {
+	mass := s.PassMass[cell]
+	if mode == UnnormalizedTotal {
+		if s.LogScale != 0 {
+			return mass * math.Exp(s.LogScale)
+		}
+		return mass
+	}
+	if s.ValidMass <= 0 {
+		return 0
+	}
+	return mass / s.ValidMass
+}
+
+// Summarize computes the object summary for a reduced sequence, dispatching
+// on the configured engine. When the enumeration engine exceeds the path
+// budget, the DP engine takes over (the values are identical by
+// construction); fellBack reports that this happened.
+//
+// Long low-quality sequences can contain a step where no sample pair is
+// topologically compatible — the paper's model then has an empty valid-path
+// set and the object's presence degenerates to 0 everywhere, even if the
+// rest of the sequence is perfectly informative. Unless Options.StrictPaths
+// is set, Summarize splits the sequence at such impossible steps into
+// maximal consistent segments, evaluates each, and combines the per-cell
+// presences with the same union rule Equation 2 applies across a path's
+// steps: presence = 1 - Π_seg (1 - presence_seg). Sequences without
+// impossible steps are unaffected, so this never changes the paper's worked
+// examples.
+func (e *Engine) Summarize(seq []iupt.SampleSet) (sum *ObjectSummary, fellBack bool) {
+	segs := e.splitSegments(seq)
+	if len(segs) == 1 {
+		s, fb := e.summarizeOne(segs[0])
+		s.Segments = 1
+		return s, fb
+	}
+	combined := &ObjectSummary{
+		ValidMass: 1,
+		PassMass:  make(map[indoor.CellID]float64),
+		Segments:  len(segs),
+	}
+	noPass := make(map[indoor.CellID]float64)
+	for _, seg := range segs {
+		s, fb := e.summarizeOne(seg)
+		fellBack = fellBack || fb
+		combined.Paths += s.Paths
+		for c := range s.PassMass {
+			p := s.Presence(c, e.opts.Presence)
+			np, ok := noPass[c]
+			if !ok {
+				np = 1
+			}
+			noPass[c] = np * (1 - p)
+		}
+	}
+	for c, np := range noPass {
+		if mass := 1 - np; mass > 0 {
+			combined.PassMass[c] = mass
+		}
+	}
+	return combined, fellBack
+}
+
+// summarizeOne evaluates a single consistent segment with the configured
+// engine.
+func (e *Engine) summarizeOne(seq []iupt.SampleSet) (*ObjectSummary, bool) {
+	if e.opts.Engine == EngineEnum {
+		s, err := e.summarizeEnum(seq)
+		if err == nil {
+			return s, false
+		}
+		// ErrPathBudget is the only error summarizeEnum produces.
+		return e.summarizeDP(seq), true
+	}
+	return e.summarizeDP(seq), false
+}
+
+// splitSegments cuts the sequence wherever the valid-path mass would die: a
+// sample is *reachable* when some reachable sample of the previous set
+// connects to it through a non-empty M_IL entry, and a step with no
+// reachable sample at all forces a cut (pairwise-valid steps whose only
+// valid pairs hang off unreachable samples are cut too — enumeration over
+// the whole stretch would produce an empty path set). Within every returned
+// segment the engines are guaranteed a non-empty valid path set. With
+// StrictPaths the whole sequence is one segment, reproducing the paper's
+// semantics exactly.
+func (e *Engine) splitSegments(seq []iupt.SampleSet) [][]iupt.SampleSet {
+	if e.opts.StrictPaths || len(seq) <= 1 {
+		return [][]iupt.SampleSet{seq}
+	}
+	var segs [][]iupt.SampleSet
+	start := 0
+	reach := make([]bool, len(seq[0]))
+	for i := range reach {
+		reach[i] = true
+	}
+	for i := 1; i < len(seq); i++ {
+		next := make([]bool, len(seq[i]))
+		any := false
+		for bi, b := range seq[i] {
+			for ai, a := range seq[i-1] {
+				if reach[ai] && e.space.MILConnected(a.Loc, b.Loc) {
+					next[bi] = true
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			segs = append(segs, seq[start:i])
+			start = i
+			for bi := range next {
+				next[bi] = true
+			}
+		}
+		reach = next
+	}
+	segs = append(segs, seq[start:])
+	return segs
+}
+
+// pairPass returns the cells of M_IL[a, b] together with the per-cell pass
+// probability 1/|M_IL[a,b]| (§2.3 step 1 of the pass-probability
+// definition). ok is false when the pair is topologically invalid.
+func (e *Engine) pairPass(a, b indoor.PLocID) (cells []indoor.CellID, pr float64, ok bool) {
+	cells = e.space.MIL(a, b)
+	if len(cells) == 0 {
+		return nil, 0, false
+	}
+	return cells, 1.0 / float64(len(cells)), true
+}

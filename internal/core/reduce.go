@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sort"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// Reduction is the output of the data reduction method (paper §3.2,
+// Algorithm 1): the reduced positioning sequence and the object's possible
+// semantic locations (PSLs).
+type Reduction struct {
+	// Seq is the reduced sequence of sample sets X'. Timestamps are
+	// dropped: the flow definition is independent of dwell time (§3.2).
+	Seq []iupt.SampleSet
+	// PSLs are the S-locations the object may have passed, sorted by id.
+	PSLs []indoor.SLocID
+	// Cells are the cells incident to any reported P-location, sorted.
+	// They determine the PSLs and the PSL MBRs used by Best-First.
+	Cells []indoor.CellID
+}
+
+// HasAnyOf reports whether the object's PSLs intersect the query set.
+func (r *Reduction) HasAnyOf(query map[indoor.SLocID]bool) bool {
+	for _, s := range r.PSLs {
+		if query[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceData implements Algorithm 1. It intra-merges samples of equivalent
+// P-locations inside each sample set, inter-merges maximal runs of
+// consecutive sample sets with identical P-location sets (averaging
+// per-location probabilities), and collects the object's PSLs.
+//
+// If query is non-nil and the PSLs do not intersect it, ReduceData returns
+// (nil, false): the object cannot contribute flow to any query location and
+// is pruned (the ⟨null, null⟩ return of Algorithm 1 line 13).
+//
+// Option flags can disable the merges or the whole reduction; PSLs are
+// always computed because the search algorithms need them.
+func (e *Engine) ReduceData(seq iupt.Sequence, query map[indoor.SLocID]bool) (*Reduction, bool) {
+	red := &Reduction{}
+	cellSeen := make(map[indoor.CellID]bool)
+
+	intra := !e.opts.DisableReduction && !e.opts.DisableIntraMerge
+	inter := !e.opts.DisableReduction && !e.opts.DisableInterMerge
+
+	var run []iupt.SampleSet // Xmerge: the pending inter-merge run
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		red.Seq = append(red.Seq, interMerge(run))
+		run = run[:0]
+	}
+
+	for _, ts := range seq {
+		x := ts.Samples
+		if intra {
+			x = e.intraMerge(x)
+		} else {
+			x = x.Clone()
+		}
+		// PSL accumulation (Algorithm 1 lines 6-7): every cell incident to
+		// a reported P-location, mapped through C2S.
+		for _, s := range x {
+			for _, c := range e.space.PLocCells(s.Loc) {
+				if !cellSeen[c] {
+					cellSeen[c] = true
+					red.Cells = append(red.Cells, c)
+				}
+			}
+		}
+		if !inter {
+			red.Seq = append(red.Seq, x)
+			continue
+		}
+		if len(run) > 0 && !samePLocSet(run[len(run)-1], x) {
+			flushRun()
+		}
+		run = append(run, x)
+	}
+	flushRun()
+
+	sort.Slice(red.Cells, func(i, j int) bool { return red.Cells[i] < red.Cells[j] })
+	seen := make(map[indoor.SLocID]bool)
+	for _, c := range red.Cells {
+		for _, s := range e.space.SLocsOfCell(c) {
+			if !seen[s] {
+				seen[s] = true
+				red.PSLs = append(red.PSLs, s)
+			}
+		}
+	}
+	sort.Slice(red.PSLs, func(i, j int) bool { return red.PSLs[i] < red.PSLs[j] })
+
+	if query != nil && !e.opts.DisableReduction && !red.HasAnyOf(query) {
+		return nil, false
+	}
+	return red, true
+}
+
+// intraMerge folds samples whose P-locations are equivalent (identical
+// Cells(p), §3.1.2) into one sample at the class representative — the
+// smallest member id — with the summed probability (Algorithm 1 lines
+// 14-21). The output preserves first-appearance order of representatives.
+func (e *Engine) intraMerge(x iupt.SampleSet) iupt.SampleSet {
+	out := make(iupt.SampleSet, 0, len(x))
+	pos := make(map[indoor.PLocID]int, len(x))
+	for _, s := range x {
+		rep := e.space.ClassRep(s.Loc)
+		if i, ok := pos[rep]; ok {
+			out[i].Prob += s.Prob
+			continue
+		}
+		pos[rep] = len(out)
+		out = append(out, iupt.Sample{Loc: rep, Prob: s.Prob})
+	}
+	return out
+}
+
+// samePLocSet reports whether two sample sets cover the identical set of
+// P-locations (order-insensitive).
+func samePLocSet(a, b iupt.SampleSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) <= 4 {
+		// Quadratic scan beats map allocation at the sizes mss allows.
+		for _, sa := range a {
+			found := false
+			for _, sb := range b {
+				if sa.Loc == sb.Loc {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	locs := make(map[indoor.PLocID]bool, len(a))
+	for _, s := range a {
+		locs[s.Loc] = true
+	}
+	for _, s := range b {
+		if !locs[s.Loc] {
+			return false
+		}
+	}
+	return true
+}
+
+// interMerge merges a run of consecutive sample sets with identical
+// P-location sets into one set whose per-location probability is the mean
+// across the run (Algorithm 1 lines 22-30).
+func interMerge(run []iupt.SampleSet) iupt.SampleSet {
+	if len(run) == 1 {
+		return run[0]
+	}
+	first := run[0]
+	out := make(iupt.SampleSet, len(first))
+	inv := 1.0 / float64(len(run))
+	for i, s := range first {
+		sum := 0.0
+		for _, x := range run {
+			for _, xs := range x {
+				if xs.Loc == s.Loc {
+					sum += xs.Prob
+					break
+				}
+			}
+		}
+		out[i] = iupt.Sample{Loc: s.Loc, Prob: sum * inv}
+	}
+	return out
+}
+
+// PSLRects returns the global-plane MBRs covering the reduction's PSLs,
+// one rectangle per floor touched. Best-First inserts these (the paper's
+// "series of smaller, finer-grained MBRs", §4.2) into its aggregate R-tree.
+func (e *Engine) PSLRects(red *Reduction) []rectWithFloor {
+	byFloor := make(map[int]int) // floor -> index into out
+	var out []rectWithFloor
+	for _, s := range red.PSLs {
+		parts := e.space.SLocation(s).Partitions
+		if len(parts) == 0 {
+			continue
+		}
+		floor := e.space.Partition(parts[0]).Floor
+		i, ok := byFloor[floor]
+		if !ok {
+			i = len(out)
+			byFloor[floor] = i
+			out = append(out, rectWithFloor{floor: floor, rect: e.space.SLocBounds(s)})
+			continue
+		}
+		out[i].rect = out[i].rect.Union(e.space.SLocBounds(s))
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// This file contains an independent reference implementation transcribed
+// literally from the paper's §2.3 definitions — Cartesian product of
+// P-location sets, validity filtering via M_IL, path probabilities,
+// Equation 2 pass probabilities and Equation 1 presence — with no shared
+// code beyond the space model. Property tests assert that both production
+// engines agree with it on arbitrary inputs.
+
+// refPath is a fully materialized candidate path.
+type refPath struct {
+	locs []indoor.PLocID
+	prob float64
+}
+
+// refAllPaths enumerates the full Cartesian product πl(X1) × ... × πl(Xn).
+func refAllPaths(seq []iupt.SampleSet) []refPath {
+	paths := []refPath{{prob: 1}}
+	for _, x := range seq {
+		var next []refPath
+		for _, ph := range paths {
+			for _, s := range x {
+				locs := append(append([]indoor.PLocID(nil), ph.locs...), s.Loc)
+				next = append(next, refPath{locs: locs, prob: ph.prob * s.Prob})
+			}
+		}
+		paths = next
+	}
+	return paths
+}
+
+// refValid checks topological validity: every consecutive pair must have a
+// non-empty M_IL entry.
+func refValid(space *indoor.Space, ph refPath) bool {
+	for i := 1; i < len(ph.locs); i++ {
+		if len(space.MIL(ph.locs[i-1], ph.locs[i])) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// refPassProb is Equation 2: 1 - Π (1 - pr_{(loc_j, loc_j+1) ⊨ q}) with
+// pr = |{c ∈ M_IL : c = Cell(q)}| / |M_IL|. Single-location paths use
+// M_IL[loc, loc].
+func refPassProb(space *indoor.Space, ph refPath, cell indoor.CellID) float64 {
+	pairPr := func(a, b indoor.PLocID) float64 {
+		cells := space.MIL(a, b)
+		if len(cells) == 0 {
+			return 0
+		}
+		hit := 0
+		for _, c := range cells {
+			if c == cell {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(cells))
+	}
+	if len(ph.locs) == 1 {
+		return pairPr(ph.locs[0], ph.locs[0])
+	}
+	noPass := 1.0
+	for i := 1; i < len(ph.locs); i++ {
+		noPass *= 1 - pairPr(ph.locs[i-1], ph.locs[i])
+	}
+	return 1 - noPass
+}
+
+// refPresence is Equation 1 over the valid path set.
+func refPresence(space *indoor.Space, seq []iupt.SampleSet, cell indoor.CellID, mode PresenceMode) float64 {
+	num, den := 0.0, 0.0
+	for _, ph := range refAllPaths(seq) {
+		if !refValid(space, ph) {
+			continue
+		}
+		num += refPassProb(space, ph, cell) * ph.prob
+		den += ph.prob
+	}
+	if mode == UnnormalizedTotal {
+		return num
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TestEnginesMatchReference is the central correctness property: for random
+// sequences over the Figure 1 space, both engines' presences equal the
+// literal-transcription reference for every cell, in both presence modes.
+func TestEnginesMatchReference(t *testing.T) {
+	fig := indoor.Figure1Space()
+	space := fig.Space
+	plocs := fig.PLocs[:]
+	cells := make([]indoor.CellID, space.NumCells())
+	for i := range cells {
+		cells[i] = indoor.CellID(i)
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := randSequence(rng, plocs, 6, 3) // ≤ 3^6 = 729 reference paths
+		for _, kind := range []EngineKind{EngineEnum, EngineDP} {
+			// StrictPaths matches the reference exactly (the reference has
+			// no segmentation).
+			e := NewEngine(space, Options{Engine: kind, StrictPaths: true})
+			sum, _ := e.Summarize(seq)
+			for _, c := range cells {
+				for _, mode := range []PresenceMode{NormalizedValid, UnnormalizedTotal} {
+					want := refPresence(space, seq, c, mode)
+					got := sum.Presence(c, mode)
+					if math.Abs(got-want) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowMatchesReference cross-checks the full Flow pipeline (time-range
+// retrieval, per-object reduction disabled, presence summation) against a
+// direct summation of reference presences.
+func TestFlowMatchesReference(t *testing.T) {
+	fig := indoor.Figure1Space()
+	space := fig.Space
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randTable(rng, fig, rng.Intn(4)+2, 6)
+		e := NewEngine(space, Options{DisableReduction: true, StrictPaths: true})
+		seqs := tb.SequencesInRange(0, 6)
+		for s := 0; s < space.NumSLocations(); s++ {
+			sloc := indoor.SLocID(s)
+			cell := space.CellOfSLoc(sloc)
+			want := 0.0
+			for _, seq := range seqs {
+				var raw []iupt.SampleSet
+				for _, ts := range seq {
+					raw = append(raw, ts.Samples)
+				}
+				want += refPresence(space, raw, cell, NormalizedValid)
+			}
+			got, _ := e.Flow(tb, sloc, 0, 6)
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntraMergeMatchesReference: intra-merge is lossless, so presences of
+// the merged sequence (computed by the reference) match the raw sequence's.
+func TestIntraMergeMatchesReference(t *testing.T) {
+	fig := indoor.Figure1Space()
+	space := fig.Space
+	plocs := fig.PLocs[:]
+	e := NewEngine(space, Options{})
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := randSequence(rng, plocs, 5, 3)
+		merged := make([]iupt.SampleSet, len(seq))
+		for i, x := range seq {
+			merged[i] = e.intraMerge(x)
+		}
+		for c := 0; c < space.NumCells(); c++ {
+			cell := indoor.CellID(c)
+			a := refPresence(space, seq, cell, NormalizedValid)
+			b := refPresence(space, merged, cell, NormalizedValid)
+			if math.Abs(a-b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReferenceOnPaperExample anchors the reference itself against the
+// paper's published numbers, guarding against a matching-but-wrong pair of
+// implementations.
+func TestReferenceOnPaperExample(t *testing.T) {
+	f := newPaperFixture()
+	space := f.fig.Space
+	seqs := f.table.SequencesInRange(1, 8)
+	raw := func(oid iupt.ObjectID) []iupt.SampleSet {
+		var out []iupt.SampleSet
+		for _, ts := range seqs[oid] {
+			out = append(out, ts.Samples)
+		}
+		return out
+	}
+	c6 := space.CellOfSLoc(f.fig.SLocs[5])
+	c1 := space.CellOfSLoc(f.fig.SLocs[0])
+
+	approx(t, "ref Φ(r6,o3)", refPresence(space, raw(3), c6, UnnormalizedTotal), 0.12, 1e-12)
+	approx(t, "ref Φ(r1,o1)", refPresence(space, raw(1), c1, UnnormalizedTotal), 0.5, 1e-12)
+	approx(t, "ref Φ(r6,o2)", refPresence(space, raw(2), c6, UnnormalizedTotal), 0.85, 1e-12)
+	approx(t, "ref Φ(r6,o2) norm", refPresence(space, raw(2), c6, NormalizedValid), 1.0, 1e-12)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// TopK answers the Top-k Popular Location Query (Problem 1): the k
+// S-locations of Q with the highest indoor flows in [ts, te], computed with
+// the selected search algorithm. All three algorithms return identical
+// rankings (ties broken by ascending S-location id); they differ in how much
+// work they avoid, reported in Stats.
+func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if len(q) == 0 {
+		return nil, Stats{}, fmt.Errorf("core: empty query set")
+	}
+	seen := make(map[indoor.SLocID]bool, len(q))
+	for _, s := range q {
+		if int(s) < 0 || int(s) >= e.space.NumSLocations() {
+			return nil, Stats{}, fmt.Errorf("core: unknown S-location %d", s)
+		}
+		if seen[s] {
+			return nil, Stats{}, fmt.Errorf("core: duplicate S-location %d in query set", s)
+		}
+		seen[s] = true
+	}
+	if k > len(q) {
+		k = len(q)
+	}
+	switch algo {
+	case AlgoNaive:
+		res, st := e.topkNaive(table, q, k, ts, te)
+		return res, st, nil
+	case AlgoNestedLoop:
+		res, st := e.topkNestedLoop(table, q, k, ts, te)
+		return res, st, nil
+	case AlgoBestFirst:
+		res, st := e.topkBestFirst(table, q, k, ts, te)
+		return res, st, nil
+	default:
+		return nil, Stats{}, fmt.Errorf("core: unknown algorithm %d", algo)
+	}
+}
+
+// topkNaive computes every query location's flow independently, rebuilding
+// each object's paths once per relevant location — the repeated work the
+// paper's §4 intro calls out.
+func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
+	seqs := table.SequencesInRange(ts, te)
+	stats := Stats{ObjectsTotal: len(seqs)}
+	computed := make(map[iupt.ObjectID]bool)
+
+	flows := make([]Result, 0, len(q))
+	for _, sloc := range q {
+		// A fresh oracle per location: no sharing, by design.
+		oracle := newOracle(e, seqs, map[indoor.SLocID]bool{sloc: true})
+		flow := e.flowWithOracle(oracle, sloc)
+		flows = append(flows, Result{SLoc: sloc, Flow: flow})
+		stats.PathsEnumerated += oracle.stats.PathsEnumerated
+		stats.BudgetFallbacks += oracle.stats.BudgetFallbacks
+		stats.SampleSetsOriginal += oracle.stats.SampleSetsOriginal
+		stats.SampleSetsReduced += oracle.stats.SampleSetsReduced
+		stats.SequenceBreaks += oracle.stats.SequenceBreaks
+		for oid, s := range oracle.summaries {
+			if s != nil {
+				computed[oid] = true
+			}
+		}
+	}
+	stats.ObjectsComputed = len(computed)
+	return rankTopK(flows, k), stats
+}
+
+// topkNestedLoop is Algorithm 3: one pass over objects; each object's path
+// construction is shared across every query location it can contribute to.
+func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
+	seqs := table.SequencesInRange(ts, te)
+	query := make(map[indoor.SLocID]bool, len(q))
+	for _, s := range q {
+		query[s] = true
+	}
+	oracle := newOracle(e, seqs, query)
+	oracle.precomputeAll() // no-op unless Options.Parallelism > 1
+
+	flows := make(map[indoor.SLocID]float64, len(q))
+	for _, oid := range oracle.objects() {
+		if _, ok := oracle.reduction(oid); !ok {
+			continue
+		}
+		sum := oracle.summary(oid)
+		// Instead of checking every q, walk the cells the object can pass
+		// and credit only the query locations inside them (the Hφ / Hls
+		// bookkeeping of Algorithm 3, lines 18-27, in aggregated form).
+		for cell, mass := range sum.PassMass {
+			presence := mass
+			if e.opts.Presence == NormalizedValid {
+				if sum.ValidMass <= 0 {
+					continue
+				}
+				presence = mass / sum.ValidMass
+			}
+			for _, sloc := range e.space.SLocsOfCell(cell) {
+				if query[sloc] {
+					flows[sloc] += presence
+				}
+			}
+		}
+	}
+
+	results := make([]Result, 0, len(q))
+	for _, sloc := range q {
+		results = append(results, Result{SLoc: sloc, Flow: flows[sloc]})
+	}
+	return rankTopK(results, k), oracle.stats
+}
+
+// rankTopK sorts by flow descending, breaking ties by ascending S-location
+// id, and truncates to k.
+func rankTopK(results []Result, k int) []Result {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Flow != results[j].Flow {
+			return results[i].Flow > results[j].Flow
+		}
+		return results[i].SLoc < results[j].SLoc
+	})
+	if k < len(results) {
+		results = results[:k]
+	}
+	return results
+}

@@ -1,0 +1,155 @@
+// Package eval implements the evaluation machinery of paper §5.1: ground
+// truth flows derived from exact trajectories, the recall of a top-k result
+// against the ground-truth top-k, and the Kendall coefficient τ with the
+// paper's ranking-extension procedure for non-identical location sets.
+package eval
+
+import (
+	"sort"
+
+	"tkplq/internal/core"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+	"tkplq/internal/sim"
+)
+
+// GroundTruthFlows counts, for every queried S-location, the objects whose
+// exact trajectory visited it during [ts, te] — the definition used to score
+// effectiveness (§5.2: participants "specify their actual partitions to
+// obtain the ground truth"; §5.3: exact per-second trajectories). Each
+// object counts at most once per S-location, mirroring the indoor flow's
+// distinct-object semantics.
+func GroundTruthFlows(space *indoor.Space, trajs []sim.Trajectory, query []indoor.SLocID, ts, te iupt.Time) map[indoor.SLocID]float64 {
+	inQuery := make(map[indoor.SLocID]bool, len(query))
+	flows := make(map[indoor.SLocID]float64, len(query))
+	for _, q := range query {
+		inQuery[q] = true
+		flows[q] = 0
+	}
+	for ti := range trajs {
+		tr := &trajs[ti]
+		seen := make(map[indoor.SLocID]bool)
+		for i := range tr.Points {
+			pt := &tr.Points[i]
+			if pt.T < ts || pt.T > te {
+				continue
+			}
+			for _, sl := range space.SLocsOfPartition(pt.Partition) {
+				if inQuery[sl] && !seen[sl] {
+					seen[sl] = true
+					flows[sl]++
+				}
+			}
+		}
+	}
+	return flows
+}
+
+// TopKOf ranks a flow map and returns the top k results (flow descending,
+// ties by ascending S-location id — the same ordering the search algorithms
+// use).
+func TopKOf(flows map[indoor.SLocID]float64, k int) []core.Result {
+	out := make([]core.Result, 0, len(flows))
+	for s, f := range flows {
+		out = append(out, core.Result{SLoc: s, Flow: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flow != out[j].Flow {
+			return out[i].Flow > out[j].Flow
+		}
+		return out[i].SLoc < out[j].SLoc
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Recall is the fraction of the ground-truth top-k locations present in the
+// result top-k (§5.1). Both arguments are ranked lists; only membership
+// matters.
+func Recall(result, truth []core.Result) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	in := make(map[indoor.SLocID]bool, len(result))
+	for _, r := range result {
+		in[r.SLoc] = true
+	}
+	hit := 0
+	for _, tr := range truth {
+		if in[tr.SLoc] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// KendallTau computes the paper's Kendall coefficient between a result
+// ranking and a ground-truth ranking. When the two lists do not contain the
+// same locations, both are extended to their union: missing elements are
+// appended sharing one tie rank (§5.1's worked example). A pair is
+// concordant when its order relation (before / after / tied) matches in
+// both rankings, discordant when the strict orders oppose; pairs tied in
+// exactly one ranking count as neither. τ = (cp − dp) / (K(K−1)/2) over the
+// extended length K; identical rankings give 1, reversed rankings −1.
+func KendallTau(result, truth []core.Result) float64 {
+	ra := ranksOf(result, truth)
+	rb := ranksOf(truth, result)
+	ids := make([]indoor.SLocID, 0, len(ra))
+	for id := range ra {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	k := len(ids)
+	if k < 2 {
+		return 1
+	}
+	cp, dp := 0, 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			da := ra[ids[i]] - ra[ids[j]]
+			db := rb[ids[i]] - rb[ids[j]]
+			switch {
+			case da == 0 && db == 0:
+				cp++
+			case da == 0 || db == 0:
+				// Tied in exactly one ranking: neither concordant nor
+				// discordant.
+			case (da < 0) == (db < 0):
+				cp++
+			default:
+				dp++
+			}
+		}
+	}
+	return float64(cp-dp) / (0.5 * float64(k) * float64(k-1))
+}
+
+// ranksOf assigns ranks to the union of both lists from primary's point of
+// view: primary's elements keep their positions; elements only in other are
+// appended with one shared tie rank (= len(primary)).
+func ranksOf(primary, other []core.Result) map[indoor.SLocID]int {
+	ranks := make(map[indoor.SLocID]int, len(primary)+len(other))
+	for i, r := range primary {
+		ranks[r.SLoc] = i
+	}
+	tie := len(primary)
+	for _, r := range other {
+		if _, ok := ranks[r.SLoc]; !ok {
+			ranks[r.SLoc] = tie
+		}
+	}
+	return ranks
+}
+
+// Metrics bundles the two effectiveness measures for reporting.
+type Metrics struct {
+	Recall float64
+	Tau    float64
+}
+
+// Effectiveness scores a result against ground truth.
+func Effectiveness(result, truth []core.Result) Metrics {
+	return Metrics{Recall: Recall(result, truth), Tau: KendallTau(result, truth)}
+}

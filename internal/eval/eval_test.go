@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tkplq/internal/core"
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/sim"
+)
+
+func res(ids ...indoor.SLocID) []core.Result {
+	out := make([]core.Result, len(ids))
+	for i, id := range ids {
+		out[i] = core.Result{SLoc: id, Flow: float64(len(ids) - i)}
+	}
+	return out
+}
+
+func TestRecall(t *testing.T) {
+	cases := []struct {
+		name          string
+		result, truth []core.Result
+		want          float64
+	}{
+		{"identical", res(1, 2, 3), res(1, 2, 3), 1},
+		{"reordered", res(3, 1, 2), res(1, 2, 3), 1},
+		{"partial", res(1, 2, 9), res(1, 2, 3), 2.0 / 3},
+		{"disjoint", res(7, 8, 9), res(1, 2, 3), 0},
+		{"empty truth", res(1), nil, 1},
+	}
+	for _, c := range cases {
+		if got := Recall(c.result, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Recall = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKendallIdenticalAndReversed(t *testing.T) {
+	if got := KendallTau(res(1, 2, 3, 4), res(1, 2, 3, 4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical τ = %v, want 1", got)
+	}
+	if got := KendallTau(res(4, 3, 2, 1), res(1, 2, 3, 4)); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed τ = %v, want -1", got)
+	}
+	if got := KendallTau(res(1), res(1)); got != 1 {
+		t.Errorf("singleton τ = %v", got)
+	}
+}
+
+// TestKendallPaperExample replays the extension example of §5.1:
+// ϕr = ⟨A,B,C⟩, ϕg = ⟨B,D,E⟩ extend to 5 elements; by the paper's
+// concordance rule cp = 3, dp = 5, τ = (3-5)/10 = -0.2.
+func TestKendallPaperExample(t *testing.T) {
+	const (
+		A indoor.SLocID = 1
+		B indoor.SLocID = 2
+		C indoor.SLocID = 3
+		D indoor.SLocID = 4
+		E indoor.SLocID = 5
+	)
+	got := KendallTau(res(A, B, C), res(B, D, E))
+	if math.Abs(got-(-0.2)) > 1e-12 {
+		t.Errorf("τ = %v, want -0.2", got)
+	}
+}
+
+func TestKendallSwap(t *testing.T) {
+	// One adjacent swap among 3: cp=2, dp=1, τ = 1/3.
+	got := KendallTau(res(2, 1, 3), res(1, 2, 3))
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("τ = %v, want 1/3", got)
+	}
+}
+
+func TestTopKOf(t *testing.T) {
+	flows := map[indoor.SLocID]float64{1: 0.5, 2: 2.5, 3: 2.5, 4: 0.1}
+	top := TopKOf(flows, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].SLoc != 2 || top[1].SLoc != 3 || top[2].SLoc != 1 {
+		t.Errorf("TopKOf = %v", top)
+	}
+	all := TopKOf(flows, 10)
+	if len(all) != 4 {
+		t.Errorf("k beyond size should return all: %v", all)
+	}
+}
+
+func TestGroundTruthFlows(t *testing.T) {
+	// Two-partition space; o1 visits both, o2 stays in the first.
+	b := indoor.NewBuilder()
+	pa := b.AddPartition("a", indoor.Room, 0, geom.R(0, 0, 10, 10))
+	pb := b.AddPartition("b", indoor.Room, 0, geom.R(10, 0, 20, 10))
+	d := b.AddDoor(pa, pb, geom.Pt(10, 5))
+	b.AddPartitioningPLoc(d)
+	sa := b.AddSLocation("a", pa)
+	sb := b.AddSLocation("b", pb)
+	space, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := []sim.Trajectory{
+		{OID: 1, Points: []sim.TrajPoint{
+			{T: 0, Partition: pa, Pos: geom.Pt(5, 5)},
+			{T: 1, Partition: pb, Pos: geom.Pt(11, 5)},
+			{T: 2, Partition: pb, Pos: geom.Pt(12, 5)},
+		}},
+		{OID: 2, Points: []sim.TrajPoint{
+			{T: 0, Partition: pa, Pos: geom.Pt(2, 2)},
+			{T: 1, Partition: pa, Pos: geom.Pt(2, 3)},
+		}},
+	}
+	flows := GroundTruthFlows(space, trajs, []indoor.SLocID{sa, sb}, 0, 2)
+	if flows[sa] != 2 {
+		t.Errorf("flow(a) = %v, want 2", flows[sa])
+	}
+	if flows[sb] != 1 {
+		t.Errorf("flow(b) = %v, want 1", flows[sb])
+	}
+	// Interval clipping: only t=0 counts.
+	clipped := GroundTruthFlows(space, trajs, []indoor.SLocID{sa, sb}, 0, 0)
+	if clipped[sb] != 0 {
+		t.Errorf("clipped flow(b) = %v, want 0", clipped[sb])
+	}
+	// Unqueried locations are absent.
+	only := GroundTruthFlows(space, trajs, []indoor.SLocID{sb}, 0, 2)
+	if _, ok := only[sa]; ok {
+		t.Error("unqueried S-location should not appear")
+	}
+}
+
+func TestEffectiveness(t *testing.T) {
+	m := Effectiveness(res(1, 2, 3), res(1, 2, 3))
+	if m.Recall != 1 || m.Tau != 1 {
+		t.Errorf("Effectiveness = %+v", m)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func smallConfig() *Config {
+	return &Config{Scale: Small, Queries: 1, MCRounds: 5, Seed: 17}
+}
+
+// TestAllExperimentsRun executes every experiment at Small scale, sharing
+// one dataset cache, and sanity-checks the emitted tables.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow; skipped with -short")
+	}
+	cfg := smallConfig()
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" {
+					t.Errorf("%s: table missing id/title", exp.ID)
+				}
+				if len(tbl.Header) < 2 || len(tbl.Rows) == 0 {
+					t.Errorf("%s/%s: empty table", exp.ID, tbl.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s/%s: row width %d != header %d", exp.ID, tbl.ID, len(row), len(tbl.Header))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Errorf("%s/%s render: %v", exp.ID, tbl.ID, err)
+				}
+				if !strings.Contains(buf.String(), tbl.ID) {
+					t.Errorf("%s/%s: render missing id", exp.ID, tbl.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestTauCellsInRange parses every τ cell of the effectiveness tables and
+// checks it lies in [-1, 1].
+func TestTauCellsInRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped with -short")
+	}
+	cfg := smallConfig()
+	tables, err := runFigure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			for _, cell := range row[1:] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					t.Fatalf("cell %q not numeric: %v", cell, err)
+				}
+				if v < -1-1e-9 || v > 1+1e-9 {
+					t.Errorf("metric %v out of [-1, 1]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"small", Small, true},
+		{"MEDIUM", Medium, true},
+		{"Paper", Paper, true},
+		{"huge", 0, false},
+	} {
+		got, err := ParseScale(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseScale(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if Small.String() != "small" || Medium.String() != "medium" || Paper.String() != "paper" {
+		t.Error("Scale.String broken")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("t4"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should miss")
+	}
+	if len(IDs()) != len(All()) {
+		t.Error("IDs/All mismatch")
+	}
+}
+
+func TestDatasetCacheReuse(t *testing.T) {
+	cfg := smallConfig()
+	a, err := cfg.RealDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.RealDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("RealDataset should be cached per Config")
+	}
+	s1, err := cfg.SyntheticDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cfg.SyntheticDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("SyntheticDataset should be cached per Config")
+	}
+}
+
+func TestRestrictObjects(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := cfg.SyntheticDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cfg.synIUPT(ds, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := restrictObjects(full, 5)
+	for i := 0; i < small.Len(); i++ {
+		if small.Record(i).OID > 5 {
+			t.Fatalf("object %d leaked through restriction", small.Record(i).OID)
+		}
+	}
+	if small.Len() >= full.Len() {
+		t.Error("restriction should drop records")
+	}
+	trajs := restrictTrajs(ds.Trajs, 5)
+	if len(trajs) != 5 {
+		t.Errorf("restricted trajectories = %d", len(trajs))
+	}
+}
+
+func TestMakeDraws(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := cfg.RealDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2 := makeDraws(ds, 0.5, 600, 4, 9)
+	if len(ds2) != 4 {
+		t.Fatalf("draws = %d", len(ds2))
+	}
+	for _, d := range ds2 {
+		if len(d.Q) != 7 { // 50% of 14
+			t.Errorf("|Q| = %d, want 7", len(d.Q))
+		}
+		if d.te-d.ts != 600 {
+			t.Errorf("Δt = %d", d.te-d.ts)
+		}
+		if d.ts < 0 || d.te > ds.Span {
+			t.Errorf("interval [%d,%d] outside span", d.ts, d.te)
+		}
+		seen := map[int32]bool{}
+		for _, q := range d.Q {
+			if seen[int32(q)] {
+				t.Error("duplicate S-location in draw")
+			}
+			seen[int32(q)] = true
+		}
+	}
+	// Determinism.
+	again := makeDraws(ds, 0.5, 600, 4, 9)
+	for i := range ds2 {
+		if ds2[i].ts != again[i].ts || len(ds2[i].Q) != len(again[i].Q) {
+			t.Error("draws should be deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tkplq/internal/baseline"
+	"tkplq/internal/core"
+	"tkplq/internal/eval"
+	"tkplq/internal/sim"
+)
+
+// runTable7 reproduces Table 7: Kendall τ of SCC, UR and BF across k and
+// |Q| on synthetic data with an RFID tracking substrate (readers at doors,
+// 3 m non-overlapping ranges).
+func runTable7(cfg *Config) ([]Table, error) {
+	ds, err := cfg.SyntheticDataset()
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.synParams()
+	nObj := p.objects[defaultObjIdx]
+	trajs := restrictTrajs(ds.Trajs, nObj)
+
+	rfidCfg := sim.DefaultRFIDConfig()
+	rfidCfg.Seed = cfg.Seed + 160
+	dep, err := sim.DeployReaders(ds.Building, rfidCfg)
+	if err != nil {
+		return nil, err
+	}
+	recs := sim.GenerateRFID(ds.Building, dep, trajs, rfidCfg)
+
+	ks := append([]int(nil), p.ks...)
+	sortInts(ks)
+	fracs := append([]float64(nil), p.qFracs...)
+	sortFloats(fracs)
+	_, _, dt := cfg.synDefaults()
+
+	header := []string{"k"}
+	for _, f := range fracs {
+		for _, m := range []string{"SCC", "UR", "BF"} {
+			header = append(header, fmt.Sprintf("%s@%.0f%%", m, f*100))
+		}
+	}
+	tbl := Table{
+		ID:     "T7",
+		Title:  fmt.Sprintf("Kendall tau: SCC vs UR vs BF (SYN, %d readers, %d RFID records)", len(dep.Readers), len(recs)),
+		Header: header,
+		Notes: []string{
+			"expected shape (paper Table 7): UR lowest everywhere; SCC competitive",
+			"at small |Q| but degrading as |Q| grows; BF consistently high",
+		},
+	}
+
+	urCfg := baseline.DefaultURConfig()
+	for _, k := range ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, frac := range fracs {
+			drawsList := makeDraws(ds, frac, dt, cfg.queries(), cfg.Seed+170+int64(k))
+			var sccTau, urTau, bfTau float64
+			for _, d := range drawsList {
+				truth := cfg.synTruth(ds, d, k)
+
+				sccFlows := baseline.SCC(ds.Building.Space, dep, recs, d.Q, d.ts, d.te)
+				sccTau += eval.KendallTau(eval.TopKOf(sccFlows, k), truth)
+
+				urFlows := baseline.UR(ds.Building.Space, dep, recs, d.Q, d.ts, d.te, urCfg)
+				urTau += eval.KendallTau(eval.TopKOf(urFlows, k), truth)
+
+				r, err := runExact(core.Options{}, ds, ds.Table, d, k, core.AlgoBestFirst)
+				if err != nil {
+					return nil, err
+				}
+				bfTau += eval.KendallTau(r.Res, truth)
+			}
+			n := float64(len(drawsList))
+			row = append(row, f3(sccTau/n), f3(urTau/n), f3(bfTau/n))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return []Table{tbl}, nil
+}
+
+// runAblationEngines is ablation A1: path enumeration vs the DP engine on
+// growing Δt, quantifying why the DP engine is the default.
+func runAblationEngines(cfg *Config) ([]Table, error) {
+	ds, err := cfg.RealDataset()
+	if err != nil {
+		return nil, err
+	}
+	k, qFrac, _ := cfg.rdDefaults()
+	dts := cfg.rdParams().dts
+
+	cols := make([]string, len(dts))
+	for i, dt := range dts {
+		cols[i] = fmt.Sprintf("Δt=%dm", dt/60)
+	}
+	tbl := Table{
+		ID:     "A1",
+		Title:  "Ablation: enumeration vs DP engine, NL search (RD analog)",
+		Header: append([]string{"engine"}, cols...),
+		Notes: []string{
+			"enum materializes the paper's path sets (budget-capped, falls back to DP);",
+			"dp computes identical presences in polynomial time — see DESIGN.md §4",
+		},
+	}
+	engines := []struct {
+		name string
+		opts core.Options
+	}{
+		{"enum", core.Options{Engine: core.EngineEnum}},
+		{"dp", core.Options{Engine: core.EngineDP}},
+	}
+	fallbackRow := []string{"enum fallbacks"}
+	pathsRow := []string{"enum paths"}
+	for ei, eng := range engines {
+		row := []string{eng.name}
+		for i, dt := range dts {
+			drawsList := makeDraws(ds, qFrac, dt, cfg.queries(), cfg.Seed+180+int64(i))
+			var a agg
+			var fallbacks int
+			var paths int64
+			for _, d := range drawsList {
+				r, err := runExact(eng.opts, ds, ds.Table, d, k, core.AlgoNestedLoop)
+				if err != nil {
+					return nil, err
+				}
+				a.addRun(r, eval.Metrics{})
+				fallbacks += r.Stats.BudgetFallbacks
+				paths += r.Stats.PathsEnumerated
+			}
+			row = append(row, fsec(a.avgSeconds()))
+			if ei == 0 {
+				fallbackRow = append(fallbackRow, fmt.Sprintf("%d", fallbacks))
+				pathsRow = append(pathsRow, fmt.Sprintf("%d", paths))
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	tbl.Rows = append(tbl.Rows, pathsRow, fallbackRow)
+	return []Table{tbl}, nil
+}
+
+// runAblationReduction is ablation A2: the contribution of each reduction
+// stage (none / intra only / inter only / full) to time, data volume and
+// result agreement with the fully reduced run.
+func runAblationReduction(cfg *Config) ([]Table, error) {
+	ds, err := cfg.RealDataset()
+	if err != nil {
+		return nil, err
+	}
+	k, qFrac, dt := cfg.rdDefaults()
+	drawsList := makeDraws(ds, qFrac, dt, cfg.queries(), cfg.Seed+190)
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{}},
+		{"intra-only", core.Options{DisableInterMerge: true}},
+		{"inter-only", core.Options{DisableIntraMerge: true}},
+		{"none (ORG)", core.Options{DisableReduction: true}},
+	}
+	tbl := Table{
+		ID:     "A2",
+		Title:  "Ablation: data reduction stages, NL search (RD analog)",
+		Header: []string{"variant", "time", "sets kept", "pruning", "tau vs full"},
+		Notes: []string{
+			"sets kept = reduced/original sample sets; intra-merge is lossless,",
+			"inter-merge trades exactness for volume (paper §3.2)",
+		},
+	}
+
+	// Reference results from the full variant, per draw.
+	var fullRes [][]core.Result
+	for _, v := range variants {
+		var a agg
+		var kept, orig float64
+		var tauVsFull float64
+		for di, d := range drawsList {
+			r, err := runExact(v.opts, ds, ds.Table, d, k, core.AlgoNestedLoop)
+			if err != nil {
+				return nil, err
+			}
+			a.addRun(r, eval.Metrics{})
+			kept += float64(r.Stats.SampleSetsReduced)
+			orig += float64(r.Stats.SampleSetsOriginal)
+			if v.name == "full" {
+				fullRes = append(fullRes, r.Res)
+				tauVsFull += 1
+			} else {
+				tauVsFull += eval.KendallTau(r.Res, fullRes[di])
+			}
+		}
+		ratio := "-"
+		if orig > 0 {
+			ratio = fpct(kept / orig)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			v.name, fsec(a.avgSeconds()), ratio, fpct(a.avgPrune()),
+			f3(tauVsFull / float64(len(drawsList))),
+		})
+	}
+	return []Table{tbl}, nil
+}

@@ -1,0 +1,106 @@
+package geom
+
+import "math"
+
+// Ellipse is the locus of points whose summed distance to the two foci is at
+// most SumDist. This is the uncertainty-region shape of the UR baseline: an
+// object detected by reader F1 at time t1 and reader F2 at time t2 moving at
+// most Vmax must lie within the ellipse with foci at the reader positions and
+// SumDist = Vmax * (t2 - t1), clamped below by the focal distance.
+type Ellipse struct {
+	F1, F2  Point
+	SumDist float64
+}
+
+// NewEllipse builds an ellipse, clamping SumDist up to the focal distance so
+// the result is never empty (a degenerate ellipse collapses to the focal
+// segment).
+func NewEllipse(f1, f2 Point, sumDist float64) Ellipse {
+	focal := f1.Dist(f2)
+	if sumDist < focal {
+		sumDist = focal
+	}
+	return Ellipse{F1: f1, F2: f2, SumDist: sumDist}
+}
+
+// Contains reports whether p lies in the ellipse (boundary inclusive).
+func (e Ellipse) Contains(p Point) bool {
+	return p.Dist(e.F1)+p.Dist(e.F2) <= e.SumDist+1e-12
+}
+
+// SemiMajor returns the semi-major axis length a = SumDist/2.
+func (e Ellipse) SemiMajor() float64 { return e.SumDist / 2 }
+
+// SemiMinor returns the semi-minor axis length b = sqrt(a² - c²) where c is
+// half the focal distance.
+func (e Ellipse) SemiMinor() float64 {
+	a := e.SemiMajor()
+	c := e.F1.Dist(e.F2) / 2
+	d := a*a - c*c
+	if d <= 0 {
+		return 0
+	}
+	return math.Sqrt(d)
+}
+
+// Area returns the ellipse area pi*a*b.
+func (e Ellipse) Area() float64 { return math.Pi * e.SemiMajor() * e.SemiMinor() }
+
+// Bounds returns the ellipse's minimum bounding rectangle.
+func (e Ellipse) Bounds() Rect {
+	a, b := e.SemiMajor(), e.SemiMinor()
+	cx := (e.F1.X + e.F2.X) / 2
+	cy := (e.F1.Y + e.F2.Y) / 2
+	// Rotated ellipse MBR: half-extents along X and Y.
+	dx, dy := e.F2.X-e.F1.X, e.F2.Y-e.F1.Y
+	l := math.Hypot(dx, dy)
+	var cos, sin float64
+	if l == 0 {
+		cos, sin = 1, 0
+	} else {
+		cos, sin = dx/l, dy/l
+	}
+	ex := math.Sqrt(a*a*cos*cos + b*b*sin*sin)
+	ey := math.Sqrt(a*a*sin*sin + b*b*cos*cos)
+	return Rect{MinX: cx - ex, MinY: cy - ey, MaxX: cx + ex, MaxY: cy + ey}
+}
+
+// OverlapFraction estimates what fraction of the ellipse's area lies inside
+// rect, using a deterministic grid sample of n×n points over the ellipse's
+// bounding box. n must be >= 2; callers typically use 32. The estimate is
+// exact in the limit and accurate to ~1/n for the axis-aligned shapes used
+// by the indoor model, which is ample for the UR baseline's ranking use.
+func (e Ellipse) OverlapFraction(rect Rect, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	mbr := e.Bounds()
+	if mbr.IsEmpty() || !mbr.Intersects(rect) {
+		return 0
+	}
+	inEllipse, inBoth := 0, 0
+	for i := 0; i < n; i++ {
+		// Cell-centered samples avoid boundary double-counting bias.
+		x := mbr.MinX + (float64(i)+0.5)/float64(n)*mbr.Width()
+		for j := 0; j < n; j++ {
+			y := mbr.MinY + (float64(j)+0.5)/float64(n)*mbr.Height()
+			p := Point{x, y}
+			if !e.Contains(p) {
+				continue
+			}
+			inEllipse++
+			if rect.ContainsPoint(p) {
+				inBoth++
+			}
+		}
+	}
+	if inEllipse == 0 {
+		// Degenerate ellipse (zero area): fall back to testing the focal
+		// segment midpoint.
+		if rect.ContainsPoint(Segment{e.F1, e.F2}.Midpoint()) {
+			return 1
+		}
+		return 0
+	}
+	return float64(inBoth) / float64(inEllipse)
+}

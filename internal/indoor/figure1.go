@@ -1,0 +1,72 @@
+package indoor
+
+import "tkplq/internal/geom"
+
+// Figure1Space reconstructs the paper's running example (Figure 1): rooms
+// r1..r5 and hallway r6, P-locations p1..p9 and the derived cells c1..c6.
+// It is used by tests that verify the derived M_IL against the paper's
+// Figure 3 and the presence/flow numbers of Examples 2-4, and by the
+// quickstart example.
+//
+// Identifier mapping (paper name -> returned id):
+//
+//	partitions: r1..r6 -> Rooms[0..5]
+//	P-locations: p1..p9 -> PLocs[0..8]
+//	S-locations: r1..r6 -> SLocs[0..5] (each partition is one S-location)
+//
+// The derived cells satisfy: Cell(r1) == Cell(r2) (the paper's c1) and every
+// other room is its own cell.
+type Figure1 struct {
+	Space *Space
+	Rooms [6]PartitionID
+	Doors map[string]DoorID
+	PLocs [9]PLocID
+	SLocs [6]SLocID
+}
+
+// Figure1Space builds the example space. It panics on a construction error,
+// which would indicate a bug in the builder itself.
+func Figure1Space() *Figure1 {
+	b := NewBuilder()
+	f := &Figure1{Doors: make(map[string]DoorID)}
+
+	// Geometry: hallway r6 along the bottom (y 0..5); above it r4, r5, r2,
+	// r1 from left to right; r3 on top of r4. Exact coordinates are
+	// inessential -- the paper's example is purely topological.
+	f.Rooms[0] = b.AddPartition("r1", Room, 0, geom.R(30, 5, 40, 20))
+	f.Rooms[1] = b.AddPartition("r2", Room, 0, geom.R(20, 5, 30, 20))
+	f.Rooms[2] = b.AddPartition("r3", Room, 0, geom.R(0, 20, 10, 30))
+	f.Rooms[3] = b.AddPartition("r4", Room, 0, geom.R(0, 5, 10, 20))
+	f.Rooms[4] = b.AddPartition("r5", Room, 0, geom.R(10, 5, 20, 20))
+	f.Rooms[5] = b.AddPartition("r6", Hallway, 0, geom.R(0, 0, 40, 5))
+
+	r := f.Rooms
+	f.Doors["r4-r5"] = b.AddDoor(r[3], r[4], geom.Pt(10, 12)) // p1
+	f.Doors["r4-r6"] = b.AddDoor(r[3], r[5], geom.Pt(5, 5))   // p2
+	f.Doors["r3-r4"] = b.AddDoor(r[2], r[3], geom.Pt(5, 20))  // p3
+	f.Doors["r1-r6"] = b.AddDoor(r[0], r[5], geom.Pt(35, 5))  // p4
+	f.Doors["r5-r6"] = b.AddDoor(r[4], r[5], geom.Pt(15, 5))  // p5
+	f.Doors["r2-r6"] = b.AddDoor(r[1], r[5], geom.Pt(25, 5))  // p9
+	f.Doors["r1-r2"] = b.AddDoor(r[0], r[1], geom.Pt(30, 12)) // unmonitored
+
+	f.PLocs[0] = b.AddPartitioningPLoc(f.Doors["r4-r5"])   // p1 {c4,c5}
+	f.PLocs[1] = b.AddPartitioningPLoc(f.Doors["r4-r6"])   // p2 {c4,c6}
+	f.PLocs[2] = b.AddPartitioningPLoc(f.Doors["r3-r4"])   // p3 {c3,c4}
+	f.PLocs[3] = b.AddPartitioningPLoc(f.Doors["r1-r6"])   // p4 {c1,c6}
+	f.PLocs[4] = b.AddPartitioningPLoc(f.Doors["r5-r6"])   // p5 {c5,c6}
+	f.PLocs[5] = b.AddPresencePLoc(r[5], geom.Pt(20, 2.5)) // p6 {c6}
+	f.PLocs[6] = b.AddPresencePLoc(r[0], geom.Pt(35, 12))  // p7 {c1}
+	f.PLocs[7] = b.AddPresencePLoc(r[5], geom.Pt(30, 2.5)) // p8 {c6}
+	f.PLocs[8] = b.AddPartitioningPLoc(f.Doors["r2-r6"])   // p9 {c1,c6}
+
+	for i, name := range []string{"r1", "r2", "r3", "r4", "r5", "r6"} {
+		f.SLocs[i] = b.AddSLocation(name, f.Rooms[i])
+	}
+
+	space, err := b.Build()
+	if err != nil {
+		panic("indoor: Figure1Space construction failed: " + err.Error())
+	}
+	f.Space = space
+	return f
+}

@@ -1,0 +1,85 @@
+package indoor
+
+import "fmt"
+
+// LocationGraph is the Indoor Space Location Graph G_ISL = (C, E, le) of
+// paper §3.1.1: vertices are cells; an edge between two distinct cells
+// carries the partitioning P-locations whose doors separate them; a loop
+// edge on a cell carries the presence P-locations inside it. Each edge's
+// P-location set is one equivalence class of the M_IL merge (§3.1.2).
+type LocationGraph struct {
+	numCells int
+	edges    []GraphEdge
+	adj      [][]int // cell -> indices into edges (loops included once)
+}
+
+// GraphEdge is an edge of G_ISL. A == B denotes a loop edge.
+type GraphEdge struct {
+	A, B  CellID
+	PLocs []PLocID // the label le(<A,B>)
+}
+
+// IsLoop reports whether the edge is a loop (presence P-locations).
+func (e GraphEdge) IsLoop() bool { return e.A == e.B }
+
+// NumCells returns the number of vertices.
+func (g *LocationGraph) NumCells() int { return g.numCells }
+
+// NumEdges returns the number of edges, loops included.
+func (g *LocationGraph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the i-th edge.
+func (g *LocationGraph) Edge(i int) GraphEdge { return g.edges[i] }
+
+// EdgesOf returns the indices of edges incident to cell c (loops included).
+// The returned slice must not be modified.
+func (g *LocationGraph) EdgesOf(c CellID) []int { return g.adj[c] }
+
+// Neighbors returns the cells adjacent to c via non-loop edges, without
+// duplicates.
+func (g *LocationGraph) Neighbors(c CellID) []CellID {
+	var out []CellID
+	seen := make(map[CellID]bool)
+	for _, ei := range g.adj[c] {
+		e := g.edges[ei]
+		if e.IsLoop() {
+			continue
+		}
+		other := e.A
+		if other == c {
+			other = e.B
+		}
+		if !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of non-loop edges incident to c.
+func (g *LocationGraph) Degree(c CellID) int {
+	n := 0
+	for _, ei := range g.adj[c] {
+		if !g.edges[ei].IsLoop() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact description for debugging.
+func (g *LocationGraph) String() string {
+	return fmt.Sprintf("G_ISL{cells: %d, edges: %d}", g.numCells, len(g.edges))
+}
+
+func newLocationGraph(numCells int, edges []GraphEdge) *LocationGraph {
+	g := &LocationGraph{numCells: numCells, edges: edges, adj: make([][]int, numCells)}
+	for i, e := range edges {
+		g.adj[e.A] = append(g.adj[e.A], i)
+		if e.B != e.A {
+			g.adj[e.B] = append(g.adj[e.B], i)
+		}
+	}
+	return g
+}

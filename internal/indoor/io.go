@@ -1,0 +1,144 @@
+package indoor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tkplq/internal/geom"
+)
+
+// The JSON space format stores the *definition* of a space — partitions,
+// doors, P-locations and S-locations. Derived structures (cells, G_ISL,
+// M_IL, equivalence classes) are recomputed on load, so files stay small
+// and derivations can never go stale.
+
+type spaceJSON struct {
+	Version    int             `json:"version"`
+	Partitions []partitionJSON `json:"partitions"`
+	Doors      []doorJSON      `json:"doors"`
+	PLocs      []plocJSON      `json:"plocations"`
+	SLocs      []slocJSON      `json:"slocations"`
+}
+
+type partitionJSON struct {
+	Name   string     `json:"name"`
+	Kind   string     `json:"kind"`
+	Floor  int        `json:"floor"`
+	Bounds [4]float64 `json:"bounds"` // minX, minY, maxX, maxY
+}
+
+type doorJSON struct {
+	A int        `json:"a"`
+	B int        `json:"b"`
+	P [2]float64 `json:"pos"`
+}
+
+type plocJSON struct {
+	Kind      string     `json:"kind"`
+	Door      int        `json:"door,omitempty"`
+	Partition int        `json:"partition,omitempty"`
+	Pos       [2]float64 `json:"pos,omitempty"`
+}
+
+type slocJSON struct {
+	Name       string `json:"name"`
+	Partitions []int  `json:"partitions"`
+}
+
+const spaceFormatVersion = 1
+
+// WriteJSON serializes the space definition.
+func (s *Space) WriteJSON(w io.Writer) error {
+	out := spaceJSON{Version: spaceFormatVersion}
+	for _, p := range s.partitions {
+		out.Partitions = append(out.Partitions, partitionJSON{
+			Name:   p.Name,
+			Kind:   p.Kind.String(),
+			Floor:  p.Floor,
+			Bounds: [4]float64{p.Bounds.MinX, p.Bounds.MinY, p.Bounds.MaxX, p.Bounds.MaxY},
+		})
+	}
+	for _, d := range s.doors {
+		out.Doors = append(out.Doors, doorJSON{
+			A: int(d.Partitions[0]), B: int(d.Partitions[1]),
+			P: [2]float64{d.Pos.X, d.Pos.Y},
+		})
+	}
+	for _, p := range s.plocs {
+		pj := plocJSON{Kind: p.Kind.String()}
+		if p.Kind == Partitioning {
+			pj.Door = int(p.Door)
+		} else {
+			pj.Partition = int(p.Partition)
+			pj.Pos = [2]float64{p.Pos.X, p.Pos.Y}
+		}
+		out.PLocs = append(out.PLocs, pj)
+	}
+	for _, sl := range s.slocs {
+		parts := make([]int, len(sl.Partitions))
+		for i, pid := range sl.Partitions {
+			parts[i] = int(pid)
+		}
+		out.SLocs = append(out.SLocs, slocJSON{Name: sl.Name, Partitions: parts})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a space definition and rebuilds the Space, re-deriving
+// cells, graph, matrix and mappings through the ordinary Builder validation.
+func ReadJSON(r io.Reader) (*Space, error) {
+	var in spaceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("indoor: decoding space: %w", err)
+	}
+	if in.Version != spaceFormatVersion {
+		return nil, fmt.Errorf("indoor: unsupported space format version %d", in.Version)
+	}
+	b := NewBuilder()
+	for _, p := range in.Partitions {
+		kind, err := parseKind(p.Kind)
+		if err != nil {
+			return nil, err
+		}
+		b.AddPartition(p.Name, kind, p.Floor,
+			geom.Rect{MinX: p.Bounds[0], MinY: p.Bounds[1], MaxX: p.Bounds[2], MaxY: p.Bounds[3]})
+	}
+	for _, d := range in.Doors {
+		b.AddDoor(PartitionID(d.A), PartitionID(d.B), geom.Pt(d.P[0], d.P[1]))
+	}
+	for _, p := range in.PLocs {
+		switch p.Kind {
+		case "partitioning":
+			b.AddPartitioningPLoc(DoorID(p.Door))
+		case "presence":
+			b.AddPresencePLoc(PartitionID(p.Partition), geom.Pt(p.Pos[0], p.Pos[1]))
+		default:
+			return nil, fmt.Errorf("indoor: unknown P-location kind %q", p.Kind)
+		}
+	}
+	for _, sl := range in.SLocs {
+		parts := make([]PartitionID, len(sl.Partitions))
+		for i, pid := range sl.Partitions {
+			parts[i] = PartitionID(pid)
+		}
+		b.AddSLocation(sl.Name, parts...)
+	}
+	return b.Build()
+}
+
+func parseKind(s string) (PartitionKind, error) {
+	switch s {
+	case "room":
+		return Room, nil
+	case "hallway":
+		return Hallway, nil
+	case "staircase":
+		return Staircase, nil
+	default:
+		return 0, fmt.Errorf("indoor: unknown partition kind %q", s)
+	}
+}

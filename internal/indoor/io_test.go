@@ -1,0 +1,97 @@
+package indoor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	orig := Figure1Space().Space
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPartitions() != orig.NumPartitions() ||
+		back.NumDoors() != orig.NumDoors() ||
+		back.NumPLocations() != orig.NumPLocations() ||
+		back.NumSLocations() != orig.NumSLocations() {
+		t.Fatalf("entity counts changed: %d/%d/%d/%d vs %d/%d/%d/%d",
+			back.NumPartitions(), back.NumDoors(), back.NumPLocations(), back.NumSLocations(),
+			orig.NumPartitions(), orig.NumDoors(), orig.NumPLocations(), orig.NumSLocations())
+	}
+	// Derived structures must be identical: cells, mappings, matrix.
+	if back.NumCells() != orig.NumCells() {
+		t.Fatalf("cells = %d, want %d", back.NumCells(), orig.NumCells())
+	}
+	for i := 0; i < orig.NumSLocations(); i++ {
+		if back.CellOfSLoc(SLocID(i)) != orig.CellOfSLoc(SLocID(i)) {
+			t.Errorf("CellOfSLoc(%d) differs", i)
+		}
+		if back.SLocation(SLocID(i)).Name != orig.SLocation(SLocID(i)).Name {
+			t.Errorf("S-location %d name differs", i)
+		}
+	}
+	for i := 0; i < orig.NumPLocations(); i++ {
+		for j := 0; j < orig.NumPLocations(); j++ {
+			a := orig.MIL(PLocID(i), PLocID(j))
+			b := back.MIL(PLocID(i), PLocID(j))
+			if !equalCells(a, b) {
+				t.Fatalf("MIL[%d,%d] differs: %v vs %v", i, j, a, b)
+			}
+		}
+		if back.ClassRep(PLocID(i)) != orig.ClassRep(PLocID(i)) {
+			t.Errorf("ClassRep(%d) differs", i)
+		}
+	}
+	// Partition geometry preserved.
+	for i := 0; i < orig.NumPartitions(); i++ {
+		if back.Partition(PartitionID(i)).Bounds != orig.Partition(PartitionID(i)).Bounds {
+			t.Errorf("partition %d bounds differ", i)
+		}
+		if back.Partition(PartitionID(i)).Kind != orig.Partition(PartitionID(i)).Kind {
+			t.Errorf("partition %d kind differs", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version": 99}`},
+		{"bad kind", `{"version":1,"partitions":[{"name":"a","kind":"pool","floor":0,"bounds":[0,0,1,1]}]}`},
+		{"bad ploc kind", `{"version":1,
+			"partitions":[{"name":"a","kind":"room","floor":0,"bounds":[0,0,1,1]}],
+			"plocations":[{"kind":"teleport"}]}`},
+		{"invalid space", `{"version":1,"partitions":[]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSpaceJSONStableOutput(t *testing.T) {
+	s := Figure1Space().Space
+	var a, b bytes.Buffer
+	if err := s.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteJSON should be deterministic")
+	}
+	if !strings.Contains(a.String(), `"version": 1`) {
+		t.Error("version field missing")
+	}
+}

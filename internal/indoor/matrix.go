@@ -1,0 +1,66 @@
+package indoor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DenseMatrix is a fully materialized Indoor Location Matrix, the exact
+// N-by-N upper-triangular structure of paper §3.1.2. The Space's MIL method
+// computes the same entries on demand from Cells(p) intersections in O(1)
+// space; the dense form exists for small spaces, debugging and tests that
+// cross-check the two representations.
+type DenseMatrix struct {
+	n       int
+	entries [][][]CellID // entries[i][j-i] for j >= i
+}
+
+// BuildDenseMatrix materializes M_IL for the space. Memory is O(N²) in the
+// number of P-locations; intended for small spaces.
+func BuildDenseMatrix(s *Space) *DenseMatrix {
+	n := s.NumPLocations()
+	m := &DenseMatrix{n: n, entries: make([][][]CellID, n)}
+	for i := 0; i < n; i++ {
+		m.entries[i] = make([][]CellID, n-i)
+		for j := i; j < n; j++ {
+			m.entries[i][j-i] = s.MIL(PLocID(i), PLocID(j))
+		}
+	}
+	return m
+}
+
+// N returns the matrix dimension.
+func (m *DenseMatrix) N() int { return m.n }
+
+// Lookup returns M_IL[pi, pj]; argument order is irrelevant (the matrix is
+// upper triangular for the undirected door model).
+func (m *DenseMatrix) Lookup(pi, pj PLocID) []CellID {
+	if pi > pj {
+		pi, pj = pj, pi
+	}
+	return m.entries[pi][pj-pi]
+}
+
+// Connected reports whether M_IL[pi, pj] is non-empty.
+func (m *DenseMatrix) Connected(pi, pj PLocID) bool { return len(m.Lookup(pi, pj)) > 0 }
+
+// String renders the matrix like the paper's Figure 3 (∅ for empty entries).
+func (m *DenseMatrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := i; j < m.n; j++ {
+			cells := m.Lookup(PLocID(i), PLocID(j))
+			if len(cells) == 0 {
+				fmt.Fprintf(&sb, "M[p%d,p%d]=∅ ", i, j)
+				continue
+			}
+			parts := make([]string, len(cells))
+			for k, c := range cells {
+				parts[k] = fmt.Sprintf("c%d", c)
+			}
+			fmt.Fprintf(&sb, "M[p%d,p%d]={%s} ", i, j, strings.Join(parts, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

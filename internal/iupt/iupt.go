@@ -1,0 +1,315 @@
+// Package iupt implements the Indoor Uncertain Positioning Table of paper
+// §2.2: non-periodic records (oid, X, t) where X is a set of probabilistic
+// samples (loc, prob) over P-locations with probabilities summing to one.
+// The table is indexed on its time attribute with the 1-D R-tree (paper
+// §3.3) and yields per-object positioning sequences for a query interval.
+package iupt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/rtree"
+)
+
+// ObjectID identifies an indoor moving object.
+type ObjectID int32
+
+// Time is a timestamp in seconds since the dataset epoch. The paper's
+// positioning periods are whole seconds; finer resolutions can scale the
+// unit without code changes.
+type Time int64
+
+// Sample is one probabilistic positioning sample: the object is at P-location
+// Loc with probability Prob.
+type Sample struct {
+	Loc  indoor.PLocID
+	Prob float64
+}
+
+// SampleSet is the sample set X of one positioning record. Invariant
+// (checked by Validate): probabilities are positive and sum to 1 within
+// tolerance, and P-locations are unique.
+type SampleSet []Sample
+
+// ProbSumTolerance is the allowed deviation of a sample set's probability
+// mass from 1.
+const ProbSumTolerance = 1e-6
+
+// Validate checks the SampleSet invariants.
+func (x SampleSet) Validate() error {
+	if len(x) == 0 {
+		return fmt.Errorf("iupt: empty sample set")
+	}
+	sum := 0.0
+	seen := make(map[indoor.PLocID]bool, len(x))
+	for _, s := range x {
+		if s.Prob <= 0 || s.Prob > 1+ProbSumTolerance {
+			return fmt.Errorf("iupt: sample probability %v out of (0,1]", s.Prob)
+		}
+		if seen[s.Loc] {
+			return fmt.Errorf("iupt: duplicate P-location %d in sample set", s.Loc)
+		}
+		seen[s.Loc] = true
+		sum += s.Prob
+	}
+	if math.Abs(sum-1) > ProbSumTolerance {
+		return fmt.Errorf("iupt: sample probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// PLocSet returns πl(X): the P-locations of the sample set, in sample order.
+func (x SampleSet) PLocSet() []indoor.PLocID {
+	out := make([]indoor.PLocID, len(x))
+	for i, s := range x {
+		out[i] = s.Loc
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (x SampleSet) Clone() SampleSet {
+	return append(SampleSet(nil), x...)
+}
+
+// Normalize rescales probabilities to sum to exactly 1. It is a no-op on an
+// empty set.
+func (x SampleSet) Normalize() {
+	sum := 0.0
+	for _, s := range x {
+		sum += s.Prob
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range x {
+		x[i].Prob /= sum
+	}
+}
+
+// Sorted returns a copy ordered by ascending P-location id, the canonical
+// order used when comparing πl(X) sets during inter-merge.
+func (x SampleSet) Sorted() SampleSet {
+	out := x.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	return out
+}
+
+// MaxProbSample returns the sample with the highest probability (first on
+// ties), the sample the SC baseline counts.
+func (x SampleSet) MaxProbSample() Sample {
+	best := x[0]
+	for _, s := range x[1:] {
+		if s.Prob > best.Prob {
+			best = s
+		}
+	}
+	return best
+}
+
+// Record is one positioning record (oid, X, t).
+type Record struct {
+	OID     ObjectID
+	T       Time
+	Samples SampleSet
+}
+
+// TimedSampleSet is one element of a positioning sequence: the sample set
+// reported at time T.
+type TimedSampleSet struct {
+	T       Time
+	Samples SampleSet
+}
+
+// Sequence is an object's time-ordered positioning sequence
+// X = (X1, ..., Xn) within a query interval.
+type Sequence []TimedSampleSet
+
+// PLocUniverse returns the distinct P-locations appearing anywhere in the
+// sequence.
+func (seq Sequence) PLocUniverse() []indoor.PLocID {
+	seen := make(map[indoor.PLocID]bool)
+	var out []indoor.PLocID
+	for _, ts := range seq {
+		for _, s := range ts.Samples {
+			if !seen[s.Loc] {
+				seen[s.Loc] = true
+				out = append(out, s.Loc)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxPaths returns the Cartesian-product upper bound on the number of
+// possible paths, Π |πl(Xi)|, saturating at math.MaxInt64.
+func (seq Sequence) MaxPaths() int64 {
+	n := int64(1)
+	for _, ts := range seq {
+		m := int64(len(ts.Samples))
+		if m == 0 {
+			continue
+		}
+		if n > math.MaxInt64/m {
+			return math.MaxInt64
+		}
+		n *= m
+	}
+	return n
+}
+
+// Table is the IUPT: an append-only collection of positioning records with
+// a time index.
+type Table struct {
+	records []Record
+	index   *rtree.IntervalIndex[int32]
+	sorted  bool
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{sorted: true} }
+
+// Append adds a record. Records may arrive in any time order; the index is
+// (re)built lazily on first query.
+func (t *Table) Append(rec Record) {
+	if n := len(t.records); n > 0 && rec.T < t.records[n-1].T {
+		t.sorted = false
+	}
+	t.records = append(t.records, rec)
+	t.index = nil
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Record returns the i-th record in time order (after ensureSorted).
+func (t *Table) Record(i int) Record {
+	t.ensureSorted()
+	return t.records[i]
+}
+
+// TimeSpan returns the earliest and latest record timestamps. ok is false
+// for an empty table.
+func (t *Table) TimeSpan() (lo, hi Time, ok bool) {
+	if len(t.records) == 0 {
+		return 0, 0, false
+	}
+	t.ensureSorted()
+	return t.records[0].T, t.records[len(t.records)-1].T, true
+}
+
+// Objects returns the distinct object ids, ascending.
+func (t *Table) Objects() []ObjectID {
+	seen := make(map[ObjectID]bool)
+	var out []ObjectID
+	for i := range t.records {
+		if !seen[t.records[i].OID] {
+			seen[t.records[i].OID] = true
+			out = append(out, t.records[i].OID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *Table) ensureSorted() {
+	if !t.sorted {
+		sort.SliceStable(t.records, func(i, j int) bool { return t.records[i].T < t.records[j].T })
+		t.sorted = true
+	}
+}
+
+func (t *Table) ensureIndex() {
+	t.ensureSorted()
+	if t.index != nil {
+		return
+	}
+	lo := make([]float64, len(t.records))
+	hi := make([]float64, len(t.records))
+	ids := make([]int32, len(t.records))
+	for i := range t.records {
+		lo[i] = float64(t.records[i].T)
+		hi[i] = lo[i]
+		ids[i] = int32(i)
+	}
+	t.index = rtree.BulkLoadIntervals(rtree.DefaultMaxEntries, lo, hi, ids)
+}
+
+// RangeQuery invokes fn for every record with ts <= T <= te, via the 1-D
+// R-tree time index. Iteration order is unspecified.
+func (t *Table) RangeQuery(ts, te Time, fn func(rec Record) bool) {
+	t.ensureIndex()
+	t.index.RangeQuery(float64(ts), float64(te), func(i int32) bool {
+		return fn(t.records[i])
+	})
+}
+
+// SequencesInRange builds the per-object positioning sequences for records
+// in [ts, te] — the hash table HO of paper Algorithms 2-4. Sequences are
+// time-ordered.
+func (t *Table) SequencesInRange(ts, te Time) map[ObjectID]Sequence {
+	out := make(map[ObjectID]Sequence)
+	t.RangeQuery(ts, te, func(rec Record) bool {
+		out[rec.OID] = append(out[rec.OID], TimedSampleSet{T: rec.T, Samples: rec.Samples})
+		return true
+	})
+	for oid := range out {
+		seq := out[oid]
+		sort.Slice(seq, func(i, j int) bool { return seq[i].T < seq[j].T })
+	}
+	return out
+}
+
+// Validate checks every record's sample set.
+func (t *Table) Validate() error {
+	for i := range t.records {
+		if err := t.records[i].Samples.Validate(); err != nil {
+			return fmt.Errorf("record %d (oid %d, t %d): %w", i, t.records[i].OID, t.records[i].T, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a table for reporting.
+type Stats struct {
+	Records       int
+	Objects       int
+	TimeSpan      Time
+	AvgSampleSize float64
+	MaxSampleSize int
+	DistinctPLocs int
+	RecordsPerObj float64
+}
+
+// ComputeStats scans the table once and returns summary statistics.
+func (t *Table) ComputeStats() Stats {
+	st := Stats{Records: len(t.records)}
+	if len(t.records) == 0 {
+		return st
+	}
+	objects := make(map[ObjectID]bool)
+	plocs := make(map[indoor.PLocID]bool)
+	totalSamples := 0
+	for i := range t.records {
+		rec := &t.records[i]
+		objects[rec.OID] = true
+		totalSamples += len(rec.Samples)
+		if len(rec.Samples) > st.MaxSampleSize {
+			st.MaxSampleSize = len(rec.Samples)
+		}
+		for _, s := range rec.Samples {
+			plocs[s.Loc] = true
+		}
+	}
+	lo, hi, _ := t.TimeSpan()
+	st.TimeSpan = hi - lo
+	st.Objects = len(objects)
+	st.AvgSampleSize = float64(totalSamples) / float64(len(t.records))
+	st.DistinctPLocs = len(plocs)
+	st.RecordsPerObj = float64(len(t.records)) / float64(len(objects))
+	return st
+}

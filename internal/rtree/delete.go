@@ -1,0 +1,77 @@
+package rtree
+
+import "tkplq/internal/geom"
+
+// Delete removes one item whose stored rectangle equals rect and whose item
+// satisfies match, returning whether an item was removed. Removal follows
+// Guttman's CondenseTree: leaves that underflow are dissolved and their
+// remaining entries reinserted, and the root collapses when it has a single
+// child.
+func (t *Tree[T]) Delete(rect geom.Rect, match func(item T) bool) bool {
+	var orphans []Entry[T]
+	removed := t.deleteRec(t.root, rect, match, t.height, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Collapse a root with one child (only for internal roots).
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		// Everything condensed away: reset to an empty leaf root.
+		t.root = &Node[T]{leaf: true}
+		t.height = 1
+	}
+	// Reinsert orphaned leaf entries.
+	for _, e := range orphans {
+		t.size--
+		t.Insert(e.rect, e.item)
+	}
+	return true
+}
+
+// deleteRec removes the entry from the subtree; returns whether it removed
+// anything. Underflowing non-root nodes are dissolved into orphans.
+func (t *Tree[T]) deleteRec(n *Node[T], rect geom.Rect, match func(item T) bool, level int, orphans *[]Entry[T]) bool {
+	if level == 1 {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.rect == rect && match(e.item) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.ContainsRect(rect) {
+			continue
+		}
+		if !t.deleteRec(e.child, rect, match, level-1, orphans) {
+			continue
+		}
+		if len(e.child.entries) < t.minEntries {
+			// Dissolve the child: collect its leaf entries as orphans.
+			collectLeafEntries(e.child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.rect = e.child.mbr()
+			e.count = e.child.count()
+		}
+		return true
+	}
+	return false
+}
+
+func collectLeafEntries[T any](n *Node[T], out *[]Entry[T]) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectLeafEntries(n.entries[i].child, out)
+	}
+}

@@ -1,0 +1,211 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tkplq/internal/geom"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[int](4)
+	r1 := geom.R(0, 0, 1, 1)
+	r2 := geom.R(2, 2, 3, 3)
+	tr.Insert(r1, 1)
+	tr.Insert(r2, 2)
+	if !tr.Delete(r1, func(i int) bool { return i == 1 }) {
+		t.Fatal("delete should succeed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(r1, func(i int) bool { return i == 1 }) {
+		t.Fatal("second delete should fail")
+	}
+	got := collectSearch(tr, geom.R(-10, -10, 10, 10))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	tr := New[int](4)
+	rects := make([]geom.Rect, 50)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rects {
+		rects[i] = randRect(rng, 100)
+		tr.Insert(rects[i], i)
+	}
+	for i := range rects {
+		i := i
+		if !tr.Delete(rects[i], func(v int) bool { return v == i }) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("emptied tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	// Tree remains usable.
+	tr.Insert(geom.R(0, 0, 1, 1), 99)
+	if tr.Len() != 1 {
+		t.Error("insert after emptying failed")
+	}
+}
+
+// Property: interleaved inserts and deletes keep the tree consistent with a
+// brute-force mirror.
+func TestDeleteMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, opsSmall uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsSmall)%150 + 20
+		tr := New[int](5)
+		type entry struct {
+			rect geom.Rect
+			id   int
+		}
+		var live []entry
+		nextID := 0
+		for op := 0; op < ops; op++ {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				r := randRect(rng, 80)
+				tr.Insert(r, nextID)
+				live = append(live, entry{r, nextID})
+				nextID++
+			} else {
+				i := rng.Intn(len(live))
+				victim := live[i]
+				if !tr.Delete(victim.rect, func(v int) bool { return v == victim.id }) {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if tr.Len() != len(live) {
+				return false
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		got := collectSearch(tr, geom.R(-1e6, -1e6, 1e6, 1e6))
+		sort.Ints(got)
+		want := make([]int, len(live))
+		for i, e := range live {
+			want[i] = e.id
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestK(t *testing.T) {
+	tr := New[int](4)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 7, Y: 7}, {X: 3, Y: 4}}
+	for i, p := range pts {
+		tr.Insert(geom.RectAround(p, 0), i)
+	}
+	got := tr.NearestK(geom.Pt(0, 0), 3)
+	if len(got) != 3 {
+		t.Fatalf("results = %d", len(got))
+	}
+	if got[0].Item != 0 || got[0].Dist != 0 {
+		t.Errorf("nearest = %+v, want item 0 at 0", got[0])
+	}
+	if got[1].Item != 4 { // (3,4) at distance 5
+		t.Errorf("second = %+v, want item 4", got[1])
+	}
+	if math.Abs(got[1].Dist-5) > 1e-12 {
+		t.Errorf("second dist = %v", got[1].Dist)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Error("results must be ascending by distance")
+		}
+	}
+	if out := tr.NearestK(geom.Pt(0, 0), 0); out != nil {
+		t.Error("k=0 should return nil")
+	}
+	if out := New[int](4).NearestK(geom.Pt(0, 0), 3); out != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+// Property: NearestK matches brute-force k-nearest on random data.
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nSmall, kSmall uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSmall)%100 + 1
+		k := int(kSmall)%10 + 1
+		tr := New[int](6)
+		rects := make([]geom.Rect, n)
+		for i := range rects {
+			rects[i] = randRect(rng, 50)
+			tr.Insert(rects[i], i)
+		}
+		q := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		got := tr.NearestK(q, k)
+		// Brute force distances.
+		dists := make([]float64, n)
+		for i, r := range rects {
+			dists[i] = r.DistToPoint(q)
+		}
+		sort.Float64s(dists)
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteUpdatesAggregates(t *testing.T) {
+	tr := New[int](4)
+	rng := rand.New(rand.NewSource(9))
+	rects := make([]geom.Rect, 200)
+	for i := range rects {
+		rects[i] = randRect(rng, 100)
+		tr.Insert(rects[i], i)
+	}
+	for i := 0; i < 80; i++ {
+		i := i
+		if !tr.Delete(rects[i], func(v int) bool { return v == i }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c := tr.CountInRect(geom.R(-1e6, -1e6, 1e6, 1e6)); c != 120 {
+		t.Errorf("CountInRect = %d, want 120", c)
+	}
+}

@@ -1,0 +1,56 @@
+package rtree
+
+import "tkplq/internal/geom"
+
+// IntervalIndex is the paper's "1DR-tree": an R-tree over one-dimensional
+// time intervals, used to index the IUPT on its time attribute (paper §3.3).
+// Intervals are embedded as rectangles [lo, hi] × [0, 1] so the 2-D machinery
+// applies unchanged; the degenerate Y axis costs nothing.
+type IntervalIndex[T any] struct {
+	tree *Tree[T]
+}
+
+// NewIntervalIndex returns an empty index with the given fan-out
+// (DefaultMaxEntries when maxEntries < 4).
+func NewIntervalIndex[T any](maxEntries int) *IntervalIndex[T] {
+	return &IntervalIndex[T]{tree: New[T](maxEntries)}
+}
+
+// BulkLoadIntervals builds an index from parallel slices of interval bounds
+// and items, using STR packing. lo, hi and items must have equal lengths;
+// an interval with lo > hi is normalized.
+func BulkLoadIntervals[T any](maxEntries int, lo, hi []float64, items []T) *IntervalIndex[T] {
+	bulk := make([]BulkItem[T], len(items))
+	for i := range items {
+		bulk[i] = BulkItem[T]{Rect: intervalRect(lo[i], hi[i]), Item: items[i]}
+	}
+	return &IntervalIndex[T]{tree: BulkLoad(maxEntries, bulk)}
+}
+
+func intervalRect(lo, hi float64) geom.Rect {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return geom.Rect{MinX: lo, MinY: 0, MaxX: hi, MaxY: 1}
+}
+
+// Insert adds an item covering [lo, hi]. Point events use lo == hi.
+func (ix *IntervalIndex[T]) Insert(lo, hi float64, item T) {
+	ix.tree.Insert(intervalRect(lo, hi), item)
+}
+
+// Len returns the number of items in the index.
+func (ix *IntervalIndex[T]) Len() int { return ix.tree.Len() }
+
+// RangeQuery invokes fn for every item whose interval intersects [lo, hi]
+// (boundary inclusive). Traversal stops early if fn returns false.
+func (ix *IntervalIndex[T]) RangeQuery(lo, hi float64, fn func(item T) bool) {
+	ix.tree.Search(intervalRect(lo, hi), func(_ geom.Rect, item T) bool {
+		return fn(item)
+	})
+}
+
+// CountInRange returns the number of items intersecting [lo, hi].
+func (ix *IntervalIndex[T]) CountInRange(lo, hi float64) int {
+	return ix.tree.CountInRect(intervalRect(lo, hi))
+}

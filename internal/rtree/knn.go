@@ -1,0 +1,64 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"tkplq/internal/geom"
+)
+
+// Neighbor is one k-nearest-neighbors result.
+type Neighbor[T any] struct {
+	Rect geom.Rect
+	Item T
+	Dist float64
+}
+
+// NearestK returns up to k items closest to p (by rectangle distance; 0 for
+// containing rectangles), ascending. It runs the classic best-first search
+// over a min-heap of node/entry distances, visiting only the subtrees that
+// can still contribute.
+func (t *Tree[T]) NearestK(p geom.Point, k int) []Neighbor[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &knnHeap[T]{}
+	heap.Push(h, knnItem[T]{node: t.root, dist: t.root.mbr().DistToPoint(p)})
+	var out []Neighbor[T]
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(knnItem[T])
+		if it.node == nil {
+			out = append(out, Neighbor[T]{Rect: it.entry.rect, Item: it.entry.item, Dist: it.dist})
+			continue
+		}
+		for i := range it.node.entries {
+			e := it.node.entries[i]
+			d := e.rect.DistToPoint(p)
+			if e.child != nil {
+				heap.Push(h, knnItem[T]{node: e.child, dist: d})
+			} else {
+				heap.Push(h, knnItem[T]{entry: e, dist: d})
+			}
+		}
+	}
+	return out
+}
+
+type knnItem[T any] struct {
+	node  *Node[T] // nil for leaf entries
+	entry Entry[T]
+	dist  float64
+}
+
+type knnHeap[T any] []knnItem[T]
+
+func (h knnHeap[T]) Len() int            { return len(h) }
+func (h knnHeap[T]) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h knnHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap[T]) Push(x interface{}) { *h = append(*h, x.(knnItem[T])) }
+func (h *knnHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,255 @@
+// Package sim provides the data-generation substrate the paper's evaluation
+// relies on: a Vita-like multi-floor building generator (§5.3 "Indoor Space
+// and Locations"), a handcrafted analog of the real-data test floor (§5.2,
+// Figure 6), random-waypoint movement over shortest indoor paths, a WkNN
+// positioning sampler producing the probabilistic IUPT records, and an RFID
+// reader deployment + tracking generator for the SCC/UR comparators.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+)
+
+// BuildingConfig parametrizes the synthetic building generator. The paper's
+// full scale is Floors=5, FloorWidth=FloorHeight=120 with ~129 partitions
+// per floor and a P-location lattice; the defaults here are a laptop-scale
+// reduction with the same structure.
+type BuildingConfig struct {
+	// Floors is the number of floors, connected by corner staircases.
+	Floors int
+	// FloorWidth and FloorHeight are the floor extents in meters.
+	FloorWidth, FloorHeight float64
+	// RoomRows is the number of double-loaded corridor bands per floor.
+	RoomRows int
+	// RoomsPerRow is the number of rooms along each side (top/bottom) of
+	// one band hallway segment; each band has a left and a right segment.
+	RoomsPerRow int
+	// CorridorWidth is the width of hallways (vertical spine and band
+	// hallways). Must be at least 1.
+	CorridorWidth float64
+	// PLocPitch is the grid spacing for presence P-locations; the paper
+	// derives P-locations from a lattice excluding wall points. 0 disables
+	// presence P-locations.
+	PLocPitch float64
+	// DoorMonitorRate is the fraction of doors carrying a partitioning
+	// P-location. 1.0 monitors every door.
+	DoorMonitorRate float64
+	// Seed drives the deterministic random choices (which doors are
+	// unmonitored).
+	Seed int64
+}
+
+// DefaultBuildingConfig is the laptop-scale synthetic building used by
+// tests and benches: 2 floors of 3 bands with 3 rooms per side per segment.
+func DefaultBuildingConfig() BuildingConfig {
+	return BuildingConfig{
+		Floors:          2,
+		FloorWidth:      60,
+		FloorHeight:     60,
+		RoomRows:        3,
+		RoomsPerRow:     3,
+		CorridorWidth:   4,
+		PLocPitch:       5,
+		DoorMonitorRate: 0.9,
+		Seed:            1,
+	}
+}
+
+// PaperScaleBuildingConfig approximates the published synthetic scale: a
+// 5-floor building, each floor 120 m x 120 m, ~130 partitions per floor and
+// a ~3.5 m P-location lattice yielding thousands of P-locations.
+func PaperScaleBuildingConfig() BuildingConfig {
+	return BuildingConfig{
+		Floors:          5,
+		FloorWidth:      120,
+		FloorHeight:     120,
+		RoomRows:        5,
+		RoomsPerRow:     6,
+		CorridorWidth:   4,
+		PLocPitch:       3.5,
+		DoorMonitorRate: 0.9,
+		Seed:            1,
+	}
+}
+
+// Building couples a generated indoor space with the navigation structures
+// the movement simulator needs.
+type Building struct {
+	Space *indoor.Space
+	// Staircases lists the staircase partitions per floor.
+	Staircases [][]indoor.PartitionID
+	nav        *navGraph
+}
+
+// generated floor layout, per floor:
+//
+//	+----------------------------------+
+//	| rooms      | s |       rooms [S2]|   band R-1 (top)
+//	|=== hall L ==| p |=== hall R ======|
+//	| rooms      | i |       rooms     |
+//	|            | n |                 |
+//	| rooms      | e |       rooms     |   band 0 (bottom)
+//	|=== hall L ==|   |=== hall R ======|
+//	|[S1] rooms  |   |       rooms     |
+//	+----------------------------------+
+//
+// S1/S2 are staircases occupying the first bottom-left and last top-right
+// room slots; they connect to their band hallway and, across floors, to the
+// staircase directly above/below.
+
+// Generate builds a synthetic multi-floor building.
+func Generate(cfg BuildingConfig) (*Building, error) {
+	if cfg.Floors < 1 || cfg.RoomRows < 1 || cfg.RoomsPerRow < 2 {
+		return nil, fmt.Errorf("sim: invalid building config %+v", cfg)
+	}
+	if cfg.CorridorWidth < 1 {
+		return nil, fmt.Errorf("sim: corridor width %v too small", cfg.CorridorWidth)
+	}
+	if cfg.FloorWidth < 5*cfg.CorridorWidth || cfg.FloorHeight < float64(cfg.RoomRows)*3*cfg.CorridorWidth {
+		return nil, fmt.Errorf("sim: floor %vx%v too small for %d rows", cfg.FloorWidth, cfg.FloorHeight, cfg.RoomRows)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := indoor.NewBuilder()
+	bld := &Building{Staircases: make([][]indoor.PartitionID, cfg.Floors)}
+
+	w, h, cw := cfg.FloorWidth, cfg.FloorHeight, cfg.CorridorWidth
+	spineX0, spineX1 := w/2-cw/2, w/2+cw/2
+	bandH := h / float64(cfg.RoomRows)
+
+	type doorSpec struct {
+		a, b indoor.PartitionID
+		pos  geom.Point
+	}
+	var doorSpecs []doorSpec
+	addDoor := func(a, bID indoor.PartitionID, pos geom.Point) {
+		doorSpecs = append(doorSpecs, doorSpec{a: a, b: bID, pos: pos})
+	}
+
+	for f := 0; f < cfg.Floors; f++ {
+		spine := b.AddPartition(fmt.Sprintf("F%d-spine", f), indoor.Hallway, f,
+			geom.R(spineX0, 0, spineX1, h))
+
+		for row := 0; row < cfg.RoomRows; row++ {
+			y0 := float64(row) * bandH
+			hy0 := y0 + bandH/2 - cw/2
+			hy1 := y0 + bandH/2 + cw/2
+			left := b.AddPartition(fmt.Sprintf("F%d-hall-%dL", f, row), indoor.Hallway, f,
+				geom.R(0, hy0, spineX0, hy1))
+			right := b.AddPartition(fmt.Sprintf("F%d-hall-%dR", f, row), indoor.Hallway, f,
+				geom.R(spineX1, hy0, w, hy1))
+			addDoor(left, spine, geom.Pt(spineX0, (hy0+hy1)/2))
+			addDoor(right, spine, geom.Pt(spineX1, (hy0+hy1)/2))
+
+			// Room slots above and below each hallway segment. The first
+			// below-left slot of band 0 and the last above-right slot of
+			// the top band become staircases.
+			addSlots := func(hall indoor.PartitionID, x0, x1 float64, above bool, tag string) {
+				n := cfg.RoomsPerRow
+				rw := (x1 - x0) / float64(n)
+				var ry0, ry1, doorY float64
+				if above {
+					ry0, ry1 = hy1, y0+bandH
+					doorY = hy1
+				} else {
+					ry0, ry1 = y0, hy0
+					doorY = hy0
+				}
+				for i := 0; i < n; i++ {
+					rx0 := x0 + float64(i)*rw
+					rx1 := rx0 + rw
+					kind := indoor.Room
+					name := fmt.Sprintf("F%d-room-%d%s%d%s", f, row, tag, i, sideTag(above))
+					isStairA := row == 0 && !above && tag == "L" && i == 0
+					isStairB := row == cfg.RoomRows-1 && above && tag == "R" && i == n-1
+					if isStairA || isStairB {
+						kind = indoor.Staircase
+						if isStairA {
+							name = fmt.Sprintf("F%d-stair-A", f)
+						} else {
+							name = fmt.Sprintf("F%d-stair-B", f)
+						}
+					}
+					part := b.AddPartition(name, kind, f, geom.R(rx0, ry0, rx1, ry1))
+					addDoor(part, hall, geom.Pt((rx0+rx1)/2, doorY))
+					if kind == indoor.Staircase {
+						bld.Staircases[f] = append(bld.Staircases[f], part)
+					}
+				}
+			}
+			addSlots(left, 0, spineX0, true, "L")
+			addSlots(left, 0, spineX0, false, "L")
+			addSlots(right, spineX1, w, true, "R")
+			addSlots(right, spineX1, w, false, "R")
+		}
+
+		// Cross-floor stair doors; like all doors they may carry a
+		// partitioning P-location (the monitor-rate draw decides).
+		if f > 0 {
+			prev, cur := bld.Staircases[f-1], bld.Staircases[f]
+			for i := 0; i < len(cur) && i < len(prev); i++ {
+				center := b.Partitions()[cur[i]].Bounds.Center()
+				addDoor(prev[i], cur[i], center)
+			}
+		}
+	}
+
+	doorIDs := make([]indoor.DoorID, len(doorSpecs))
+	for i, ds := range doorSpecs {
+		doorIDs[i] = b.AddDoor(ds.a, ds.b, ds.pos)
+	}
+	for _, d := range doorIDs {
+		if rng.Float64() < cfg.DoorMonitorRate {
+			b.AddPartitioningPLoc(d)
+		}
+	}
+	if cfg.PLocPitch > 0 {
+		for _, p := range b.Partitions() {
+			placeLattice(b, p, cfg.PLocPitch)
+		}
+	}
+	for _, p := range b.Partitions() {
+		b.AddSLocation(p.Name, p.ID)
+	}
+
+	space, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("sim: building construction: %w", err)
+	}
+	bld.Space = space
+	return bld, nil
+}
+
+func sideTag(above bool) string {
+	if above {
+		return "a"
+	}
+	return "b"
+}
+
+// placeLattice drops presence P-locations on a pitch-spaced grid strictly
+// inside the partition (at least pitch/4 from walls, emulating the paper's
+// exclusion of wall lattice points).
+func placeLattice(b *indoor.Builder, p indoor.Partition, pitch float64) {
+	margin := pitch / 4
+	inner := p.Bounds.Expand(-margin)
+	if inner.IsEmpty() {
+		b.AddPresencePLoc(p.ID, p.Bounds.Center())
+		return
+	}
+	nx := int(inner.Width()/pitch) + 1
+	ny := int(inner.Height()/pitch) + 1
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			x := inner.MinX + float64(i)*pitch
+			y := inner.MinY + float64(j)*pitch
+			if x > inner.MaxX || y > inner.MaxY {
+				continue
+			}
+			b.AddPresencePLoc(p.ID, geom.Pt(x, y))
+		}
+	}
+}

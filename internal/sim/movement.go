@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// MovementConfig parametrizes the random-waypoint simulation (paper §5.3
+// "Moving Objects and IUPT"): objects move along shortest indoor paths to
+// random destinations at up to MaxSpeed, dwell 5-30 minutes on arrival, and
+// live for a random sub-interval of the simulation.
+type MovementConfig struct {
+	// Objects is |O|.
+	Objects int
+	// Duration is the simulated wall-clock span in seconds (paper: 2h).
+	Duration iupt.Time
+	// MaxSpeed is Vmax in m/s (paper: 1).
+	MaxSpeed float64
+	// MinDwell and MaxDwell bound the stay at each destination in seconds
+	// (paper: 300..1800).
+	MinDwell, MaxDwell iupt.Time
+	// MinLifespan and MaxLifespan bound each object's active interval in
+	// seconds (paper: 1800..7200).
+	MinLifespan, MaxLifespan iupt.Time
+	// DestinationSkew shapes destination popularity: 0 (the paper's
+	// random waypoint) picks destinations uniformly; s > 0 draws them
+	// Zipf-like with weight 1/rank^s over a seed-shuffled partition
+	// ranking, so some locations are genuinely more popular than others.
+	DestinationSkew float64
+	// Seed drives all randomness; equal seeds reproduce identical fleets.
+	Seed int64
+}
+
+// DefaultMovementConfig matches the paper's movement model at reduced
+// population: 2-hour span, Vmax = 1 m/s, 5-30 min dwells.
+func DefaultMovementConfig() MovementConfig {
+	return MovementConfig{
+		Objects:     50,
+		Duration:    7200,
+		MaxSpeed:    1.0,
+		MinDwell:    300,
+		MaxDwell:    1800,
+		MinLifespan: 1800,
+		MaxLifespan: 7200,
+		Seed:        42,
+	}
+}
+
+// TrajPoint is one second of ground truth: the object's exact position and
+// containing partition at time T.
+type TrajPoint struct {
+	T         iupt.Time
+	Partition indoor.PartitionID
+	Pos       geom.Point // floor-local coordinates
+}
+
+// Trajectory is an object's exact spatiotemporal track, sampled every
+// second over its lifespan — the evaluation's ground truth (§5.3).
+type Trajectory struct {
+	OID    iupt.ObjectID
+	Points []TrajPoint
+}
+
+// Start returns the first timestamp (0 for empty trajectories).
+func (tr *Trajectory) Start() iupt.Time {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[0].T
+}
+
+// End returns the last timestamp (0 for empty trajectories).
+func (tr *Trajectory) End() iupt.Time {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T
+}
+
+// SimulateMovement generates ground-truth trajectories for cfg.Objects
+// objects in the building.
+func SimulateMovement(b *Building, cfg MovementConfig) ([]Trajectory, error) {
+	if cfg.Objects < 1 || cfg.Duration < 1 {
+		return nil, fmt.Errorf("sim: invalid movement config %+v", cfg)
+	}
+	if cfg.MaxSpeed <= 0 {
+		return nil, fmt.Errorf("sim: MaxSpeed must be positive")
+	}
+	if cfg.MinDwell > cfg.MaxDwell || cfg.MinLifespan > cfg.MaxLifespan {
+		return nil, fmt.Errorf("sim: inverted dwell or lifespan bounds")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nav := b.nav2()
+	s := b.Space
+	dest := newDestPicker(rng, s.NumPartitions(), cfg.DestinationSkew)
+
+	trajs := make([]Trajectory, cfg.Objects)
+	for i := range trajs {
+		oid := iupt.ObjectID(i + 1)
+		life := cfg.MinLifespan
+		if cfg.MaxLifespan > cfg.MinLifespan {
+			life += iupt.Time(rng.Int63n(int64(cfg.MaxLifespan - cfg.MinLifespan + 1)))
+		}
+		if life > cfg.Duration {
+			life = cfg.Duration
+		}
+		start := iupt.Time(0)
+		if cfg.Duration > life {
+			start = iupt.Time(rng.Int63n(int64(cfg.Duration - life + 1)))
+		}
+		trajs[i] = simulateOne(s, nav, rng, dest, oid, start, start+life, cfg)
+	}
+	return trajs, nil
+}
+
+// destPicker draws destination partitions, uniformly or Zipf-weighted.
+type destPicker struct {
+	cum []float64 // cumulative weights; nil = uniform
+	n   int
+}
+
+func newDestPicker(rng *rand.Rand, n int, skew float64) *destPicker {
+	p := &destPicker{n: n}
+	if skew <= 0 {
+		return p
+	}
+	perm := rng.Perm(n) // which partitions are the popular ones
+	weights := make([]float64, n)
+	for rank, part := range perm {
+		weights[part] = 1 / math.Pow(float64(rank+1), skew)
+	}
+	p.cum = make([]float64, n)
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		p.cum[i] = total
+	}
+	return p
+}
+
+func (p *destPicker) pick(rng *rand.Rand) indoor.PartitionID {
+	if p.cum == nil {
+		return indoor.PartitionID(rng.Intn(p.n))
+	}
+	r := rng.Float64() * p.cum[p.n-1]
+	lo, hi := 0, p.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return indoor.PartitionID(lo)
+}
+
+// walker advances an object along waypoint legs at a fixed speed, emitting
+// one TrajPoint per second.
+type walker struct {
+	points []TrajPoint
+	t      iupt.Time
+	end    iupt.Time
+	pos    geom.Point
+	part   indoor.PartitionID
+}
+
+func (w *walker) record() {
+	w.points = append(w.points, TrajPoint{T: w.t, Partition: w.part, Pos: w.pos})
+}
+
+// dwell keeps the object in place for d seconds (or until the lifespan
+// ends), recording each second.
+func (w *walker) dwell(d iupt.Time) {
+	for i := iupt.Time(0); i < d && w.t < w.end; i++ {
+		w.t++
+		w.record()
+	}
+}
+
+// walkTo moves toward target at speed v (m/s) inside the current partition,
+// recording each second; it stops early when the lifespan ends.
+func (w *walker) walkTo(target geom.Point, v float64) {
+	for w.t < w.end {
+		remaining := w.pos.Dist(target)
+		if remaining <= v {
+			w.pos = target
+			w.t++
+			w.record()
+			return
+		}
+		w.pos = w.pos.Lerp(target, v/remaining)
+		w.t++
+		w.record()
+	}
+}
+
+func simulateOne(s *indoor.Space, nav *navGraph, rng *rand.Rand, dest *destPicker, oid iupt.ObjectID, start, end iupt.Time, cfg MovementConfig) Trajectory {
+	srcPart := indoor.PartitionID(rng.Intn(s.NumPartitions()))
+	w := &walker{
+		t:    start,
+		end:  end,
+		pos:  randPointIn(rng, s.Partition(srcPart).Bounds),
+		part: srcPart,
+	}
+	w.record()
+
+	for w.t < w.end {
+		// Dwell at the current location.
+		d := cfg.MinDwell
+		if cfg.MaxDwell > cfg.MinDwell {
+			d += iupt.Time(rng.Int63n(int64(cfg.MaxDwell - cfg.MinDwell + 1)))
+		}
+		w.dwell(d)
+		if w.t >= w.end {
+			break
+		}
+		// Pick the next destination and walk the shortest indoor path.
+		dstPart := dest.pick(rng)
+		dstPt := randPointIn(rng, s.Partition(dstPart).Bounds)
+		doors := nav.route(w.part, w.pos, dstPart, dstPt)
+		if doors == nil {
+			continue // unreachable; dwell again and retry
+		}
+		v := cfg.MaxSpeed * (0.5 + 0.5*rng.Float64())
+		for i, did := range doors {
+			door := s.Door(did)
+			w.walkTo(door.Pos, v)
+			if w.t >= w.end {
+				break
+			}
+			// The next leg's partition: the one shared with the next door,
+			// or the destination partition after the final door.
+			var next indoor.PartitionID
+			if i+1 < len(doors) {
+				next = sharedPartition(s, door, s.Door(doors[i+1]), w.part)
+			} else {
+				next = dstPart
+			}
+			if next != w.part && isCrossFloor(s, door) {
+				// Climbing a staircase flight takes extra time in place.
+				w.part = next
+				w.dwell(iupt.Time(stairTransitCost/v) + 1)
+			} else {
+				w.part = next
+			}
+		}
+		if w.t < w.end {
+			w.walkTo(dstPt, v)
+			w.part = dstPart
+		}
+	}
+	return Trajectory{OID: oid, Points: w.points}
+}
+
+// sharedPartition returns the partition both doors border, preferring one
+// different from cur when both of a door's sides are shared (a degenerate
+// bounce); falls back to cur if the doors share nothing (cannot happen on
+// routes produced by navGraph).
+func sharedPartition(s *indoor.Space, a, b indoor.Door, cur indoor.PartitionID) indoor.PartitionID {
+	var shared []indoor.PartitionID
+	for _, pa := range a.Partitions {
+		for _, pb := range b.Partitions {
+			if pa == pb {
+				shared = append(shared, pa)
+			}
+		}
+	}
+	switch len(shared) {
+	case 0:
+		return cur
+	case 1:
+		return shared[0]
+	default:
+		for _, p := range shared {
+			if p != cur {
+				return p
+			}
+		}
+		return shared[0]
+	}
+}
+
+func randPointIn(rng *rand.Rand, r geom.Rect) geom.Point {
+	inner := r.Expand(-0.3)
+	if inner.IsEmpty() {
+		return r.Center()
+	}
+	return geom.Pt(
+		inner.MinX+rng.Float64()*inner.Width(),
+		inner.MinY+rng.Float64()*inner.Height(),
+	)
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+)
+
+// navGraph supports shortest indoor paths for the movement simulator.
+// Nodes are doors; two doors sharing a partition are connected with weight =
+// Euclidean distance between their positions (cross-floor stair doors use a
+// fixed stair-transit cost). Point-to-point routing adds the start and end
+// points as temporary nodes linked to the doors of their partitions.
+type navGraph struct {
+	space     *indoor.Space
+	doorAdj   [][]navEdge // door -> edges to other doors
+	partDoors [][]indoor.DoorID
+}
+
+type navEdge struct {
+	to indoor.DoorID
+	w  float64
+}
+
+// stairTransitCost approximates walking one staircase flight, in meters.
+const stairTransitCost = 8.0
+
+// nav lazily builds and returns the building's navigation graph.
+func (b *Building) nav2() *navGraph {
+	if b.nav == nil {
+		b.nav = buildNav(b.Space)
+	}
+	return b.nav
+}
+
+func buildNav(s *indoor.Space) *navGraph {
+	g := &navGraph{
+		space:     s,
+		doorAdj:   make([][]navEdge, s.NumDoors()),
+		partDoors: make([][]indoor.DoorID, s.NumPartitions()),
+	}
+	for i := 0; i < s.NumDoors(); i++ {
+		d := s.Door(indoor.DoorID(i))
+		for _, pid := range d.Partitions {
+			g.partDoors[pid] = append(g.partDoors[pid], d.ID)
+		}
+	}
+	for pid := 0; pid < s.NumPartitions(); pid++ {
+		doors := g.partDoors[pid]
+		for i := 0; i < len(doors); i++ {
+			for j := i + 1; j < len(doors); j++ {
+				di, dj := s.Door(doors[i]), s.Door(doors[j])
+				w := doorDistance(s, di, dj)
+				g.doorAdj[di.ID] = append(g.doorAdj[di.ID], navEdge{to: dj.ID, w: w})
+				g.doorAdj[dj.ID] = append(g.doorAdj[dj.ID], navEdge{to: di.ID, w: w})
+			}
+		}
+	}
+	return g
+}
+
+// doorDistance is the walking distance between two doors of one partition.
+// Cross-floor doors add the stair-transit cost.
+func doorDistance(s *indoor.Space, a, b indoor.Door) float64 {
+	w := a.Pos.Dist(b.Pos)
+	if doorFloors(s, a) != doorFloors(s, b) {
+		w += stairTransitCost
+	}
+	if w < 0.5 {
+		w = 0.5 // passing through distinct doors is never free
+	}
+	return w
+}
+
+// doorFloors returns the lower floor a door touches, identifying cross-floor
+// doors by their two partitions' floors.
+func doorFloors(s *indoor.Space, d indoor.Door) int {
+	f0 := s.Partition(d.Partitions[0]).Floor
+	f1 := s.Partition(d.Partitions[1]).Floor
+	if f1 < f0 {
+		return f1
+	}
+	return f0
+}
+
+// isCrossFloor reports whether the door connects partitions on different
+// floors (a staircase flight).
+func isCrossFloor(s *indoor.Space, d indoor.Door) bool {
+	return s.Partition(d.Partitions[0]).Floor != s.Partition(d.Partitions[1]).Floor
+}
+
+// route computes the door sequence of a shortest path from a point in
+// partition src to a point in partition dst. It returns nil when dst is
+// unreachable, and an empty slice when src == dst (no door needed).
+func (g *navGraph) route(src indoor.PartitionID, srcPt geom.Point, dst indoor.PartitionID, dstPt geom.Point) []indoor.DoorID {
+	if src == dst {
+		return []indoor.DoorID{}
+	}
+	const inf = math.MaxFloat64
+	dist := make([]float64, g.space.NumDoors())
+	prev := make([]indoor.DoorID, g.space.NumDoors())
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	pq := &navPQ{}
+	for _, d := range g.partDoors[src] {
+		dd := g.space.Door(d)
+		w := srcPt.Dist(dd.Pos)
+		if isCrossFloor(g.space, dd) {
+			w += stairTransitCost
+		}
+		if w < dist[d] {
+			dist[d] = w
+			heap.Push(pq, navItem{door: d, dist: w})
+		}
+	}
+	var best indoor.DoorID = -1
+	bestCost := inf
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(navItem)
+		if it.dist > dist[it.door] {
+			continue
+		}
+		d := g.space.Door(it.door)
+		// Door on the destination partition: candidate terminal.
+		if d.Partitions[0] == dst || d.Partitions[1] == dst {
+			cost := it.dist + d.Pos.Dist(dstPt)
+			if cost < bestCost {
+				bestCost = cost
+				best = it.door
+			}
+			// Keep relaxing: another door might still do better.
+		}
+		if it.dist >= bestCost {
+			continue
+		}
+		for _, e := range g.doorAdj[it.door] {
+			nd := it.dist + e.w
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.door
+				heap.Push(pq, navItem{door: e.to, dist: nd})
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	var rev []indoor.DoorID
+	for d := best; d >= 0; d = prev[d] {
+		rev = append(rev, d)
+	}
+	out := make([]indoor.DoorID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+type navItem struct {
+	door indoor.DoorID
+	dist float64
+}
+
+type navPQ []navItem
+
+func (q navPQ) Len() int            { return len(q) }
+func (q navPQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q navPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *navPQ) Push(x interface{}) { *q = append(*q, x.(navItem)) }
+func (q *navPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	out := old[n-1]
+	*q = old[:n-1]
+	return out
+}

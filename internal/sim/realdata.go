@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+)
+
+// RealDataFloor reconstructs an analog of the paper's real-data test floor
+// (§5.2, Figure 6): a 33.9 m × 25.9 m single floor with 14 S-locations
+// (9 office rooms + 5 hallway segments), ~75 P-locations of which the door
+// ones are partitioning. The original Wi-Fi dataset is proprietary; this
+// analog matches its published structure so the real-data experiments can
+// run against simulated mobility on the same topology (see DESIGN.md §2).
+//
+// Layout (y grows upward):
+//
+//	+------+------+------+--+----------+---------+
+//	|  r1  |  r2  |  r9  |h4|    r3    |   r4    |   y 15..25.9
+//	+------+------+------+  +----------+---------+
+//	|========= h1 =======|h3|====== h2 =========|   y 11..15
+//	+---------+----------+  +----------+---------+
+//	|   r5    |    r6    |h5|    r7    |   r8    |   y 0..11
+//	+---------+----------+--+----------+---------+
+//
+// All 13 doors carry partitioning P-locations; presence P-locations sit on a
+// ~3.4 m lattice, totaling ≈75 P-locations like the published deployment.
+func RealDataFloor() (*Building, error) {
+	const (
+		W  = 33.9
+		H  = 25.9
+		x0 = 15.0 // vertical hallway left edge
+		x1 = 19.0 // vertical hallway right edge
+		y0 = 11.0 // spine hallway bottom
+		y1 = 15.0 // spine hallway top
+	)
+	b := indoor.NewBuilder()
+
+	// Hallways.
+	h1 := b.AddPartition("h1", indoor.Hallway, 0, geom.R(0, y0, x0, y1))
+	h2 := b.AddPartition("h2", indoor.Hallway, 0, geom.R(x1, y0, W, y1))
+	h3 := b.AddPartition("h3", indoor.Hallway, 0, geom.R(x0, y0, x1, y1))
+	h4 := b.AddPartition("h4", indoor.Hallway, 0, geom.R(x0, y1, x1, H))
+	h5 := b.AddPartition("h5", indoor.Hallway, 0, geom.R(x0, 0, x1, y0))
+
+	// Rooms, top row then bottom row.
+	r1 := b.AddPartition("r1", indoor.Room, 0, geom.R(0, y1, 5, H))
+	r2 := b.AddPartition("r2", indoor.Room, 0, geom.R(5, y1, 10, H))
+	r9 := b.AddPartition("r9", indoor.Room, 0, geom.R(10, y1, x0, H))
+	r3 := b.AddPartition("r3", indoor.Room, 0, geom.R(x1, y1, 26.45, H))
+	r4 := b.AddPartition("r4", indoor.Room, 0, geom.R(26.45, y1, W, H))
+	r5 := b.AddPartition("r5", indoor.Room, 0, geom.R(0, 0, 7.5, y0))
+	r6 := b.AddPartition("r6", indoor.Room, 0, geom.R(7.5, 0, x0, y0))
+	r7 := b.AddPartition("r7", indoor.Room, 0, geom.R(x1, 0, 26.45, y0))
+	r8 := b.AddPartition("r8", indoor.Room, 0, geom.R(26.45, 0, W, y0))
+
+	// Doors: rooms to hallways, hallways to the junction h3.
+	doors := []indoor.DoorID{
+		b.AddDoor(r1, h1, geom.Pt(2.5, y1)),
+		b.AddDoor(r2, h1, geom.Pt(7.5, y1)),
+		b.AddDoor(r9, h1, geom.Pt(12.5, y1)),
+		b.AddDoor(r3, h2, geom.Pt(22.7, y1)),
+		b.AddDoor(r4, h2, geom.Pt(30.2, y1)),
+		b.AddDoor(r5, h1, geom.Pt(3.75, y0)),
+		b.AddDoor(r6, h1, geom.Pt(11.25, y0)),
+		b.AddDoor(r7, h2, geom.Pt(22.7, y0)),
+		b.AddDoor(r8, h2, geom.Pt(30.2, y0)),
+		b.AddDoor(h1, h3, geom.Pt(x0, 13)),
+		b.AddDoor(h2, h3, geom.Pt(x1, 13)),
+		b.AddDoor(h3, h4, geom.Pt(17, y1)),
+		b.AddDoor(h3, h5, geom.Pt(17, y0)),
+	}
+	for _, d := range doors {
+		b.AddPartitioningPLoc(d)
+	}
+
+	// Presence P-locations on a ~3.4 m lattice.
+	for _, p := range b.Partitions() {
+		placeLattice(b, p, 3.4)
+	}
+
+	// 14 S-locations: every partition.
+	for _, p := range b.Partitions() {
+		b.AddSLocation(p.Name, p.ID)
+	}
+
+	space, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("sim: real-data floor: %w", err)
+	}
+	return &Building{
+		Space:      space,
+		Staircases: [][]indoor.PartitionID{nil},
+	}, nil
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// RFIDConfig parametrizes the RFID tracking substrate the SCC and UR
+// comparators consume (paper §5.3.3): ordinary readers with a 3 m detection
+// range deployed at doors, ranges non-overlapping, so some doors end up
+// without a reader.
+type RFIDConfig struct {
+	// Range is the detection radius in meters (paper: 3).
+	Range float64
+	// Seed drives the deployment order shuffle.
+	Seed int64
+}
+
+// DefaultRFIDConfig matches the paper's deployment parameters.
+func DefaultRFIDConfig() RFIDConfig { return RFIDConfig{Range: 3, Seed: 5} }
+
+// RFIDReader is a deployed reader at a door.
+type RFIDReader struct {
+	ID    int
+	Door  indoor.DoorID
+	Floor int
+	Pos   geom.Point // floor-local
+}
+
+// RFIDRecord is one tracking record (o, r, ts, te): object o stayed in
+// reader r's range from TS to TE (paper footnote 7).
+type RFIDRecord struct {
+	OID    iupt.ObjectID
+	Reader int
+	TS, TE iupt.Time
+}
+
+// RFIDDeployment couples the readers with lookup structures.
+type RFIDDeployment struct {
+	Readers []RFIDReader
+	// DoorReader maps a door to its reader index, or -1.
+	DoorReader []int
+}
+
+// DeployReaders places readers at doors greedily in shuffled order, skipping
+// any door whose reader range would overlap an already-placed reader on the
+// same floor. This maximizes reader count under the paper's non-overlap
+// constraint while leaving some doors uncovered.
+func DeployReaders(b *Building, cfg RFIDConfig) (*RFIDDeployment, error) {
+	if cfg.Range <= 0 {
+		return nil, fmt.Errorf("sim: invalid RFID range %v", cfg.Range)
+	}
+	s := b.Space
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(s.NumDoors())
+
+	dep := &RFIDDeployment{DoorReader: make([]int, s.NumDoors())}
+	for i := range dep.DoorReader {
+		dep.DoorReader[i] = -1
+	}
+	for _, di := range order {
+		d := s.Door(indoor.DoorID(di))
+		floor := doorFloors(s, d)
+		ok := true
+		for _, r := range dep.Readers {
+			if r.Floor == floor && r.Pos.Dist(d.Pos) < 2*cfg.Range {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		id := len(dep.Readers)
+		dep.Readers = append(dep.Readers, RFIDReader{ID: id, Door: d.ID, Floor: floor, Pos: d.Pos})
+		dep.DoorReader[di] = id
+	}
+	return dep, nil
+}
+
+// GenerateRFID converts ground-truth trajectories into RFID tracking
+// records: for every second an object is within a reader's range (on the
+// reader's floor), the current detection run extends; runs become records.
+func GenerateRFID(b *Building, dep *RFIDDeployment, trajs []Trajectory, cfg RFIDConfig) []RFIDRecord {
+	s := b.Space
+	// Per-floor reader lists for the (cheap) nearest-reader scan; reader
+	// counts are small because ranges must not overlap.
+	byFloor := make(map[int][]RFIDReader)
+	for _, r := range dep.Readers {
+		byFloor[r.Floor] = append(byFloor[r.Floor], r)
+	}
+
+	var out []RFIDRecord
+	for ti := range trajs {
+		tr := &trajs[ti]
+		active := -1
+		var start iupt.Time
+		var last iupt.Time
+		flush := func() {
+			if active >= 0 {
+				out = append(out, RFIDRecord{OID: tr.OID, Reader: active, TS: start, TE: last})
+				active = -1
+			}
+		}
+		for i := range tr.Points {
+			pt := &tr.Points[i]
+			floor := s.Partition(pt.Partition).Floor
+			det := -1
+			for _, r := range byFloor[floor] {
+				if r.Pos.Dist(pt.Pos) <= cfg.Range {
+					det = r.ID
+					break // ranges are disjoint: at most one reader detects
+				}
+			}
+			switch {
+			case det == active && det >= 0:
+				last = pt.T
+			case det >= 0:
+				flush()
+				active, start, last = det, pt.T, pt.T
+			default:
+				flush()
+			}
+		}
+		flush()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].OID != out[j].OID {
+			return out[i].OID < out[j].OID
+		}
+		return out[i].Reader < out[j].Reader
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tkplq/internal/geom"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// Trajectory CSV format, one point per line:
+//
+//	oid,t,partition,x,y
+//
+// Lines are grouped by object and time-ordered within each object, matching
+// how SimulateMovement emits them. Blank lines and '#' comments are
+// skipped. Ground truth can thus be persisted next to the IUPT so
+// evaluation runs are reproducible without re-simulation.
+
+// WriteTrajectoriesCSV serializes ground-truth trajectories.
+func WriteTrajectoriesCSV(w io.Writer, trajs []Trajectory) error {
+	bw := bufio.NewWriter(w)
+	for ti := range trajs {
+		tr := &trajs[ti]
+		for _, pt := range tr.Points {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%d,%g,%g\n",
+				tr.OID, pt.T, pt.Partition, pt.Pos.X, pt.Pos.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrajectoriesCSV parses trajectories written by WriteTrajectoriesCSV.
+func ReadTrajectoriesCSV(r io.Reader) ([]Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Trajectory
+	index := make(map[iupt.ObjectID]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("sim: trajectory line %d: want 5 fields", lineNo)
+		}
+		oid, err := strconv.ParseInt(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d oid: %w", lineNo, err)
+		}
+		ts, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d time: %w", lineNo, err)
+		}
+		part, err := strconv.ParseInt(parts[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d partition: %w", lineNo, err)
+		}
+		x, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d x: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(parts[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: line %d y: %w", lineNo, err)
+		}
+		id := iupt.ObjectID(oid)
+		i, ok := index[id]
+		if !ok {
+			i = len(out)
+			index[id] = i
+			out = append(out, Trajectory{OID: id})
+		}
+		out[i].Points = append(out[i].Points, TrajPoint{
+			T:         iupt.Time(ts),
+			Partition: indoor.PartitionID(part),
+			Pos:       geom.Pt(x, y),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

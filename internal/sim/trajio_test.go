@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrajectoryCSVRoundTrip(t *testing.T) {
+	b := mustBuilding(t, DefaultBuildingConfig())
+	cfg := DefaultMovementConfig()
+	cfg.Objects = 4
+	cfg.Duration = 400
+	cfg.MinDwell, cfg.MaxDwell = 20, 60
+	cfg.MinLifespan, cfg.MaxLifespan = 200, 400
+	trajs, err := SimulateMovement(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoriesCSV(&buf, trajs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrajectoriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trajs) {
+		t.Fatalf("trajectories = %d, want %d", len(back), len(trajs))
+	}
+	for i := range trajs {
+		if back[i].OID != trajs[i].OID {
+			t.Fatalf("OID order changed: %d vs %d", back[i].OID, trajs[i].OID)
+		}
+		if len(back[i].Points) != len(trajs[i].Points) {
+			t.Fatalf("object %d point count changed", trajs[i].OID)
+		}
+		for j := range trajs[i].Points {
+			if back[i].Points[j] != trajs[i].Points[j] {
+				t.Fatalf("object %d point %d changed: %+v vs %+v",
+					trajs[i].OID, j, back[i].Points[j], trajs[i].Points[j])
+			}
+		}
+	}
+}
+
+func TestTrajectoryCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3",     // too few fields
+		"x,2,3,0,0", // bad oid
+		"1,x,3,0,0", // bad time
+		"1,2,x,0,0", // bad partition
+		"1,2,3,x,0", // bad x
+		"1,2,3,0,x", // bad y
+	}
+	for _, c := range cases {
+		if _, err := ReadTrajectoriesCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadTrajectoriesCSV(%q) should fail", c)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadTrajectoriesCSV(strings.NewReader("# c\n\n1,2,3,0.5,0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Points) != 1 {
+		t.Fatalf("parsed %v", got)
+	}
+}

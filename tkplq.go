@@ -1,0 +1,139 @@
+package tkplq
+
+import (
+	"fmt"
+
+	"tkplq/internal/core"
+	"tkplq/internal/eval"
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+	"tkplq/internal/sim"
+)
+
+// System couples an indoor space with an IUPT and answers flow and TkPLQ
+// queries. A System is safe for concurrent readers once constructed.
+type System struct {
+	space  *indoor.Space
+	table  *iupt.Table
+	engine *core.Engine
+}
+
+// NewSystem builds a query system over the space and table. The zero
+// Options value selects the defaults used throughout the paper evaluation:
+// DP engine, normalized presence (Equation 1), full data reduction.
+func NewSystem(space *Space, table *Table, opts Options) (*System, error) {
+	if space == nil {
+		return nil, fmt.Errorf("tkplq: nil space")
+	}
+	if table == nil {
+		return nil, fmt.Errorf("tkplq: nil table")
+	}
+	return &System{
+		space:  space,
+		table:  table,
+		engine: core.NewEngine(space, opts),
+	}, nil
+}
+
+// Space returns the system's indoor space.
+func (s *System) Space() *Space { return s.space }
+
+// Table returns the system's positioning table.
+func (s *System) Table() *Table { return s.table }
+
+// Flow computes the indoor flow of one S-location over [ts, te]
+// (paper Definition 1 / Algorithm 2).
+func (s *System) Flow(q SLocID, ts, te Time) (float64, Stats) {
+	return s.engine.Flow(s.table, q, ts, te)
+}
+
+// Presence computes one object's presence in an S-location over [ts, te]
+// (paper Equation 1).
+func (s *System) Presence(q SLocID, oid ObjectID, ts, te Time) float64 {
+	return s.engine.Presence(s.table, q, oid, ts, te)
+}
+
+// TopK answers the Top-k Popular Location Query with the chosen algorithm
+// (paper Problem 1; §4). All algorithms return the same ranking — they
+// differ in the work they avoid, visible in Stats.
+func (s *System) TopK(q []SLocID, k int, ts, te Time, algo Algorithm) ([]Result, Stats, error) {
+	return s.engine.TopK(s.table, q, k, ts, te, algo)
+}
+
+// TopKDensity ranks S-locations by flow per square meter (the paper's
+// size-aware future-work variant, §7). Result.Flow carries objects/m².
+func (s *System) TopKDensity(q []SLocID, k int, ts, te Time) ([]Result, Stats, error) {
+	return s.engine.TopKDensity(s.table, q, k, ts, te)
+}
+
+// Monitor is a continuous, online TkPLQ over a sliding window (the paper's
+// §7 future-work variant): stream records in with Observe, ask for the
+// current top-k with Current.
+type Monitor = core.Monitor
+
+// NewMonitor creates a continuous monitor with the system's engine options.
+// The monitor maintains its own record stream, independent of the system's
+// table.
+func (s *System) NewMonitor(q []SLocID, k int, window Time) (*Monitor, error) {
+	return s.engine.NewMonitor(q, k, window)
+}
+
+// AllSLocations returns every S-location id of the space, handy for
+// building query sets.
+func (s *System) AllSLocations() []SLocID {
+	out := make([]SLocID, s.space.NumSLocations())
+	for i := range out {
+		out[i] = SLocID(i)
+	}
+	return out
+}
+
+// GenerateBuilding creates a synthetic multi-floor building (the paper's
+// Vita-like generator, §5.3).
+func GenerateBuilding(cfg BuildingConfig) (*Building, error) { return sim.Generate(cfg) }
+
+// DefaultBuildingConfig returns the laptop-scale synthetic building
+// configuration.
+func DefaultBuildingConfig() BuildingConfig { return sim.DefaultBuildingConfig() }
+
+// RealDataBuilding creates the analog of the paper's real-data test floor
+// (§5.2, Figure 6).
+func RealDataBuilding() (*Building, error) { return sim.RealDataFloor() }
+
+// SimulateMovement generates exact ground-truth trajectories (§5.3).
+func SimulateMovement(b *Building, cfg MovementConfig) ([]Trajectory, error) {
+	return sim.SimulateMovement(b, cfg)
+}
+
+// DefaultMovementConfig returns the paper-modeled movement defaults at
+// reduced population.
+func DefaultMovementConfig() MovementConfig { return sim.DefaultMovementConfig() }
+
+// GenerateIUPT converts trajectories into an IUPT with the WkNN positioning
+// model (§5.3).
+func GenerateIUPT(b *Building, trajs []Trajectory, cfg PositioningConfig) (*Table, error) {
+	return sim.GenerateIUPT(b, trajs, cfg)
+}
+
+// DefaultPositioningConfig returns the paper's positioning defaults
+// (T = 3 s, mss = 4, µ = 5 m).
+func DefaultPositioningConfig() PositioningConfig { return sim.DefaultPositioningConfig() }
+
+// GroundTruthFlows counts true per-location visitors from exact
+// trajectories (§5.1).
+func GroundTruthFlows(space *Space, trajs []Trajectory, query []SLocID, ts, te Time) map[SLocID]float64 {
+	return eval.GroundTruthFlows(space, trajs, query, ts, te)
+}
+
+// TopKOf ranks a flow map and returns its top k entries.
+func TopKOf(flows map[SLocID]float64, k int) []Result { return eval.TopKOf(flows, k) }
+
+// Recall measures the fraction of ground-truth top-k locations recovered.
+func Recall(result, truth []Result) float64 { return eval.Recall(result, truth) }
+
+// KendallTau measures ranking agreement with the paper's extension
+// procedure for non-identical top-k sets.
+func KendallTau(result, truth []Result) float64 { return eval.KendallTau(result, truth) }
+
+// Effectiveness bundles Recall and KendallTau.
+func Effectiveness(result, truth []Result) Metrics { return eval.Effectiveness(result, truth) }

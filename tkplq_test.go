@@ -1,0 +1,165 @@
+package tkplq_test
+
+import (
+	"math"
+	"testing"
+
+	"tkplq"
+)
+
+// TestEndToEndSynthetic exercises the full public API: generate a building,
+// simulate movement, produce an IUPT, answer TkPLQ with all algorithms, and
+// score against ground truth.
+func TestEndToEndSynthetic(t *testing.T) {
+	b, err := tkplq.GenerateBuilding(tkplq.DefaultBuildingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := tkplq.DefaultMovementConfig()
+	mcfg.Objects = 20
+	mcfg.Duration = 1800
+	mcfg.MinDwell, mcfg.MaxDwell = 60, 240
+	mcfg.MinLifespan, mcfg.MaxLifespan = 900, 1800
+	trajs, err := tkplq.SimulateMovement(b, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := tkplq.GenerateIUPT(b, trajs, tkplq.DefaultPositioningConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tkplq.NewSystem(b.Space, table, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := sys.AllSLocations()
+	const k = 5
+	var ts, te tkplq.Time = 0, 1800
+
+	truth := tkplq.TopKOf(tkplq.GroundTruthFlows(b.Space, trajs, q, ts, te), k)
+	if len(truth) != k {
+		t.Fatalf("ground truth top-%d has %d entries", k, len(truth))
+	}
+
+	var prev []tkplq.Result
+	for _, algo := range []tkplq.Algorithm{tkplq.Naive, tkplq.NestedLoop, tkplq.BestFirst} {
+		res, stats, err := sys.TopK(q, k, ts, te, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res) != k {
+			t.Fatalf("%v: %d results", algo, len(res))
+		}
+		if stats.ObjectsTotal != 20 {
+			t.Errorf("%v: ObjectsTotal = %d", algo, stats.ObjectsTotal)
+		}
+		if prev != nil {
+			for i := range res {
+				if math.Abs(res[i].Flow-prev[i].Flow) > 1e-9 {
+					t.Errorf("%v: flow[%d] = %v, want %v", algo, i, res[i].Flow, prev[i].Flow)
+				}
+			}
+		}
+		prev = res
+
+		// The uncertainty-aware result should track ground truth well on
+		// this easy, fully-covered setting.
+		m := tkplq.Effectiveness(res, truth)
+		if m.Recall < 0.4 {
+			t.Errorf("%v: recall = %v suspiciously low (result %v, truth %v)", algo, m.Recall, res, truth)
+		}
+		if m.Tau < -0.5 {
+			t.Errorf("%v: τ = %v anti-correlated", algo, m.Tau)
+		}
+	}
+
+	// Flow consistency and bounds.
+	flow, stats := sys.Flow(prev[0].SLoc, ts, te)
+	if math.Abs(flow-prev[0].Flow) > 1e-9 {
+		t.Errorf("Flow = %v, TopK reported %v", flow, prev[0].Flow)
+	}
+	if flow < 0 || flow > 20 {
+		t.Errorf("flow %v out of [0, |O|]", flow)
+	}
+	if stats.PruningRatio() < 0 || stats.PruningRatio() > 1 {
+		t.Errorf("pruning ratio %v", stats.PruningRatio())
+	}
+
+	// Presence of a known object is within [0, 1].
+	p := sys.Presence(prev[0].SLoc, 1, ts, te)
+	if p < 0 || p > 1+1e-9 {
+		t.Errorf("presence = %v", p)
+	}
+}
+
+// TestPaperExampleThroughFacade replays the paper's Example 4 via the
+// public API.
+func TestPaperExampleThroughFacade(t *testing.T) {
+	fig := tkplq.PaperExampleSpace()
+	table := tkplq.NewTable()
+	p := fig.PLocs
+	recs := []tkplq.Record{
+		{OID: 1, T: 1, Samples: tkplq.SampleSet{{Loc: p[3], Prob: 1.0}}},
+		{OID: 1, T: 3, Samples: tkplq.SampleSet{{Loc: p[8], Prob: 1.0}}},
+		{OID: 1, T: 4, Samples: tkplq.SampleSet{{Loc: p[7], Prob: 1.0}}},
+		{OID: 2, T: 1, Samples: tkplq.SampleSet{{Loc: p[0], Prob: 0.5}, {Loc: p[1], Prob: 0.5}}},
+		{OID: 2, T: 3, Samples: tkplq.SampleSet{{Loc: p[1], Prob: 0.7}, {Loc: p[3], Prob: 0.3}}},
+		{OID: 3, T: 2, Samples: tkplq.SampleSet{{Loc: p[1], Prob: 0.6}, {Loc: p[2], Prob: 0.4}}},
+	}
+	for _, r := range recs {
+		table.Append(r)
+	}
+	sys, err := tkplq.NewSystem(fig.Space, table, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sys.TopK([]tkplq.SLocID{fig.SLocs[0], fig.SLocs[5]}, 1, 1, 8, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].SLoc != fig.SLocs[5] {
+		t.Errorf("top-1 = %v, want r6", res[0])
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	fig := tkplq.PaperExampleSpace()
+	if _, err := tkplq.NewSystem(nil, tkplq.NewTable(), tkplq.Options{}); err == nil {
+		t.Error("nil space should fail")
+	}
+	if _, err := tkplq.NewSystem(fig.Space, nil, tkplq.Options{}); err == nil {
+		t.Error("nil table should fail")
+	}
+	sys, err := tkplq.NewSystem(fig.Space, tkplq.NewTable(), tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Space() != fig.Space || sys.Table() == nil {
+		t.Error("accessors broken")
+	}
+	if got := sys.AllSLocations(); len(got) != 6 {
+		t.Errorf("AllSLocations = %v", got)
+	}
+}
+
+func TestRealDataBuildingFacade(t *testing.T) {
+	b, err := tkplq.RealDataBuilding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Space.NumSLocations() != 14 {
+		t.Errorf("S-locations = %d, want 14", b.Space.NumSLocations())
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	p := tkplq.Pt(1, 2)
+	if p.X != 1 || p.Y != 2 {
+		t.Error("Pt broken")
+	}
+	r := tkplq.R(3, 3, 0, 0)
+	if r.MinX != 0 || r.MaxY != 3 {
+		t.Error("R normalization broken")
+	}
+}
