@@ -1,0 +1,38 @@
+# Build/test entry points. CI (.github/workflows/ci.yml) runs exactly these
+# targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the concurrency tests in
+# internal/core/parallel_test.go are the interesting part here.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Benchmark smoke: every benchmark once, no test re-runs. Use
+#   go test -bench BenchmarkTopKWorkers -benchtime 3x .
+# for a real parallel-vs-sequential comparison (needs multiple cores).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint: fmt vet
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: lint build race bench

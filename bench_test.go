@@ -6,6 +6,7 @@
 package tkplq_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -197,6 +198,125 @@ func BenchmarkTopKAlgorithms(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Parallel-vs-sequential benchmarks of the sharded evaluation pipeline on
+// the default synthetic building (2 floors, 50 objects, 2 h of movement).
+// Compare workers=1 (the sequential path) against workers=4/8:
+//
+//	go test -bench BenchmarkTopKWorkers -benchtime 3x
+//
+// The cache is disabled here so every iteration measures real evaluation
+// work; BenchmarkTopKPresenceCache measures the cache's effect separately.
+
+type parallelBenchData struct {
+	building *sim.Building
+	table    *iupt.Table
+	slocs    []indoor.SLocID
+	span     iupt.Time
+}
+
+var (
+	parallelOnce sync.Once
+	parallelBD   *parallelBenchData
+)
+
+func parallelData(b *testing.B) *parallelBenchData {
+	b.Helper()
+	parallelOnce.Do(func() {
+		building, err := sim.Generate(sim.DefaultBuildingConfig())
+		if err != nil {
+			panic(err)
+		}
+		trajs, err := sim.SimulateMovement(building, sim.DefaultMovementConfig())
+		if err != nil {
+			panic(err)
+		}
+		table, err := sim.GenerateIUPT(building, trajs, sim.DefaultPositioningConfig())
+		if err != nil {
+			panic(err)
+		}
+		slocs := make([]indoor.SLocID, building.Space.NumSLocations())
+		for i := range slocs {
+			slocs[i] = indoor.SLocID(i)
+		}
+		parallelBD = &parallelBenchData{building: building, table: table, slocs: slocs, span: 7200}
+	})
+	return parallelBD
+}
+
+func BenchmarkTopKWorkers(b *testing.B) {
+	d := parallelData(b)
+	for _, algo := range []struct {
+		name string
+		a    core.Algorithm
+	}{
+		{"NestedLoop", core.AlgoNestedLoop},
+		{"BestFirst", core.AlgoBestFirst},
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", algo.name, workers), func(b *testing.B) {
+				eng := core.NewEngine(d.building.Space, core.Options{
+					Workers: workers, DisableCache: true,
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eng.TopK(d.table, d.slocs, 5, 0, d.span, algo.a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTopKPresenceCache(b *testing.B) {
+	d := parallelData(b)
+	for _, cached := range []bool{false, true} {
+		name := "cold"
+		if cached {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := core.NewEngine(d.building.Space, core.Options{DisableCache: !cached})
+			if cached {
+				// Populate the cache outside the timed region.
+				if _, _, err := eng.TopK(d.table, d.slocs, 5, 0, d.span, core.AlgoNestedLoop); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.TopK(d.table, d.slocs, 5, 0, d.span, core.AlgoNestedLoop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorSlidingWindow measures the continuous monitor's
+// overlapping-window evaluation, where the presence cache reuses every
+// object whose records are shared between consecutive windows.
+func BenchmarkMonitorSlidingWindow(b *testing.B) {
+	d := parallelData(b)
+	eng := core.NewEngine(d.building.Space, core.Options{})
+	mon, err := eng.NewMonitor(d.slocs, 5, 1800)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < d.table.Len(); i++ {
+		if err := mon.Observe(d.table.Record(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := iupt.Time(1800 + (i%100)*10)
+		if _, _, err := mon.Current(now); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

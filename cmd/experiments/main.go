@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-scale small|medium|paper] [-exp T4,F8,...] [-queries N]
-//	            [-mc-rounds N] [-seed N] [-list]
+//	            [-mc-rounds N] [-seed N] [-workers N] [-list]
 //
 // Without -exp, every experiment runs in paper order. See DESIGN.md §5 for
 // the experiment index and EXPERIMENTS.md for recorded results.
@@ -27,6 +27,7 @@ func main() {
 		queriesFlag = flag.Int("queries", 0, "random queries per data point (0 = scale default)")
 		mcFlag      = flag.Int("mc-rounds", 0, "Monte-Carlo rounds (0 = scale default)")
 		seedFlag    = flag.Int64("seed", 1, "random seed")
+		workersFlag = flag.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
 		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		Queries:  *queriesFlag,
 		MCRounds: *mcFlag,
 		Seed:     *seedFlag,
+		Workers:  *workersFlag,
 	}
 
 	var selected []experiments.Experiment

@@ -10,7 +10,7 @@
 //	tkplq [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
 //	      [-objects N] [-duration SECONDS] [-seed N]
 //	      [-k N] [-q FRACTION] [-ts N] [-te N] [-algo naive|nl|bf]
-//	      [-engine dp|enum] [-compare]
+//	      [-engine dp|enum] [-workers N] [-compare]
 package main
 
 import (
@@ -40,6 +40,7 @@ func main() {
 		teFlag   = flag.Int64("te", 0, "query interval end (0 = full span)")
 		algoFlag = flag.String("algo", "bf", "search algorithm: naive, nl or bf")
 		engine   = flag.String("engine", "dp", "presence engine: dp or enum")
+		workers  = flag.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
 		compare  = flag.Bool("compare", false, "run all three algorithms and compare work")
 	)
 	flag.Parse()
@@ -100,7 +101,7 @@ func main() {
 		}
 	}
 
-	opts := core.Options{}
+	opts := core.Options{Workers: *workers}
 	switch *engine {
 	case "dp":
 		opts.Engine = core.EngineDP
@@ -150,9 +151,11 @@ func main() {
 		for i, r := range res {
 			fmt.Printf("%2d. %-24s flow %.4f\n", i+1, b.Space.SLocation(r.SLoc).Name, r.Flow)
 		}
-		fmt.Printf("objects: %d total, %d computed (pruning %.1f%%); heap pops %d; breaks %d\n\n",
+		fmt.Printf("objects: %d total, %d computed (pruning %.1f%%); heap pops %d; breaks %d\n",
 			stats.ObjectsTotal, stats.ObjectsComputed, stats.PruningRatio()*100,
 			stats.HeapPops, stats.SequenceBreaks)
+		fmt.Printf("workers: %d; cache: %d hits, %d misses\n\n",
+			stats.Workers, stats.CacheHits, stats.CacheMisses)
 	}
 
 	if *compare {

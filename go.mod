@@ -1,0 +1,3 @@
+module tkplq
+
+go 1.24

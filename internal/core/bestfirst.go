@@ -25,12 +25,16 @@ type (
 // computing concrete flows only for leaf entries that survive to the top,
 // and terminates as soon as k results are confirmed.
 func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := table.SequencesInRange(ts, te)
+	seqs := e.sequences(table, ts, te)
 	query := make(map[indoor.SLocID]bool, len(q))
 	for _, s := range q {
 		query[s] = true
 	}
 	oracle := newOracle(e, seqs, query)
+	// Every object's reduction (PSLs) is needed for RC; shard them across
+	// the worker pool. Summaries stay lazy — only candidates that survive to
+	// the top of the heap pay for path construction, as in the paper.
+	oracle.ensureReductions(oracle.objects())
 
 	// Phase 1: RC over PSL MBRs of non-pruned objects.
 	var rcItems []rtree.BulkItem[iupt.ObjectID]
@@ -143,7 +147,7 @@ func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, 
 	}
 	// Re-rank the k confirmed results so tie ordering (flow desc, id asc)
 	// matches Naive and Nested-Loop exactly.
-	return rankTopK(results, k), oracle.stats
+	return rankTopK(results, k), oracle.finishStats()
 }
 
 // pushZeroSubtree enqueues every query leaf under eq as a zero-flow result
@@ -162,7 +166,9 @@ func pushZeroSubtree(push *func(bfEntry), eq rtree.Entry[indoor.SLocID]) {
 
 // flowForCandidates computes the concrete flow of sloc from the (leaf-level)
 // join list, de-duplicating objects that appear through several per-floor
-// PSL MBRs.
+// PSL MBRs. The candidates' summaries are computed across the worker pool;
+// the presence sum itself walks objects ascending, so the flow is
+// bit-identical at any pool size.
 func (e *Engine) flowForCandidates(oracle *presenceOracle, sloc indoor.SLocID, list []rtree.Entry[iupt.ObjectID]) float64 {
 	cell := e.space.CellOfSLoc(sloc)
 	seen := make(map[iupt.ObjectID]bool, len(list))
@@ -175,6 +181,7 @@ func (e *Engine) flowForCandidates(oracle *presenceOracle, sloc indoor.SLocID, l
 		}
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	oracle.ensureSummaries(oids)
 	flow := 0.0
 	for _, oid := range oids {
 		if sum := oracle.summary(oid); sum != nil {

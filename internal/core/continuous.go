@@ -15,7 +15,10 @@ import (
 //
 // The monitor maintains its own table of observed records and evaluates
 // window queries with the Best-First algorithm. Results are cached and
-// reused while no new record arrives and the window endpoint is unchanged.
+// reused while no new record arrives and the window endpoint is unchanged;
+// across *different* windows, objects whose records are shared between the
+// old and new window are served from the engine's presence cache, so a
+// sliding evaluation only recomputes objects whose visible records changed.
 // Monitor is safe for concurrent use.
 type Monitor struct {
 	eng    *Engine
@@ -61,6 +64,10 @@ func (e *Engine) NewMonitor(query []indoor.SLocID, k int, window iupt.Time) (*Mo
 }
 
 // Observe ingests one positioning record. Records may arrive out of order.
+// Observing a record invalidates both the monitor's cached top-k result and
+// the engine's cached presence summaries for the record's object — windows
+// that now see different data for the object must recompute it, while other
+// objects' cached work keeps serving overlapping-window queries.
 func (m *Monitor) Observe(rec iupt.Record) error {
 	if err := rec.Samples.Validate(); err != nil {
 		return err
@@ -70,6 +77,7 @@ func (m *Monitor) Observe(rec iupt.Record) error {
 	m.table.Append(rec)
 	m.observed++
 	m.cacheValid = false
+	m.eng.InvalidateObject(rec.OID)
 	return nil
 }
 

@@ -16,12 +16,24 @@
 //   - the three TkPLQ search algorithms of §4: Naive, Nested-Loop
 //     (Algorithm 3) and Best-First (Algorithm 4, aggregate R-tree join with
 //     max-heap upper-bound pruning).
+//
+// Evaluation runs through a concurrent sharded pipeline: the per-object
+// work (reduction, presence summarization) fans out over a bounded worker
+// pool (Options.Workers) partitioned with iupt.ShardObjects, while every
+// floating-point accumulation stays in canonical ascending-object order —
+// so rankings and flows are bit-identical for every worker count. A
+// content-verified presence/interval cache (Options.DisableCache,
+// Options.CacheCapacity) lets repeated and overlapping-window queries,
+// including the continuous Monitor, reuse per-(object, window) reductions
+// and summaries; Monitor.Observe invalidates the observed object's entries.
 package core
 
 import (
 	"errors"
+	"runtime"
 
 	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
 )
 
 // EngineKind selects how object presence is computed.
@@ -130,11 +142,35 @@ type Options struct {
 	// steps and combines per-segment presences with the Equation 2 union
 	// rule — behavior is identical on sequences without impossible steps.
 	StrictPaths bool
-	// Parallelism is the number of goroutines used to reduce and summarize
-	// objects (they are independent). 0 or 1 runs single-threaded, exactly
-	// as the paper's algorithms are written; higher values change neither
-	// results nor statistics, only wall-clock time.
+	// Workers bounds the worker pool of the sharded evaluation pipeline:
+	// the query interval's objects are partitioned into contiguous shards
+	// and their reductions and presence summaries are computed across this
+	// many goroutines, while flow accumulation stays in canonical ascending
+	// object order — so results (rankings *and* flows, bit for bit) and all
+	// work statistics are identical for every worker count.
+	//
+	// 0 selects runtime.GOMAXPROCS(0); 1 (or any negative value) forces the
+	// single-threaded path, exactly as the paper's algorithms are written.
+	Workers int
+	// Parallelism is the deprecated former name of Workers, honored when
+	// Workers is 0 and Parallelism is non-zero. Note the default changed
+	// with the sharded pipeline: both fields zero now selects GOMAXPROCS
+	// workers, where the old engine ran single-threaded — results are
+	// bit-identical either way; set Workers to 1 to pin the old behavior.
+	//
+	// Deprecated: set Workers instead.
 	Parallelism int
+	// DisableCache turns off the engine's presence/interval cache. With the
+	// cache enabled (the default), repeated and overlapping-window queries
+	// reuse per-(object, interval) reductions and presence summaries
+	// instead of recomputing them; Stats.CacheHits and Stats.CacheMisses
+	// report the effect per query. The Naive algorithm always bypasses the
+	// cache — it exists to measure repeated work.
+	DisableCache bool
+	// CacheCapacity caps the presence cache at this many entries per
+	// eviction generation (live memory ≤ 2× this); 0 selects
+	// DefaultCacheCapacity.
+	CacheCapacity int
 }
 
 func (o Options) pathBudget() int {
@@ -144,21 +180,48 @@ func (o Options) pathBudget() int {
 	return o.PathBudget
 }
 
+// workerCount resolves the effective worker pool size; see Options.Workers.
+func (o Options) workerCount() int {
+	w := o.Workers
+	if w == 0 {
+		w = o.Parallelism
+	}
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // Engine computes flows and answers TkPLQ over one indoor space.
-// An Engine is immutable and safe for concurrent use; per-query state lives
-// in the query functions.
+// An Engine is safe for concurrent use: its configuration is immutable,
+// per-query state lives in the query functions, and the presence cache is
+// internally synchronized.
 type Engine struct {
 	space *indoor.Space
 	opts  Options
+	cache *summaryCache // nil when Options.DisableCache is set
 }
 
 // NewEngine returns an engine for the space with the given options.
 func NewEngine(space *indoor.Space, opts Options) *Engine {
-	return &Engine{space: space, opts: opts}
+	e := &Engine{space: space, opts: opts}
+	if !opts.DisableCache {
+		e.cache = newSummaryCache(opts.CacheCapacity)
+	}
+	return e
 }
 
 // Space returns the engine's indoor space.
 func (e *Engine) Space() *indoor.Space { return e.space }
+
+// sequences fetches the per-object positioning sequences of [ts, te],
+// sharding the per-object sorting across the worker pool.
+func (e *Engine) sequences(table *iupt.Table, ts, te iupt.Time) map[iupt.ObjectID]iupt.Sequence {
+	return table.SequencesInRangeSharded(ts, te, e.opts.workerCount())
+}
 
 // Options returns the engine's options.
 func (e *Engine) Options() Options { return e.opts }
@@ -192,6 +255,15 @@ type Stats struct {
 	// (each splits a sequence into one more segment; see
 	// Options.StrictPaths).
 	SequenceBreaks int64
+	// Workers is the size of the largest worker pool the query actually
+	// fanned out over (1 when everything ran on the calling goroutine; see
+	// Options.Workers).
+	Workers int
+	// CacheHits and CacheMisses count presence-summary lookups served from
+	// / missed by the engine's presence cache during this query. Both stay
+	// 0 when the cache is disabled or bypassed (Naive).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // PruningRatio returns σ = (|O| - |Of|) / |O| (§5.1); 0 for an empty O.
@@ -212,4 +284,9 @@ func (s *Stats) add(other *Stats) {
 	s.SampleSetsReduced += other.SampleSetsReduced
 	s.HeapPops += other.HeapPops
 	s.SequenceBreaks += other.SequenceBreaks
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
 }

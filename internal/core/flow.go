@@ -8,14 +8,20 @@ import (
 // Flow computes the indoor flow Θ_{ts,te,O}(q) for a single S-location
 // (paper §3.3, Algorithm 2): fetch the records in [ts, te] via the time
 // index, group them per object, reduce each object's sequence, construct its
-// valid paths (or the equivalent DP), and accumulate object presences.
+// valid paths (or the equivalent DP), and accumulate object presences. The
+// per-object work fans out over the engine's worker pool; accumulation stays
+// in ascending object order, so the flow is bit-identical at any pool size.
 func (e *Engine) Flow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
-	seqs := table.SequencesInRange(ts, te)
+	seqs := e.sequences(table, ts, te)
 	oracle := newOracle(e, seqs, map[indoor.SLocID]bool{q: true})
-	return e.flowWithOracle(oracle, q), oracle.stats
+	oracle.ensureSummaries(oracle.objects())
+	flow := e.flowWithOracle(oracle, q)
+	return flow, oracle.finishStats()
 }
 
-// flowWithOracle sums presences of all (non-pruned) objects for q.
+// flowWithOracle sums presences of all (non-pruned) objects for q, in
+// ascending object order. Objects not yet summarized are computed lazily on
+// the calling goroutine; callers wanting fan-out run ensureSummaries first.
 func (e *Engine) flowWithOracle(oracle *presenceOracle, q indoor.SLocID) float64 {
 	cell := e.space.CellOfSLoc(q)
 	flow := 0.0
@@ -29,17 +35,20 @@ func (e *Engine) flowWithOracle(oracle *presenceOracle, q indoor.SLocID) float64
 }
 
 // Presence computes Φ_{ts,te}(q, o) for a single object (paper Equation 1),
-// mainly useful for inspection and tests.
+// mainly useful for inspection and tests. It shares the engine's presence
+// cache, so a Presence probe after a Flow or TopK over the same window is a
+// cache hit.
 func (e *Engine) Presence(table *iupt.Table, q indoor.SLocID, oid iupt.ObjectID, ts, te iupt.Time) float64 {
-	seqs := table.SequencesInRange(ts, te)
+	seqs := e.sequences(table, ts, te)
 	seq, ok := seqs[oid]
 	if !ok {
 		return 0
 	}
-	red, ok := e.ReduceData(seq, nil)
-	if !ok {
+	oracle := newOracle(e, map[iupt.ObjectID]iupt.Sequence{oid: seq}, nil)
+	sum := oracle.summary(oid)
+	oracle.finishStats() // fold the lookup into the engine's CacheStats
+	if sum == nil {
 		return 0
 	}
-	sum, _ := e.Summarize(red.Seq)
 	return sum.Presence(e.space.CellOfSLoc(q), e.opts.Presence)
 }

@@ -1,22 +1,36 @@
 package core
 
 import (
-	"sort"
 	"sync"
 
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
 )
 
-// presenceOracle lazily reduces and summarizes objects for one query,
-// caching results so that every object's paths are constructed at most once
+// presenceOracle reduces and summarizes objects for one query, caching
+// results so that every object's paths are constructed at most once
 // regardless of how many query locations need it. This realizes the
 // "intermediate result sharing" of Algorithm 3 and the shared flow
 // computation required by Algorithm 4 (paper §4.2, line 28 remark).
+//
+// The oracle is the sharding point of the concurrent pipeline: per-object
+// work (Algorithm 1 reduction, Equation 1 summarization) is independent
+// across objects, so ensureReductions/ensureSummaries partition the pending
+// objects into contiguous shards (iupt.ShardObjects) and fan them across the
+// engine's worker pool. Outcomes land in a per-index slice and are merged
+// into the oracle's maps — and into Stats — in ascending object order, so
+// results and statistics are identical to the single-threaded path for every
+// worker count. It also fronts the engine's presence/interval cache: a
+// (object, window) pair whose sequence was reduced and summarized by any
+// earlier query on the same engine is served from the cache.
+//
+// The lazy accessors (reduction, summary) and the merge phase must run on
+// one goroutine; computeOne is safe to call concurrently.
 type presenceOracle struct {
-	eng   *Engine
-	query map[indoor.SLocID]bool
-	seqs  map[iupt.ObjectID]iupt.Sequence
+	eng     *Engine
+	query   map[indoor.SLocID]bool // nil disables PSL∩Q pruning
+	seqs    map[iupt.ObjectID]iupt.Sequence
+	nocache bool // Naive sets this: no sharing across locations, by design
 
 	reductions map[iupt.ObjectID]*Reduction // nil value = pruned
 	summaries  map[iupt.ObjectID]*ObjectSummary
@@ -34,15 +48,107 @@ func newOracle(e *Engine, seqs map[iupt.ObjectID]iupt.Sequence, query map[indoor
 	}
 }
 
+// minParallelItems is the fan-out cutoff: below this many pending work items
+// the goroutine overhead outweighs the parallelism and the oracle stays on
+// the calling goroutine (results are identical either way).
+const minParallelItems = 4
+
 // objects returns all object ids in ascending order, for deterministic
 // iteration.
 func (o *presenceOracle) objects() []iupt.ObjectID {
-	out := make([]iupt.ObjectID, 0, len(o.seqs))
-	for oid := range o.seqs {
-		out = append(out, oid)
+	return iupt.SortedObjects(o.seqs)
+}
+
+// cacheEnabled reports whether this oracle consults the engine cache.
+func (o *presenceOracle) cacheEnabled() bool {
+	return o.eng.cache != nil && !o.nocache
+}
+
+// prunedBy replicates ReduceData's PSL∩Q check for a reduction computed
+// without a query (so the reduction itself stays query-independent and
+// cacheable).
+func (o *presenceOracle) prunedBy(red *Reduction) bool {
+	return o.query != nil && !o.eng.opts.DisableReduction && !red.HasAnyOf(o.query)
+}
+
+// outcome is the result of computing one object, before it is merged into
+// the oracle's maps and stats.
+type outcome struct {
+	red      *Reduction
+	sum      *ObjectSummary // nil unless a summary was requested
+	fellBack bool
+	pruned   bool
+	sumHit   bool // summary served from the engine cache
+}
+
+// computeOne reduces (and, when needSummary, summarizes) one object, going
+// through the engine cache when enabled. have, if non-nil, is a reduction
+// already computed for this object and query window, reused on cache miss.
+// computeOne only reads oracle state and is safe to call concurrently.
+func (o *presenceOracle) computeOne(oid iupt.ObjectID, needSummary bool, have *Reduction) outcome {
+	seq := o.seqs[oid]
+	useCache := o.cacheEnabled() && len(seq) > 0
+	var key cacheKey
+	red, fellBack := have, false
+	var sum *ObjectSummary
+	if useCache {
+		key = sequenceKey(oid, seq)
+		if en := o.eng.cache.lookup(key, seq); en != nil {
+			red, sum, fellBack = en.red, en.sum, en.fellBack
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if red == nil {
+		red, _ = o.eng.ReduceData(seq, nil)
+	}
+	if o.prunedBy(red) {
+		if useCache && sum == nil {
+			o.eng.cache.store(key, &cacheEntry{seq: seq, red: red})
+		}
+		return outcome{pruned: true}
+	}
+	if !needSummary {
+		if useCache && sum == nil {
+			o.eng.cache.store(key, &cacheEntry{seq: seq, red: red})
+		}
+		return outcome{red: red}
+	}
+	if sum != nil {
+		return outcome{red: red, sum: sum, fellBack: fellBack, sumHit: true}
+	}
+	sum, fellBack = o.eng.Summarize(red.Seq)
+	if useCache {
+		o.eng.cache.store(key, &cacheEntry{seq: seq, red: red, sum: sum, fellBack: fellBack})
+	}
+	return outcome{red: red, sum: sum, fellBack: fellBack}
+}
+
+// applySummary merges a summarized outcome into the oracle's maps and stats.
+// Must run on the merge goroutine, in ascending object order.
+func (o *presenceOracle) applySummary(oid iupt.ObjectID, oc outcome) {
+	if oc.pruned {
+		o.reductions[oid] = nil
+		o.summaries[oid] = nil
+		return
+	}
+	o.reductions[oid] = oc.red
+	o.summaries[oid] = oc.sum
+	o.stats.ObjectsComputed++
+	o.stats.PathsEnumerated += oc.sum.Paths
+	if oc.sum.Segments > 1 {
+		o.stats.SequenceBreaks += int64(oc.sum.Segments - 1)
+	}
+	if oc.fellBack {
+		o.stats.BudgetFallbacks++
+	}
+	o.stats.SampleSetsOriginal += int64(len(o.seqs[oid]))
+	o.stats.SampleSetsReduced += int64(len(oc.red.Seq))
+	if o.cacheEnabled() {
+		if oc.sumHit {
+			o.stats.CacheHits++
+		} else {
+			o.stats.CacheMisses++
+		}
+	}
 }
 
 // reduction returns the object's data reduction, or (nil, false) when the
@@ -51,13 +157,13 @@ func (o *presenceOracle) reduction(oid iupt.ObjectID) (*Reduction, bool) {
 	if red, ok := o.reductions[oid]; ok {
 		return red, red != nil
 	}
-	red, ok := o.eng.ReduceData(o.seqs[oid], o.query)
-	if !ok {
+	oc := o.computeOne(oid, false, nil)
+	if oc.pruned {
 		o.reductions[oid] = nil
 		return nil, false
 	}
-	o.reductions[oid] = red
-	return red, true
+	o.reductions[oid] = oc.red
+	return oc.red, true
 }
 
 // summary returns the object's presence summary, computing it on first use.
@@ -66,84 +172,99 @@ func (o *presenceOracle) summary(oid iupt.ObjectID) *ObjectSummary {
 	if s, ok := o.summaries[oid]; ok {
 		return s
 	}
-	red, ok := o.reduction(oid)
-	if !ok {
-		o.summaries[oid] = nil
-		return nil
-	}
-	s, fellBack := o.eng.Summarize(red.Seq)
-	o.summaries[oid] = s
-	o.stats.ObjectsComputed++
-	o.stats.PathsEnumerated += s.Paths
-	if s.Segments > 1 {
-		o.stats.SequenceBreaks += int64(s.Segments - 1)
-	}
-	if fellBack {
-		o.stats.BudgetFallbacks++
-	}
-	o.stats.SampleSetsOriginal += int64(len(o.seqs[oid]))
-	o.stats.SampleSetsReduced += int64(len(red.Seq))
-	return s
+	oc := o.computeOne(oid, true, o.reductions[oid])
+	o.applySummary(oid, oc)
+	return oc.sum
 }
 
-// precomputeAll fills the reduction and summary caches for every object,
-// fanning the per-object work (which is independent) across
-// Options.Parallelism goroutines. Statistics are accumulated afterwards in
-// ascending object order, so results and stats are identical to the
-// sequential path.
-func (o *presenceOracle) precomputeAll() {
-	workers := o.eng.opts.Parallelism
-	if workers <= 1 {
-		return // the sequential lazy path handles everything
-	}
-	oids := o.objects()
-	type outcome struct {
-		red      *Reduction
-		sum      *ObjectSummary
-		fellBack bool
-	}
-	results := make([]outcome, len(oids))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				oid := oids[i]
-				red, ok := o.eng.ReduceData(o.seqs[oid], o.query)
-				if !ok {
-					continue
-				}
-				sum, fb := o.eng.Summarize(red.Seq)
-				results[i] = outcome{red: red, sum: sum, fellBack: fb}
+// ensureSummaries fills the reduction and summary caches for the listed
+// objects, fanning pending ones across the engine's worker pool.
+func (o *presenceOracle) ensureSummaries(oids []iupt.ObjectID) {
+	o.ensure(oids, true)
+}
+
+// ensureReductions fills only the reduction cache for the listed objects
+// (Best-First phase 1 needs every object's PSLs but summaries only for the
+// candidates that survive to the top of the heap).
+func (o *presenceOracle) ensureReductions(oids []iupt.ObjectID) {
+	o.ensure(oids, false)
+}
+
+// ensure computes pending objects across min(Workers, pending) goroutines,
+// partitioned with iupt.ShardObjects, then merges outcomes in ascending
+// object order so maps, stats and every later flow accumulation are
+// identical to the sequential path.
+func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
+	pending := make([]iupt.ObjectID, 0, len(oids))
+	for _, oid := range oids {
+		if needSummary {
+			if _, ok := o.summaries[oid]; !ok {
+				pending = append(pending, oid)
 			}
-		}()
+		} else if _, ok := o.reductions[oid]; !ok {
+			pending = append(pending, oid)
+		}
 	}
-	for i := range oids {
-		next <- i
+	workers := o.eng.opts.workerCount()
+	if workers > len(pending) {
+		workers = len(pending)
 	}
-	close(next)
+	if workers <= 1 || len(pending) < minParallelItems {
+		for _, oid := range pending {
+			if needSummary {
+				o.summary(oid)
+			} else {
+				o.reduction(oid)
+			}
+		}
+		return
+	}
+
+	outcomes := make([]outcome, len(pending))
+	shards := iupt.ShardObjects(pending, workers)
+	var wg sync.WaitGroup
+	start := 0
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(shard []iupt.ObjectID, base int) {
+			defer wg.Done()
+			for i, oid := range shard {
+				var have *Reduction
+				if red, ok := o.reductions[oid]; ok && red != nil {
+					have = red
+				}
+				outcomes[base+i] = o.computeOne(oid, needSummary, have)
+			}
+		}(shard, start)
+		start += len(shard)
+	}
 	wg.Wait()
 
-	for i, oid := range oids {
-		r := results[i]
-		if r.red == nil {
+	for i, oid := range pending {
+		oc := outcomes[i]
+		if needSummary {
+			o.applySummary(oid, oc)
+		} else if oc.pruned {
 			o.reductions[oid] = nil
-			o.summaries[oid] = nil
-			continue
+		} else {
+			o.reductions[oid] = oc.red
 		}
-		o.reductions[oid] = r.red
-		o.summaries[oid] = r.sum
-		o.stats.ObjectsComputed++
-		o.stats.PathsEnumerated += r.sum.Paths
-		if r.sum.Segments > 1 {
-			o.stats.SequenceBreaks += int64(r.sum.Segments - 1)
-		}
-		if r.fellBack {
-			o.stats.BudgetFallbacks++
-		}
-		o.stats.SampleSetsOriginal += int64(len(o.seqs[oid]))
-		o.stats.SampleSetsReduced += int64(len(r.red.Seq))
 	}
+	if len(shards) > o.stats.Workers {
+		o.stats.Workers = len(shards)
+	}
+}
+
+// finishStats normalizes the oracle's stats before they are returned:
+// Workers reflects the largest pool used (1 when everything stayed on the
+// calling goroutine), and cache lookups are folded into the engine's
+// lifetime counters.
+func (o *presenceOracle) finishStats() Stats {
+	if o.stats.Workers == 0 {
+		o.stats.Workers = 1
+	}
+	if o.cacheEnabled() && (o.stats.CacheHits > 0 || o.stats.CacheMisses > 0) {
+		o.eng.cache.recordLookup(o.stats.CacheHits, o.stats.CacheMisses)
+	}
+	return o.stats
 }

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// Tests of the sharded concurrent evaluation pipeline and the presence/
+// interval cache. The contract under test: for every algorithm and every
+// worker count, rankings AND flows are bit-identical to the single-threaded
+// path, and the cache changes wall-clock only — never results or the legacy
+// work statistics.
+
+// sequentialOpts forces the single-threaded, cache-free reference path.
+func sequentialOpts(base Options) Options {
+	base.Workers = 1
+	base.DisableCache = true
+	return base
+}
+
+func assertSameResults(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].SLoc != got[i].SLoc {
+			t.Fatalf("%s: rank %d is S-location %d, want %d", label, i, got[i].SLoc, want[i].SLoc)
+		}
+		if want[i].Flow != got[i].Flow { // bitwise: the pipeline guarantees it
+			t.Fatalf("%s: rank %d flow %v, want %v (must be bit-identical)",
+				label, i, got[i].Flow, want[i].Flow)
+		}
+	}
+}
+
+// TestParallelTopKMatchesSequential: all three algorithms, several worker
+// counts, cache on and off — rankings and flows must match the sequential
+// run bit for bit, and the work statistics must be unchanged.
+func TestParallelTopKMatchesSequential(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(77))
+	tb := randTable(rng, fig, 24, 60)
+	q := fig.SLocs[:]
+	k := len(q)
+
+	for _, algo := range []Algorithm{AlgoNaive, AlgoNestedLoop, AlgoBestFirst} {
+		ref := NewEngine(fig.Space, sequentialOpts(Options{}))
+		want, wantStats, err := ref.TopK(tb, q, k, 0, 60, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 0} {
+			for _, disableCache := range []bool{false, true} {
+				label := fmt.Sprintf("%v/workers=%d/cacheOff=%v", algo, workers, disableCache)
+				eng := NewEngine(fig.Space, Options{Workers: workers, DisableCache: disableCache})
+				got, gotStats, err := eng.TopK(tb, q, k, 0, 60, algo)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertSameResults(t, label, want, got)
+				if gotStats.ObjectsTotal != wantStats.ObjectsTotal ||
+					gotStats.ObjectsComputed != wantStats.ObjectsComputed ||
+					gotStats.PathsEnumerated != wantStats.PathsEnumerated ||
+					gotStats.SampleSetsOriginal != wantStats.SampleSetsOriginal ||
+					gotStats.SampleSetsReduced != wantStats.SampleSetsReduced ||
+					gotStats.SequenceBreaks != wantStats.SequenceBreaks {
+					t.Fatalf("%s: work stats differ: got %+v want %+v", label, gotStats, wantStats)
+				}
+				// Re-running on the same (cached) engine must reproduce the
+				// exact same answer.
+				again, _, err := eng.TopK(tb, q, k, 0, 60, algo)
+				if err != nil {
+					t.Fatalf("%s: rerun: %v", label, err)
+				}
+				assertSameResults(t, label+"/rerun", want, again)
+			}
+		}
+	}
+}
+
+// TestParallelFlowAndDensityMatchSequential covers the remaining query
+// surfaces: single-location Flow and the density variant.
+func TestParallelFlowAndDensityMatchSequential(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(91))
+	tb := randTable(rng, fig, 20, 50)
+	q := fig.SLocs[:]
+
+	ref := NewEngine(fig.Space, sequentialOpts(Options{}))
+	par := NewEngine(fig.Space, Options{Workers: 6})
+
+	for _, s := range q {
+		want, _ := ref.Flow(tb, s, 0, 50)
+		got, stats := par.Flow(tb, s, 0, 50)
+		if want != got {
+			t.Fatalf("Flow(%d): parallel %v, sequential %v", s, got, want)
+		}
+		if stats.Workers < 1 {
+			t.Fatalf("Flow(%d): Workers stat = %d", s, stats.Workers)
+		}
+	}
+
+	wantD, _, err := ref.TopKDensity(tb, q, len(q), 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, _, err := par.TopKDensity(tb, q, len(q), 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "density", wantD, gotD)
+}
+
+// TestPresenceCacheReusesWork: a second identical query is served from the
+// cache (all summaries hit), with identical flows.
+func TestPresenceCacheReusesWork(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(13))
+	tb := randTable(rng, fig, 15, 40)
+	q := fig.SLocs[:]
+	eng := NewEngine(fig.Space, Options{Workers: 4})
+
+	first, st1, err := eng.TopK(tb, q, len(q), 0, 40, AlgoNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHits != 0 {
+		t.Errorf("cold query: CacheHits = %d, want 0", st1.CacheHits)
+	}
+	if st1.CacheMisses != int64(st1.ObjectsComputed) {
+		t.Errorf("cold query: CacheMisses = %d, want %d", st1.CacheMisses, st1.ObjectsComputed)
+	}
+
+	second, st2, err := eng.TopK(tb, q, len(q), 0, 40, AlgoNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "cached rerun", first, second)
+	if st2.CacheHits != int64(st2.ObjectsComputed) || st2.CacheMisses != 0 {
+		t.Errorf("warm query: hits %d misses %d, want %d hits 0 misses",
+			st2.CacheHits, st2.CacheMisses, st2.ObjectsComputed)
+	}
+
+	cs := eng.CacheStats()
+	if cs.Entries == 0 || cs.Hits == 0 {
+		t.Errorf("CacheStats = %+v, want live entries and hits", cs)
+	}
+
+	// An overlapping window reuses objects whose visible records are
+	// unchanged; a disjoint window cannot hit.
+	_, st3, err := eng.TopK(tb, q, len(q), 0, 45, AlgoNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.CacheHits+st3.CacheMisses != int64(st3.ObjectsComputed) {
+		t.Errorf("overlap query: hits %d + misses %d != computed %d",
+			st3.CacheHits, st3.CacheMisses, st3.ObjectsComputed)
+	}
+}
+
+// TestNaiveBypassesCache: Naive exists to measure repeated work, so it must
+// not share summaries through the engine cache — within a query or across
+// queries.
+func TestNaiveBypassesCache(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(29))
+	tb := randTable(rng, fig, 10, 30)
+	eng := NewEngine(fig.Space, Options{})
+	_, st, err := eng.TopK(tb, fig.SLocs[:], len(fig.SLocs), 0, 30, AlgoNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Errorf("naive touched the cache: hits %d, misses %d", st.CacheHits, st.CacheMisses)
+	}
+	if cs := eng.CacheStats(); cs.Entries != 0 {
+		t.Errorf("naive populated the cache: %+v", cs)
+	}
+}
+
+// TestCacheDisabled: DisableCache engines never count cache traffic.
+func TestCacheDisabled(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(31))
+	tb := randTable(rng, fig, 8, 25)
+	eng := NewEngine(fig.Space, Options{DisableCache: true})
+	for i := 0; i < 2; i++ {
+		_, st, err := eng.TopK(tb, fig.SLocs[:], 3, 0, 25, AlgoNestedLoop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CacheHits != 0 || st.CacheMisses != 0 {
+			t.Errorf("run %d: cache counters on disabled cache: %+v", i, st)
+		}
+	}
+	if cs := eng.CacheStats(); cs != (CacheStats{}) {
+		t.Errorf("CacheStats on disabled cache = %+v, want zero", cs)
+	}
+}
+
+// TestMonitorObserveInvalidatesCache: observing a record drops the observed
+// object's cached summaries (and only that object's), and the next Current
+// reflects the new data.
+func TestMonitorObserveInvalidatesCache(t *testing.T) {
+	fig := indoor.Figure1Space()
+	eng := NewEngine(fig.Space, Options{})
+	mon, err := eng.NewMonitor(fig.SLocs[:], 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(p indoor.PLocID) iupt.SampleSet { return iupt.SampleSet{{Loc: p, Prob: 1}} }
+	for _, rec := range []iupt.Record{
+		{OID: 1, T: 10, Samples: set(fig.PLocs[0])},
+		{OID: 1, T: 12, Samples: set(fig.PLocs[1])},
+		{OID: 2, T: 11, Samples: set(fig.PLocs[2])},
+	} {
+		if err := mon.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r1, st1, err := mon.Current(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.cache.entriesFor(1) == 0 || eng.cache.entriesFor(2) == 0 {
+		t.Fatal("Current did not populate the presence cache")
+	}
+
+	// Same window, no new record: served from the monitor's result cache.
+	r1b, st1b, err := mon.Current(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "monitor result cache", r1, r1b)
+	if st1b != st1 {
+		t.Errorf("cached Current returned different stats: %+v vs %+v", st1b, st1)
+	}
+
+	// Observing object 1 invalidates its summaries but keeps object 2's.
+	if err := mon.Observe(iupt.Record{OID: 1, T: 14, Samples: set(fig.PLocs[3])}); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.cache.entriesFor(1); n != 0 {
+		t.Errorf("object 1 still has %d cached entries after Observe", n)
+	}
+	if eng.cache.entriesFor(2) == 0 {
+		t.Error("object 2's cache entries were dropped by an unrelated Observe")
+	}
+
+	// The monitor result cache was invalidated too: Current recomputes and
+	// sees the new record.
+	r2, _, err := mon.Current(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewEngine(fig.Space, sequentialOpts(Options{}))
+	monRef, err := ref.NewMonitor(fig.SLocs[:], 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []iupt.Record{
+		{OID: 1, T: 10, Samples: set(fig.PLocs[0])},
+		{OID: 1, T: 12, Samples: set(fig.PLocs[1])},
+		{OID: 2, T: 11, Samples: set(fig.PLocs[2])},
+		{OID: 1, T: 14, Samples: set(fig.PLocs[3])},
+	} {
+		if err := monRef.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, err := monRef.Current(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "post-observe Current", want, r2)
+}
+
+// TestCacheEviction: the cache stays bounded at 2× its per-generation cap.
+func TestCacheEviction(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(3))
+	eng := NewEngine(fig.Space, Options{CacheCapacity: 8})
+	// Many disjoint single-object windows → many distinct cache keys.
+	tb := randTable(rng, fig, 4, 200)
+	for te := iupt.Time(5); te <= 200; te += 5 {
+		eng.Flow(tb, fig.SLocs[0], te-5, te)
+	}
+	if cs := eng.CacheStats(); cs.Entries > 16 {
+		t.Errorf("cache grew to %d entries, cap is 8 per generation", cs.Entries)
+	}
+}
+
+// TestConcurrentEngineUse hammers one shared engine (and its cache) from
+// many goroutines while a monitor ingests records — the scenario the race
+// detector must bless.
+func TestConcurrentEngineUse(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(41))
+	tb := randTable(rng, fig, 16, 40)
+	eng := NewEngine(fig.Space, Options{Workers: 4, CacheCapacity: 32})
+	mon, err := eng.NewMonitor(fig.SLocs[:], 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algos := []Algorithm{AlgoNaive, AlgoNestedLoop, AlgoBestFirst}
+			for i := 0; i < 8; i++ {
+				if _, _, err := eng.TopK(tb, fig.SLocs[:], 3, 0, iupt.Time(10+i*4), algos[(g+i)%3]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20; i++ {
+				rec := iupt.Record{
+					OID:     iupt.ObjectID(100 + g),
+					T:       iupt.Time(i),
+					Samples: randSampleSet(local, fig.PLocs[:], 3),
+				}
+				if err := mon.Observe(rec); err != nil {
+					errs <- err
+					return
+				}
+				if i%5 == 4 {
+					if _, _, err := mon.Current(iupt.Time(i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersStatRecorded: the Workers stat reports the pool actually used.
+func TestWorkersStatRecorded(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(8))
+	tb := randTable(rng, fig, 20, 30)
+	seq := NewEngine(fig.Space, Options{Workers: 1})
+	_, st, err := seq.TopK(tb, fig.SLocs[:], 2, 0, 30, AlgoNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 {
+		t.Errorf("sequential Workers stat = %d, want 1", st.Workers)
+	}
+	par := NewEngine(fig.Space, Options{Workers: 4})
+	_, st, err = par.TopK(tb, fig.SLocs[:], 2, 0, 30, AlgoNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 {
+		t.Errorf("parallel Workers stat = %d, want 4", st.Workers)
+	}
+}

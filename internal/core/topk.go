@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
@@ -12,7 +13,9 @@ import (
 // S-locations of Q with the highest indoor flows in [ts, te], computed with
 // the selected search algorithm. All three algorithms return identical
 // rankings (ties broken by ascending S-location id); they differ in how much
-// work they avoid, reported in Stats.
+// work they avoid, reported in Stats. Heavy per-object work is sharded
+// across the engine's worker pool (Options.Workers) with deterministic
+// merging, so rankings and flows are bit-identical for every worker count.
 func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
@@ -50,27 +53,77 @@ func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.T
 
 // topkNaive computes every query location's flow independently, rebuilding
 // each object's paths once per relevant location — the repeated work the
-// paper's §4 intro calls out.
+// paper's §4 intro calls out. The locations themselves are independent, so
+// they are sharded across the worker pool; within a location the evaluation
+// is sequential and bypasses the presence cache (sharing cached summaries
+// across locations is exactly what Naive exists to not do).
 func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := table.SequencesInRange(ts, te)
-	stats := Stats{ObjectsTotal: len(seqs)}
-	computed := make(map[iupt.ObjectID]bool)
+	seqs := e.sequences(table, ts, te)
+	stats := Stats{ObjectsTotal: len(seqs), Workers: 1}
 
-	flows := make([]Result, 0, len(q))
-	for _, sloc := range q {
-		// A fresh oracle per location: no sharing, by design.
+	// Each location's oracle is discarded after evaluation; only its stat
+	// counters and computed-object ids survive, so peak memory stays
+	// O(objects) instead of O(|q| × objects) summaries.
+	type locOutcome struct {
+		stats    Stats
+		computed []iupt.ObjectID
+	}
+	outs := make([]locOutcome, len(q))
+	flows := make([]Result, len(q))
+	eval := func(i int) {
+		sloc := q[i]
+		// A fresh, cache-bypassing oracle per location: no sharing, by design.
 		oracle := newOracle(e, seqs, map[indoor.SLocID]bool{sloc: true})
-		flow := e.flowWithOracle(oracle, sloc)
-		flows = append(flows, Result{SLoc: sloc, Flow: flow})
-		stats.PathsEnumerated += oracle.stats.PathsEnumerated
-		stats.BudgetFallbacks += oracle.stats.BudgetFallbacks
-		stats.SampleSetsOriginal += oracle.stats.SampleSetsOriginal
-		stats.SampleSetsReduced += oracle.stats.SampleSetsReduced
-		stats.SequenceBreaks += oracle.stats.SequenceBreaks
+		oracle.nocache = true
+		flows[i] = Result{SLoc: sloc, Flow: e.flowWithOracle(oracle, sloc)}
+		out := locOutcome{stats: oracle.stats}
 		for oid, s := range oracle.summaries {
 			if s != nil {
-				computed[oid] = true
+				out.computed = append(out.computed, oid)
 			}
+		}
+		outs[i] = out
+	}
+
+	workers := e.opts.workerCount()
+	if workers > len(q) {
+		workers = len(q)
+	}
+	if workers <= 1 || len(q) < minParallelItems {
+		for i := range q {
+			eval(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					eval(i)
+				}
+			}()
+		}
+		for i := range q {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		stats.Workers = workers
+	}
+
+	// Merge per-location stats in query order; distinct computed objects are
+	// a set union, so the merge order cannot change them.
+	computed := make(map[iupt.ObjectID]bool)
+	for _, out := range outs {
+		stats.PathsEnumerated += out.stats.PathsEnumerated
+		stats.BudgetFallbacks += out.stats.BudgetFallbacks
+		stats.SampleSetsOriginal += out.stats.SampleSetsOriginal
+		stats.SampleSetsReduced += out.stats.SampleSetsReduced
+		stats.SequenceBreaks += out.stats.SequenceBreaks
+		for _, oid := range out.computed {
+			computed[oid] = true
 		}
 	}
 	stats.ObjectsComputed = len(computed)
@@ -79,17 +132,21 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 
 // topkNestedLoop is Algorithm 3: one pass over objects; each object's path
 // construction is shared across every query location it can contribute to.
+// Summaries are computed across the worker pool; the accumulation below
+// walks objects ascending and cells sorted, so flows are deterministic and
+// worker-count-invariant.
 func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := table.SequencesInRange(ts, te)
+	seqs := e.sequences(table, ts, te)
 	query := make(map[indoor.SLocID]bool, len(q))
 	for _, s := range q {
 		query[s] = true
 	}
 	oracle := newOracle(e, seqs, query)
-	oracle.precomputeAll() // no-op unless Options.Parallelism > 1
+	oids := oracle.objects()
+	oracle.ensureSummaries(oids)
 
 	flows := make(map[indoor.SLocID]float64, len(q))
-	for _, oid := range oracle.objects() {
+	for _, oid := range oids {
 		if _, ok := oracle.reduction(oid); !ok {
 			continue
 		}
@@ -97,6 +154,9 @@ func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts,
 		// Instead of checking every q, walk the cells the object can pass
 		// and credit only the query locations inside them (the Hφ / Hls
 		// bookkeeping of Algorithm 3, lines 18-27, in aggregated form).
+		// Each S-location has exactly one parent cell, so an object credits
+		// a location at most once and the per-location sums accumulate in
+		// ascending object order regardless of cell iteration order.
 		for cell, mass := range sum.PassMass {
 			presence := mass
 			if e.opts.Presence == NormalizedValid {
@@ -117,7 +177,7 @@ func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts,
 	for _, sloc := range q {
 		results = append(results, Result{SLoc: sloc, Flow: flows[sloc]})
 	}
-	return rankTopK(results, k), oracle.stats
+	return rankTopK(results, k), oracle.finishStats()
 }
 
 // rankTopK sorts by flow descending, breaking ties by ascending S-location

@@ -20,6 +20,9 @@ type Dataset struct {
 
 	// Span is the simulated duration in seconds.
 	Span iupt.Time
+	// Workers is the engine worker-pool setting applied to every measured
+	// query over this dataset (0 = GOMAXPROCS); see Config.Workers.
+	Workers int
 }
 
 // rdParams are the real-data analog generation parameters per scale
@@ -150,6 +153,7 @@ func (c *Config) RealDataset() (*Dataset, error) {
 	cache.rd = &Dataset{
 		Name: "RD", Building: b, Trajs: trajs, Table: table,
 		MoveCfg: moveCfg, PosCfg: posCfg, Span: p.duration,
+		Workers: c.Workers,
 	}
 	return cache.rd, nil
 }
@@ -189,6 +193,7 @@ func (c *Config) SyntheticDataset() (*Dataset, error) {
 	ds := &Dataset{
 		Name: "SYN", Building: b, Trajs: trajs,
 		MoveCfg: moveCfg, Span: p.duration,
+		Workers: c.Workers,
 	}
 	table, err := c.synIUPT(ds, 3, 5)
 	if err != nil {

@@ -65,6 +65,10 @@ type Config struct {
 	MCRounds int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds each engine's worker pool (core.Options.Workers):
+	// 0 = GOMAXPROCS, 1 = single-threaded. Results are identical at every
+	// setting; only measured wall-clock changes.
+	Workers int
 
 	cache *datasetCache
 }

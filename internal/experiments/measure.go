@@ -55,8 +55,18 @@ type methodRun struct {
 	Res     []core.Result
 }
 
-// runExact times one TkPLQ execution of the exact engine.
+// runExact times one TkPLQ execution of the exact engine. A fresh engine
+// per draw keeps the presence cache cold, and the worker pool defaults to 1
+// (not GOMAXPROCS) unless Config.Workers opts in — so recorded times stay
+// comparable with the paper's single-threaded evaluation and with numbers
+// measured before the sharded engine existed.
 func runExact(opts core.Options, ds *Dataset, table *iupt.Table, d queryDraw, k int, algo core.Algorithm) (methodRun, error) {
+	if opts.Workers == 0 {
+		opts.Workers = ds.Workers
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
 	eng := core.NewEngine(ds.Building.Space, opts)
 	start := time.Now()
 	res, stats, err := eng.TopK(table, d.Q, k, d.ts, d.te, algo)

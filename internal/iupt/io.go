@@ -22,10 +22,10 @@ import (
 
 // WriteCSV writes the table in the CSV format.
 func (t *Table) WriteCSV(w io.Writer) error {
-	t.ensureSorted()
+	recs := t.sortedRecords()
 	bw := bufio.NewWriter(w)
-	for i := range t.records {
-		rec := &t.records[i]
+	for i := range recs {
+		rec := &recs[i]
 		if _, err := fmt.Fprintf(bw, "%d,%d,", rec.OID, rec.T); err != nil {
 			return err
 		}
@@ -105,7 +105,7 @@ const (
 
 // WriteBinary writes the table in the compact binary format.
 func (t *Table) WriteBinary(w io.Writer) error {
-	t.ensureSorted()
+	recs := t.sortedRecords()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
@@ -113,11 +113,11 @@ func (t *Table) WriteBinary(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, binaryVersion); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.records))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(recs))); err != nil {
 		return err
 	}
-	for i := range t.records {
-		rec := &t.records[i]
+	for i := range recs {
+		rec := &recs[i]
 		if len(rec.Samples) > math.MaxUint16 {
 			return fmt.Errorf("iupt: record %d has %d samples, exceeding format limit", i, len(rec.Samples))
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"tkplq/internal/indoor"
 	"tkplq/internal/rtree"
@@ -163,8 +164,12 @@ func (seq Sequence) MaxPaths() int64 {
 }
 
 // Table is the IUPT: an append-only collection of positioning records with
-// a time index.
+// a time index. A Table is safe for concurrent use: appends and queries may
+// interleave freely. The lazy sort and index (re)builds happen under the
+// table's lock and replace — never mutate — the record slice, so queries
+// always iterate a consistent snapshot even while records stream in.
 type Table struct {
+	mu      sync.RWMutex
 	records []Record
 	index   *rtree.IntervalIndex[int32]
 	sorted  bool
@@ -176,55 +181,72 @@ func NewTable() *Table { return &Table{sorted: true} }
 // Append adds a record. Records may arrive in any time order; the index is
 // (re)built lazily on first query.
 func (t *Table) Append(rec Record) {
+	t.mu.Lock()
 	if n := len(t.records); n > 0 && rec.T < t.records[n-1].T {
 		t.sorted = false
 	}
 	t.records = append(t.records, rec)
 	t.index = nil
+	t.mu.Unlock()
 }
 
 // Len returns the number of records.
-func (t *Table) Len() int { return len(t.records) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
 
-// Record returns the i-th record in time order (after ensureSorted).
+// Record returns the i-th record in time order.
 func (t *Table) Record(i int) Record {
-	t.ensureSorted()
-	return t.records[i]
+	return t.sortedRecords()[i]
 }
 
 // TimeSpan returns the earliest and latest record timestamps. ok is false
 // for an empty table.
 func (t *Table) TimeSpan() (lo, hi Time, ok bool) {
-	if len(t.records) == 0 {
+	recs := t.sortedRecords()
+	if len(recs) == 0 {
 		return 0, 0, false
 	}
-	t.ensureSorted()
-	return t.records[0].T, t.records[len(t.records)-1].T, true
+	return recs[0].T, recs[len(recs)-1].T, true
 }
 
 // Objects returns the distinct object ids, ascending.
 func (t *Table) Objects() []ObjectID {
+	t.mu.RLock()
+	recs := t.records
+	t.mu.RUnlock()
 	seen := make(map[ObjectID]bool)
 	var out []ObjectID
-	for i := range t.records {
-		if !seen[t.records[i].OID] {
-			seen[t.records[i].OID] = true
-			out = append(out, t.records[i].OID)
+	for i := range recs {
+		if !seen[recs[i].OID] {
+			seen[recs[i].OID] = true
+			out = append(out, recs[i].OID)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-func (t *Table) ensureSorted() {
-	if !t.sorted {
-		sort.SliceStable(t.records, func(i, j int) bool { return t.records[i].T < t.records[j].T })
-		t.sorted = true
+// ensureSortedLocked re-sorts into a fresh slice (copy-on-sort), so record
+// snapshots handed to in-flight queries are never reordered underneath them.
+// Callers must hold the write lock.
+func (t *Table) ensureSortedLocked() {
+	if t.sorted {
+		return
 	}
+	recs := make([]Record, len(t.records))
+	copy(recs, t.records)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].T < recs[j].T })
+	t.records = recs
+	t.sorted = true
 }
 
-func (t *Table) ensureIndex() {
-	t.ensureSorted()
+// ensureIndexLocked builds the 1-D R-tree over the current (sorted) records.
+// Callers must hold the write lock.
+func (t *Table) ensureIndexLocked() {
+	t.ensureSortedLocked()
 	if t.index != nil {
 		return
 	}
@@ -239,36 +261,49 @@ func (t *Table) ensureIndex() {
 	t.index = rtree.BulkLoadIntervals(rtree.DefaultMaxEntries, lo, hi, ids)
 }
 
+// sortedRecords returns a time-ordered snapshot of the records. Later
+// appends and re-sorts never mutate the returned slice's backing array.
+func (t *Table) sortedRecords() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureSortedLocked()
+	return t.records
+}
+
+// snapshot returns a consistent (records, index) pair for query evaluation.
+func (t *Table) snapshot() ([]Record, *rtree.IntervalIndex[int32]) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureIndexLocked()
+	return t.records, t.index
+}
+
 // RangeQuery invokes fn for every record with ts <= T <= te, via the 1-D
-// R-tree time index. Iteration order is unspecified.
+// R-tree time index. Iteration order is unspecified. The iteration sees the
+// table as of the call; concurrent appends affect only later queries.
 func (t *Table) RangeQuery(ts, te Time, fn func(rec Record) bool) {
-	t.ensureIndex()
-	t.index.RangeQuery(float64(ts), float64(te), func(i int32) bool {
-		return fn(t.records[i])
+	recs, index := t.snapshot()
+	index.RangeQuery(float64(ts), float64(te), func(i int32) bool {
+		return fn(recs[i])
 	})
 }
 
 // SequencesInRange builds the per-object positioning sequences for records
 // in [ts, te] — the hash table HO of paper Algorithms 2-4. Sequences are
-// time-ordered.
+// time-ordered (stably, so same-timestamp records keep a deterministic
+// order). See SequencesInRangeSharded for the worker-pool variant.
 func (t *Table) SequencesInRange(ts, te Time) map[ObjectID]Sequence {
-	out := make(map[ObjectID]Sequence)
-	t.RangeQuery(ts, te, func(rec Record) bool {
-		out[rec.OID] = append(out[rec.OID], TimedSampleSet{T: rec.T, Samples: rec.Samples})
-		return true
-	})
-	for oid := range out {
-		seq := out[oid]
-		sort.Slice(seq, func(i, j int) bool { return seq[i].T < seq[j].T })
-	}
-	return out
+	return t.SequencesInRangeSharded(ts, te, 1)
 }
 
 // Validate checks every record's sample set.
 func (t *Table) Validate() error {
-	for i := range t.records {
-		if err := t.records[i].Samples.Validate(); err != nil {
-			return fmt.Errorf("record %d (oid %d, t %d): %w", i, t.records[i].OID, t.records[i].T, err)
+	t.mu.RLock()
+	recs := t.records
+	t.mu.RUnlock()
+	for i := range recs {
+		if err := recs[i].Samples.Validate(); err != nil {
+			return fmt.Errorf("record %d (oid %d, t %d): %w", i, recs[i].OID, recs[i].T, err)
 		}
 	}
 	return nil
@@ -287,15 +322,16 @@ type Stats struct {
 
 // ComputeStats scans the table once and returns summary statistics.
 func (t *Table) ComputeStats() Stats {
-	st := Stats{Records: len(t.records)}
-	if len(t.records) == 0 {
+	recs := t.sortedRecords()
+	st := Stats{Records: len(recs)}
+	if len(recs) == 0 {
 		return st
 	}
 	objects := make(map[ObjectID]bool)
 	plocs := make(map[indoor.PLocID]bool)
 	totalSamples := 0
-	for i := range t.records {
-		rec := &t.records[i]
+	for i := range recs {
+		rec := &recs[i]
 		objects[rec.OID] = true
 		totalSamples += len(rec.Samples)
 		if len(rec.Samples) > st.MaxSampleSize {
@@ -305,11 +341,10 @@ func (t *Table) ComputeStats() Stats {
 			plocs[s.Loc] = true
 		}
 	}
-	lo, hi, _ := t.TimeSpan()
-	st.TimeSpan = hi - lo
+	st.TimeSpan = recs[len(recs)-1].T - recs[0].T
 	st.Objects = len(objects)
-	st.AvgSampleSize = float64(totalSamples) / float64(len(t.records))
+	st.AvgSampleSize = float64(totalSamples) / float64(len(recs))
 	st.DistinctPLocs = len(plocs)
-	st.RecordsPerObj = float64(len(t.records)) / float64(len(objects))
+	st.RecordsPerObj = float64(len(recs)) / float64(len(objects))
 	return st
 }

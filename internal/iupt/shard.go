@@ -1,0 +1,93 @@
+package iupt
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file provides the shard-aware iteration primitives the concurrent
+// query engine builds on. Per-object work (data reduction, presence
+// summarization) is embarrassingly parallel, so the engine partitions the
+// objects of a query interval into shards and fans the shards across a
+// bounded worker pool. The helpers here keep that partitioning deterministic:
+// objects are always sorted ascending and shards are contiguous ranges, so a
+// merge that walks shards in order visits objects in exactly the order the
+// sequential algorithms do.
+
+// SortedObjects returns the keys of a per-object sequence map in ascending
+// object-id order — the canonical iteration order of Algorithms 2-4.
+func SortedObjects(seqs map[ObjectID]Sequence) []ObjectID {
+	out := make([]ObjectID, 0, len(seqs))
+	for oid := range seqs {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShardObjects partitions oids into at most n contiguous, nearly equal-sized
+// shards, preserving order. Concatenating the shards yields oids again, so
+// shard-ordered merges are equivalent to a single ordered pass. n < 1 is
+// treated as 1; empty input yields no shards.
+func ShardObjects(oids []ObjectID, n int) [][]ObjectID {
+	if len(oids) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(oids) {
+		n = len(oids)
+	}
+	shards := make([][]ObjectID, 0, n)
+	quo, rem := len(oids)/n, len(oids)%n
+	start := 0
+	for i := 0; i < n; i++ {
+		size := quo
+		if i < rem {
+			size++
+		}
+		shards = append(shards, oids[start:start+size])
+		start += size
+	}
+	return shards
+}
+
+// SequencesInRangeSharded is SequencesInRange with the per-object sequence
+// sorting sharded across up to workers goroutines. The output is identical
+// to SequencesInRange for every worker count (each object's sort is
+// independent and deterministic); workers <= 1 stays on the calling
+// goroutine.
+func (t *Table) SequencesInRangeSharded(ts, te Time, workers int) map[ObjectID]Sequence {
+	out := make(map[ObjectID]Sequence)
+	t.RangeQuery(ts, te, func(rec Record) bool {
+		out[rec.OID] = append(out[rec.OID], TimedSampleSet{T: rec.T, Samples: rec.Samples})
+		return true
+	})
+	sortSeq := func(oid ObjectID) {
+		seq := out[oid] // concurrent map reads are safe; the sort mutates
+		// only the sequence's own backing array
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].T < seq[j].T })
+	}
+	if workers > len(out) {
+		workers = len(out)
+	}
+	if workers <= 1 {
+		for oid := range out {
+			sortSeq(oid)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for _, shard := range ShardObjects(SortedObjects(out), workers) {
+		wg.Add(1)
+		go func(shard []ObjectID) {
+			defer wg.Done()
+			for _, oid := range shard {
+				sortSeq(oid)
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,83 @@
+package iupt
+
+import (
+	"reflect"
+	"testing"
+
+	"tkplq/internal/indoor"
+)
+
+func TestSortedObjects(t *testing.T) {
+	seqs := map[ObjectID]Sequence{
+		9: nil, 1: nil, 5: nil, 3: nil,
+	}
+	got := SortedObjects(seqs)
+	want := []ObjectID{1, 3, 5, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedObjects = %v, want %v", got, want)
+	}
+	if out := SortedObjects(nil); len(out) != 0 {
+		t.Errorf("SortedObjects(nil) = %v", out)
+	}
+}
+
+func TestShardObjectsPartition(t *testing.T) {
+	oids := make([]ObjectID, 13)
+	for i := range oids {
+		oids[i] = ObjectID(i * 2)
+	}
+	for _, n := range []int{-1, 0, 1, 2, 3, 5, 13, 20} {
+		shards := ShardObjects(oids, n)
+		// Concatenation must reproduce the input exactly (order included).
+		var cat []ObjectID
+		for _, s := range shards {
+			cat = append(cat, s...)
+		}
+		if !reflect.DeepEqual(cat, oids) {
+			t.Fatalf("n=%d: concatenated shards = %v, want %v", n, cat, oids)
+		}
+		wantShards := n
+		if n < 1 {
+			wantShards = 1
+		}
+		if wantShards > len(oids) {
+			wantShards = len(oids)
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("n=%d: got %d shards, want %d", n, len(shards), wantShards)
+		}
+		// Balanced: sizes differ by at most one.
+		min, max := len(oids), 0
+		for _, s := range shards {
+			if len(s) < min {
+				min = len(s)
+			}
+			if len(s) > max {
+				max = len(s)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: unbalanced shard sizes (min %d, max %d)", n, min, max)
+		}
+	}
+	if shards := ShardObjects(nil, 4); shards != nil {
+		t.Errorf("ShardObjects(nil) = %v, want nil", shards)
+	}
+}
+
+func TestSequencesInRangeShardedMatchesSequential(t *testing.T) {
+	tb := NewTable()
+	set := func(loc int32) SampleSet { return SampleSet{{Loc: indoor.PLocID(loc), Prob: 1}} }
+	for oid := ObjectID(1); oid <= 9; oid++ {
+		for tm := Time(0); tm < 30; tm += Time(oid) {
+			tb.Append(Record{OID: oid, T: 30 - tm, Samples: set(int32(tm % 5))})
+		}
+	}
+	want := tb.SequencesInRange(5, 25)
+	for _, workers := range []int{-1, 0, 1, 2, 4, 16} {
+		got := tb.SequencesInRangeSharded(5, 25, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: sequences differ from sequential", workers)
+		}
+	}
+}

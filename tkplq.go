@@ -11,7 +11,9 @@ import (
 )
 
 // System couples an indoor space with an IUPT and answers flow and TkPLQ
-// queries. A System is safe for concurrent readers once constructed.
+// queries. A System is safe for concurrent use once constructed: queries
+// fan per-object work out over a bounded worker pool (Options.Workers) and
+// share a presence cache that is internally synchronized.
 type System struct {
 	space  *indoor.Space
 	table  *iupt.Table
@@ -65,6 +67,17 @@ func (s *System) TopK(q []SLocID, k int, ts, te Time, algo Algorithm) ([]Result,
 func (s *System) TopKDensity(q []SLocID, k int, ts, te Time) ([]Result, Stats, error) {
 	return s.engine.TopKDensity(s.table, q, k, ts, te)
 }
+
+// CacheStats returns a snapshot of the engine's presence/interval cache:
+// live entries plus lifetime hit, miss and invalidation counts. The zero
+// value is returned when Options.DisableCache was set.
+func (s *System) CacheStats() CacheStats { return s.engine.CacheStats() }
+
+// InvalidateObject drops the engine's cached presence summaries for one
+// object. Queries never serve stale data regardless (cache hits are
+// content-verified); calling this after mutating the table out-of-band
+// reclaims the object's cached memory promptly.
+func (s *System) InvalidateObject(oid ObjectID) { s.engine.InvalidateObject(oid) }
 
 // Monitor is a continuous, online TkPLQ over a sliding window (the paper's
 // §7 future-work variant): stream records in with Observe, ask for the

@@ -100,7 +100,12 @@ func NewTable() *Table { return iupt.NewTable() }
 
 // Query machinery.
 type (
-	// Options configures the query engine.
+	// Options configures the query engine. Options.Workers bounds the
+	// sharded evaluation pipeline's worker pool (0 = GOMAXPROCS, 1 =
+	// single-threaded); results are bit-identical at every pool size.
+	// Options.DisableCache / Options.CacheCapacity control the presence
+	// cache that lets repeated and overlapping-window queries reuse
+	// per-object work.
 	Options = core.Options
 	// EngineKind selects the presence computation engine.
 	EngineKind = core.EngineKind
@@ -110,8 +115,11 @@ type (
 	Algorithm = core.Algorithm
 	// Result is one ranked TkPLQ answer.
 	Result = core.Result
-	// Stats reports work performed by a query.
+	// Stats reports work performed by a query, including the worker-pool
+	// size used and presence-cache hits and misses.
 	Stats = core.Stats
+	// CacheStats is a snapshot of the engine's presence-cache state.
+	CacheStats = core.CacheStats
 )
 
 // Engine and algorithm selectors.
