@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet ci
+.PHONY: all build test race bench bench-json lint fmt vet staticcheck vuln smoke ci
 
 all: build
 
@@ -14,7 +14,8 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector; the concurrency tests in
-# internal/core/parallel_test.go are the interesting part here.
+# internal/core/parallel_test.go, internal/core/coalesce_test.go and
+# internal/server are the interesting part here.
 race:
 	$(GO) test -race -timeout 30m ./...
 
@@ -24,7 +25,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-lint: fmt vet
+# Benchmark artifact: 3 iterations per benchmark, parsed into bench.json by
+# cmd/benchjson. CI archives this as BENCH_<sha>.json per commit. Two steps
+# (no pipe) so a benchmark failure fails the target.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 3x ./... > bench.txt
+	$(GO) run ./cmd/benchjson -out bench.json < bench.txt
+	@echo "wrote bench.json (raw output in bench.txt)"
+
+lint: fmt vet staticcheck vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -35,4 +44,27 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: lint build race bench
+# staticcheck and govulncheck run when installed (CI installs them; locally
+# they are optional so a bare toolchain can still run `make ci`):
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# End-to-end server smoke: gendata generates a dataset, tkplqd serves it,
+# curl+jq assert well-formed responses.
+smoke:
+	./scripts/server_smoke.sh
+
+ci: lint build race bench smoke

@@ -348,3 +348,38 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQueryStampede measures a burst of concurrent identical TkPLQ
+// queries — the serving-layer hot case — with and without query-level
+// request coalescing. Each iteration fires 16 goroutines asking the same
+// question; with coalescing one evaluation serves all 16.
+func BenchmarkQueryStampede(b *testing.B) {
+	d := parallelData(b)
+	const burst = 16
+	for _, coalesce := range []bool{false, true} {
+		name := "uncoalesced"
+		if coalesce {
+			name = "coalesced"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := core.NewEngine(d.building.Space, core.Options{
+				DisableCache:      true, // isolate the coalescer's effect
+				DisableCoalescing: !coalesce,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for g := 0; g < burst; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, _, err := eng.TopK(d.table, d.slocs, 5, 0, d.span, core.AlgoNestedLoop); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+// Command benchjson parses `go test -bench` text output into a stable JSON
+// document, so CI can archive one BENCH_<sha>.json artifact per commit and
+// the perf trajectory can be charted across the repo's history.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x ./... | benchjson [-sha SHA] [-out FILE]
+//
+// The parser understands the standard benchmark line shape —
+//
+//	BenchmarkName[-GOMAXPROCS]  <iterations>  <value> <unit>  [<value> <unit>...]
+//
+// — plus the goos/goarch/pkg/cpu header lines, and ignores everything else
+// (PASS/ok lines, test log noise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Pkg is the package the benchmark ran in (from the preceding pkg:
+	// header line; empty when the output carried none).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -GOMAXPROCS suffix, e.g. "BenchmarkTopKWorkers/w=4-8".
+	Name string `json:"name"`
+	// Runs is the iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit → value, e.g. {"ns/op": 1234.5, "B/op": 456,
+	// "allocs/op": 7}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	SHA        string      `json:"sha,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		sha = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the report")
+		out = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	report.SHA = *sha
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output and collects benchmark lines.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Pkg = pkg
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one result line; ok is false for lines that start
+// with "Benchmark" but are not results (e.g. bare names from -v output).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, then at least one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

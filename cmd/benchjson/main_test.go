@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tkplq
+cpu: AMD EPYC 7B13
+BenchmarkTopK/bf-8         	       3	  41235467 ns/op
+BenchmarkTopK/nl-8         	       3	  39021881 ns/op	 1204 B/op	      17 allocs/op
+BenchmarkTopKWorkers/w=1-8 	       3	 120034552 ns/op
+BenchmarkTopKWorkers/w=4-8 	       3	  38104221 ns/op
+PASS
+ok  	tkplq	2.412s
+pkg: tkplq/internal/core
+BenchmarkReduce-8          	       3	    102345 ns/op
+PASS
+ok  	tkplq/internal/core	0.512s
+--- some stray log line
+BenchmarkBroken but not a result line
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s, want linux/amd64", report.Goos, report.Goarch)
+	}
+	if report.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", report.CPU)
+	}
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkTopK/bf-8" || first.Pkg != "tkplq" || first.Runs != 3 {
+		t.Errorf("first = %+v", first)
+	}
+	if got := first.Metrics["ns/op"]; got != 41235467 {
+		t.Errorf("ns/op = %v, want 41235467", got)
+	}
+
+	withAllocs := report.Benchmarks[1]
+	if withAllocs.Metrics["B/op"] != 1204 || withAllocs.Metrics["allocs/op"] != 17 {
+		t.Errorf("alloc metrics = %+v", withAllocs.Metrics)
+	}
+
+	last := report.Benchmarks[4]
+	if last.Pkg != "tkplq/internal/core" || last.Name != "BenchmarkReduce-8" {
+		t.Errorf("pkg tracking broken: %+v", last)
+	}
+}
+
+func TestParseEmptyAndNoise(t *testing.T) {
+	report, err := parse(strings.NewReader("PASS\nok \ttkplq\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0", len(report.Benchmarks))
+	}
+	if report.Benchmarks == nil {
+		t.Error("benchmarks must encode as [] not null")
+	}
+}

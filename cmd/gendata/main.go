@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tkplq/internal/iupt"
@@ -19,19 +20,32 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+// run generates the dataset per flags, writing the table to -out (or stdout)
+// and optional statistics to errOut.
+func run(args []string, stdout, errOut io.Writer) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		dataset  = flag.String("dataset", "syn", "dataset kind: syn (multi-floor synthetic) or rd (real-data analog floor)")
-		objects  = flag.Int("objects", 50, "number of moving objects")
-		duration = flag.Int64("duration", 7200, "simulated span in seconds")
-		period   = flag.Int64("T", 3, "maximum positioning period in seconds")
-		mss      = flag.Int("mss", 4, "maximum sample-set size")
-		mu       = flag.Float64("mu", 5, "positioning error radius in meters")
-		seed     = flag.Int64("seed", 42, "random seed")
-		out      = flag.String("out", "", "output file (default: stdout)")
-		format   = flag.String("format", "csv", "output format: csv or bin")
-		stats    = flag.Bool("stats", false, "print dataset statistics to stderr")
+		dataset  = fs.String("dataset", "syn", "dataset kind: syn (multi-floor synthetic) or rd (real-data analog floor)")
+		objects  = fs.Int("objects", 50, "number of moving objects")
+		duration = fs.Int64("duration", 7200, "simulated span in seconds")
+		period   = fs.Int64("T", 3, "maximum positioning period in seconds")
+		mss      = fs.Int("mss", 4, "maximum sample-set size")
+		mu       = fs.Float64("mu", 5, "positioning error radius in meters")
+		seed     = fs.Int64("seed", 42, "random seed")
+		out      = fs.String("out", "", "output file (default: stdout)")
+		format   = fs.String("format", "csv", "output format: csv or bin")
+		stats    = fs.Bool("stats", false, "print dataset statistics to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var b *sim.Building
 	var err error
@@ -41,11 +55,10 @@ func main() {
 	case "rd":
 		b, err = sim.RealDataFloor()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q (want syn or rd)\n", *dataset)
-		os.Exit(2)
+		return fmt.Errorf("unknown dataset %q (want syn or rd)", *dataset)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	moveCfg := sim.MovementConfig{
@@ -60,7 +73,7 @@ func main() {
 	}
 	trajs, err := sim.SimulateMovement(b, moveCfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	posCfg := sim.PositioningConfig{
 		MaxPeriod:   iupt.Time(*period),
@@ -71,31 +84,26 @@ func main() {
 	}
 	table, err := sim.GenerateIUPT(b, trajs, posCfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *stats {
 		st := table.ComputeStats()
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(errOut,
 			"space: %d partitions, %d doors, %d P-locations, %d S-locations, %d cells\n",
 			b.Space.NumPartitions(), b.Space.NumDoors(), b.Space.NumPLocations(),
 			b.Space.NumSLocations(), b.Space.NumCells())
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(errOut,
 			"iupt: %d records, %d objects, %d s span, %.2f samples/record (max %d)\n",
 			st.Records, st.Objects, st.TimeSpan, st.AvgSampleSize, st.MaxSampleSize)
 	}
 
-	w := os.Stdout
+	w := stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+		if f, err = os.Create(*out); err != nil {
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
 		w = f
 	}
 	switch *format {
@@ -104,15 +112,12 @@ func main() {
 	case "bin":
 		err = table.WriteBinary(w)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (want csv or bin)\n", *format)
-		os.Exit(2)
+		err = fmt.Errorf("unknown format %q (want csv or bin)", *format)
 	}
-	if err != nil {
-		fatal(err)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gendata:", err)
-	os.Exit(1)
+	return err
 }

@@ -1,0 +1,167 @@
+// Command tkplqd is the TkPLQ serving daemon: it loads (or generates) an
+// indoor mobility dataset and serves continuous queries over HTTP.
+//
+//	POST /v1/query   {"kind":"topk","algorithm":"bf","k":5,"ts":0,"te":0,"slocs":[]}
+//	POST /v1/ingest  {"records":[{"oid":1,"t":120,"samples":[{"ploc":4,"prob":0.6},...]}]}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Concurrent identical queries share one evaluation (query-level request
+// coalescing) on top of the engine's per-object presence cache. The daemon
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
+// Usage:
+//
+//	tkplqd [-addr HOST:PORT] [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
+//	       [-objects N] [-duration SECONDS] [-seed N] [-workers N]
+//	       [-request-timeout DUR] [-shutdown-timeout DUR]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tkplq"
+	"tkplq/internal/iupt"
+	"tkplq/internal/server"
+	"tkplq/internal/sim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tkplqd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the system from flags and serves until ctx is cancelled. The
+// listen address is announced on out once the socket is bound.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tkplqd", flag.ContinueOnError)
+	var (
+		addr            = fs.String("addr", ":8080", "listen address")
+		dataset         = fs.String("dataset", "syn", "dataset kind: syn (multi-floor synthetic) or rd (real-data analog floor)")
+		iuptFile        = fs.String("iupt", "", "IUPT file from gendata (default: generate)")
+		format          = fs.String("format", "csv", "IUPT file format: csv or bin")
+		objects         = fs.Int("objects", 50, "number of objects when generating")
+		duration        = fs.Int64("duration", 7200, "simulated span when generating")
+		seed            = fs.Int64("seed", 42, "random seed (must match gendata for -iupt files)")
+		workers         = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
+		requestTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		System:         sys,
+		Addr:           *addr,
+		RequestTimeout: *requestTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	st := sys.Table().ComputeStats()
+	fmt.Fprintf(out, "tkplqd: listening on %s (%d records, %d objects, %d S-locations)\n",
+		srv.Addr(), st.Records, st.Objects, sys.Space().NumSLocations())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "tkplqd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errCh
+	case err := <-errCh:
+		return err
+	}
+}
+
+// buildSystem regenerates the deterministic indoor space for the dataset kind
+// and either loads the IUPT from a gendata file or generates it on the fly
+// (spaces are cheap; the IUPT is the heavy artifact).
+func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int) (*tkplq.System, error) {
+	var b *sim.Building
+	var err error
+	switch dataset {
+	case "syn":
+		b, err = sim.Generate(sim.DefaultBuildingConfig())
+	case "rd":
+		b, err = sim.RealDataFloor()
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want syn or rd)", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var table *tkplq.Table
+	if iuptFile != "" {
+		f, err := os.Open(iuptFile)
+		if err != nil {
+			return nil, err
+		}
+		switch format {
+		case "csv":
+			table, err = iupt.ReadCSV(f)
+		case "bin":
+			table, err = iupt.ReadBinary(f)
+		default:
+			f.Close()
+			return nil, fmt.Errorf("unknown format %q (want csv or bin)", format)
+		}
+		cerr := f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		if err := table.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", iuptFile, err)
+		}
+	} else {
+		moveCfg := sim.MovementConfig{
+			Objects: objects, Duration: iupt.Time(duration), MaxSpeed: 1.0,
+			MinDwell: 300, MaxDwell: 1800,
+			MinLifespan: iupt.Time(duration / 2), MaxLifespan: iupt.Time(duration),
+			Seed: seed,
+		}
+		trajs, err := sim.SimulateMovement(b, moveCfg)
+		if err != nil {
+			return nil, err
+		}
+		table, err = sim.GenerateIUPT(b, trajs, sim.PositioningConfig{
+			MaxPeriod: 3, MSS: 4, ErrorRadius: 5, Gamma: 0.2, Seed: seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return tkplq.NewSystem(b.Space, table, tkplq.Options{Workers: workers})
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tkplq"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing run's output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port against a small
+// generated dataset, exercises the API over real HTTP, and shuts it down
+// gracefully via context cancellation (the signal path minus the signal).
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-objects", "8", "-duration", "900", "-seed", "3",
+		}, &out)
+	}()
+
+	// Wait for the announce line to learn the bound address.
+	var addr string
+	deadline := time.Now().Add(60 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v (output: %s)", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address (output: %s)", out.String())
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	qresp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"kind":"topk","algorithm":"bf","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Results []struct {
+			SLoc int     `json:"sloc"`
+			Flow float64 `json:"flow"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(qresp.Body).Decode(&body)
+	qresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d", qresp.StatusCode)
+	}
+	if len(body.Results) == 0 {
+		t.Fatal("query returned no results")
+	}
+	for i := 1; i < len(body.Results); i++ {
+		if body.Results[i].Flow > body.Results[i-1].Flow {
+			t.Errorf("ranking not descending at %d", i)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown announcement in output: %s", out.String())
+	}
+}
+
+// TestBuildSystemFromFile round-trips a table through the gendata CSV format
+// into the daemon's loader.
+func TestBuildSystemFromFile(t *testing.T) {
+	sys, err := buildSystem("syn", "", "csv", 6, 600, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "iupt.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Table().WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := buildSystem("syn", path, "csv", 0, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Table().Len() != sys.Table().Len() {
+		t.Errorf("loaded %d records, want %d", loaded.Table().Len(), sys.Table().Len())
+	}
+
+	// The two systems answer identically over the same data.
+	q := sys.AllSLocations()
+	a, _, err := sys.TopK(q, 3, 0, 600, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.TopK(q, 3, 0, 600, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	if _, err := buildSystem("nope", "", "csv", 1, 1, 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := buildSystem("syn", path, "xml", 0, 0, 5, 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := buildSystem("syn", filepath.Join(t.TempDir(), "missing.csv"), "csv", 0, 0, 5, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -207,7 +207,8 @@ func (c *summaryCache) entriesFor(oid iupt.ObjectID) int {
 	return n
 }
 
-// CacheStats is a snapshot of the engine's presence-cache state, exposed via
+// CacheStats is a snapshot of the engine's work-sharing state: the presence/
+// interval cache and the query-level request coalescer, exposed via
 // Engine.CacheStats.
 type CacheStats struct {
 	// Entries is the number of live cached (object, interval) summaries.
@@ -217,23 +218,36 @@ type CacheStats struct {
 	// Invalidations counts per-object invalidations (one per observed
 	// record routed through Monitor.Observe).
 	Invalidations int64
+	// Coalesced counts queries over the engine's lifetime that were served
+	// by joining a concurrent identical caller's in-flight evaluation, and
+	// Flights counts the evaluations actually performed — so of
+	// Coalesced+Flights queries answered, only Flights did any work. Both
+	// stay 0 when Options.DisableCoalescing is set; the coalescer is
+	// independent of the presence cache, so they are reported even when
+	// Options.DisableCache zeroes the fields above.
+	Coalesced int64
+	Flights   int64
 }
 
-// CacheStats returns a snapshot of the engine's presence cache. The zero
-// value is returned when the cache is disabled.
+// CacheStats returns a snapshot of the engine's presence cache and request
+// coalescer. Fields of a disabled component are zero.
 func (e *Engine) CacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	var out CacheStats
+	if c := e.cache; c != nil {
+		c.mu.Lock()
+		out.Entries = len(c.cur) + len(c.prev)
+		out.Hits = c.hits
+		out.Misses = c.misses
+		out.Invalidations = c.invalidations
+		c.mu.Unlock()
 	}
-	c := e.cache
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:       len(c.cur) + len(c.prev),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Invalidations: c.invalidations,
+	if co := e.coal; co != nil {
+		co.mu.Lock()
+		out.Coalesced = co.coalesced
+		out.Flights = co.led
+		co.mu.Unlock()
 	}
+	return out
 }
 
 // InvalidateObject drops the cached presence summaries of one object. Monitor

@@ -171,6 +171,15 @@ type Options struct {
 	// eviction generation (live memory ≤ 2× this); 0 selects
 	// DefaultCacheCapacity.
 	CacheCapacity int
+	// DisableCoalescing turns off query-level request coalescing. With
+	// coalescing enabled (the default), concurrent identical queries — same
+	// query kind, algorithm, k, window, table snapshot and query set — share
+	// one in-flight evaluation: the first caller evaluates, the rest block
+	// and receive a copy of its results with Stats.Coalesced set. The
+	// coalescer is independent of the presence cache (DisableCache does not
+	// affect it) and never changes results: flight identity pins the table's
+	// record count, so a query racing an ingest never joins a stale flight.
+	DisableCoalescing bool
 }
 
 func (o Options) pathBudget() int {
@@ -203,6 +212,7 @@ type Engine struct {
 	space *indoor.Space
 	opts  Options
 	cache *summaryCache // nil when Options.DisableCache is set
+	coal  *coalescer    // nil when Options.DisableCoalescing is set
 }
 
 // NewEngine returns an engine for the space with the given options.
@@ -210,6 +220,9 @@ func NewEngine(space *indoor.Space, opts Options) *Engine {
 	e := &Engine{space: space, opts: opts}
 	if !opts.DisableCache {
 		e.cache = newSummaryCache(opts.CacheCapacity)
+	}
+	if !opts.DisableCoalescing {
+		e.coal = newCoalescer()
 	}
 	return e
 }
@@ -264,6 +277,12 @@ type Stats struct {
 	// 0 when the cache is disabled or bypassed (Naive).
 	CacheHits   int64
 	CacheMisses int64
+	// Coalesced is 1 when this query did not evaluate at all: it joined a
+	// concurrent identical caller's in-flight evaluation and received a copy
+	// of that leader's results (the other Stats fields then describe the
+	// leader's work). 0 for the caller that performed the evaluation, and
+	// always 0 when Options.DisableCoalescing is set.
+	Coalesced int64
 }
 
 // PruningRatio returns σ = (|O| - |Of|) / |O| (§5.1); 0 for an empty O.
@@ -289,4 +308,5 @@ func (s *Stats) add(other *Stats) {
 	}
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
+	s.Coalesced += other.Coalesced
 }

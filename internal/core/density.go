@@ -13,13 +13,31 @@ import (
 //
 // Densities are derived from one shared Nested-Loop pass (every location's
 // flow is needed, so Best-First's partial evaluation cannot help).
+// Concurrent identical calls share one evaluation (Options.DisableCoalescing,
+// Stats.Coalesced).
 func (e *Engine) TopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
-	full, stats, err := e.TopK(table, q, len(q), ts, te, AlgoNestedLoop)
+	k, err := e.validateTopK(q, k)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if k > len(q) {
-		k = len(q)
+	if e.coal == nil {
+		return e.evalTopKDensity(table, q, k, ts, te)
+	}
+	canon := canonicalSLocs(q)
+	key := flightKeyFor(flightDensity, table, canon, k, ts, te, AlgoNestedLoop)
+	return e.coal.do(key, canon, func() ([]Result, Stats, error) {
+		return e.evalTopKDensity(table, q, k, ts, te)
+	})
+}
+
+// evalTopKDensity is the uncoalesced density evaluation; q and k are already
+// validated, so it dispatches straight to the nested-loop pass (going through
+// the public TopK here would open a nested flight and double-count
+// CacheStats.Flights).
+func (e *Engine) evalTopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
+	full, stats, err := e.evalTopK(table, q, len(q), ts, te, AlgoNestedLoop)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	out := make([]Result, 0, len(full))
 	for _, r := range full {

@@ -11,7 +11,23 @@ import (
 // valid paths (or the equivalent DP), and accumulate object presences. The
 // per-object work fans out over the engine's worker pool; accumulation stays
 // in ascending object order, so the flow is bit-identical at any pool size.
+// Concurrent identical calls share one evaluation (Options.DisableCoalescing,
+// Stats.Coalesced).
 func (e *Engine) Flow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
+	if e.coal == nil {
+		return e.evalFlow(table, q, ts, te)
+	}
+	canon := []indoor.SLocID{q}
+	key := flightKeyFor(flightFlow, table, canon, 0, ts, te, 0)
+	res, stats, _ := e.coal.do(key, canon, func() ([]Result, Stats, error) {
+		flow, st := e.evalFlow(table, q, ts, te)
+		return []Result{{SLoc: q, Flow: flow}}, st, nil
+	})
+	return res[0].Flow, stats
+}
+
+// evalFlow is the uncoalesced flow evaluation.
+func (e *Engine) evalFlow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
 	seqs := e.sequences(table, ts, te)
 	oracle := newOracle(e, seqs, map[indoor.SLocID]bool{q: true})
 	oracle.ensureSummaries(oracle.objects())

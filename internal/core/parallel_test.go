@@ -199,8 +199,14 @@ func TestCacheDisabled(t *testing.T) {
 			t.Errorf("run %d: cache counters on disabled cache: %+v", i, st)
 		}
 	}
-	if cs := eng.CacheStats(); cs != (CacheStats{}) {
-		t.Errorf("CacheStats on disabled cache = %+v, want zero", cs)
+	cs := eng.CacheStats()
+	if cs.Entries != 0 || cs.Hits != 0 || cs.Misses != 0 || cs.Invalidations != 0 {
+		t.Errorf("CacheStats on disabled cache = %+v, want zero cache fields", cs)
+	}
+	// The request coalescer is independent of the presence cache: the two
+	// sequential queries above still count as (uncoalesced) flights.
+	if cs.Coalesced != 0 || cs.Flights != 2 {
+		t.Errorf("coalescer counters = %d coalesced / %d flights, want 0/2", cs.Coalesced, cs.Flights)
 	}
 }
 

@@ -16,26 +16,52 @@ import (
 // work they avoid, reported in Stats. Heavy per-object work is sharded
 // across the engine's worker pool (Options.Workers) with deterministic
 // merging, so rankings and flows are bit-identical for every worker count.
+// Concurrent identical calls share one evaluation (Options.DisableCoalescing,
+// Stats.Coalesced).
 func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
+	k, err := e.validateTopK(q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if algo != AlgoNaive && algo != AlgoNestedLoop && algo != AlgoBestFirst {
+		return nil, Stats{}, fmt.Errorf("core: unknown algorithm %d", algo)
+	}
+	if e.coal == nil {
+		return e.evalTopK(table, q, k, ts, te, algo)
+	}
+	canon := canonicalSLocs(q)
+	key := flightKeyFor(flightTopK, table, canon, k, ts, te, algo)
+	return e.coal.do(key, canon, func() ([]Result, Stats, error) {
+		return e.evalTopK(table, q, k, ts, te, algo)
+	})
+}
+
+// validateTopK checks a TkPLQ query set and clamps k to its size.
+func (e *Engine) validateTopK(q []indoor.SLocID, k int) (int, error) {
 	if k <= 0 {
-		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+		return 0, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if len(q) == 0 {
-		return nil, Stats{}, fmt.Errorf("core: empty query set")
+		return 0, fmt.Errorf("core: empty query set")
 	}
 	seen := make(map[indoor.SLocID]bool, len(q))
 	for _, s := range q {
 		if int(s) < 0 || int(s) >= e.space.NumSLocations() {
-			return nil, Stats{}, fmt.Errorf("core: unknown S-location %d", s)
+			return 0, fmt.Errorf("core: unknown S-location %d", s)
 		}
 		if seen[s] {
-			return nil, Stats{}, fmt.Errorf("core: duplicate S-location %d in query set", s)
+			return 0, fmt.Errorf("core: duplicate S-location %d in query set", s)
 		}
 		seen[s] = true
 	}
 	if k > len(q) {
 		k = len(q)
 	}
+	return k, nil
+}
+
+// evalTopK dispatches an already-validated TopK to the selected algorithm.
+func (e *Engine) evalTopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
 	switch algo {
 	case AlgoNaive:
 		res, st := e.topkNaive(table, q, k, ts, te)
@@ -43,11 +69,9 @@ func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.T
 	case AlgoNestedLoop:
 		res, st := e.topkNestedLoop(table, q, k, ts, te)
 		return res, st, nil
-	case AlgoBestFirst:
+	default:
 		res, st := e.topkBestFirst(table, q, k, ts, te)
 		return res, st, nil
-	default:
-		return nil, Stats{}, fmt.Errorf("core: unknown algorithm %d", algo)
 	}
 }
 

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"tkplq"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Kind selects the query: "topk" (default), "density" or "flow".
+	Kind string `json:"kind"`
+	// Algorithm selects the TkPLQ search: "naive", "nl" or "bf" (default).
+	// Ignored for density and flow.
+	Algorithm string `json:"algorithm"`
+	// K is the result count; 10 when omitted. Ignored for flow.
+	K int `json:"k"`
+	// Ts and Te bound the query window [ts, te] in seconds. Te == 0 selects
+	// the end of the table's time span.
+	Ts int64 `json:"ts"`
+	Te int64 `json:"te"`
+	// SLocs is the query set of S-location ids; empty selects every
+	// S-location of the space. Flow requires exactly one.
+	SLocs []int `json:"slocs"`
+}
+
+// ResultJSON is one ranked entry of a query response.
+type ResultJSON struct {
+	SLoc int     `json:"sloc"`
+	Name string  `json:"name"`
+	Flow float64 `json:"flow"`
+}
+
+// StatsJSON mirrors tkplq.Stats for the wire.
+type StatsJSON struct {
+	ObjectsTotal       int   `json:"objects_total"`
+	ObjectsComputed    int   `json:"objects_computed"`
+	PathsEnumerated    int64 `json:"paths_enumerated"`
+	BudgetFallbacks    int   `json:"budget_fallbacks"`
+	SampleSetsOriginal int64 `json:"sample_sets_original"`
+	SampleSetsReduced  int64 `json:"sample_sets_reduced"`
+	HeapPops           int   `json:"heap_pops"`
+	SequenceBreaks     int64 `json:"sequence_breaks"`
+	Workers            int   `json:"workers"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	Coalesced          int64 `json:"coalesced"`
+}
+
+func statsJSON(st tkplq.Stats) StatsJSON {
+	return StatsJSON{
+		ObjectsTotal:       st.ObjectsTotal,
+		ObjectsComputed:    st.ObjectsComputed,
+		PathsEnumerated:    st.PathsEnumerated,
+		BudgetFallbacks:    st.BudgetFallbacks,
+		SampleSetsOriginal: st.SampleSetsOriginal,
+		SampleSetsReduced:  st.SampleSetsReduced,
+		HeapPops:           st.HeapPops,
+		SequenceBreaks:     st.SequenceBreaks,
+		Workers:            st.Workers,
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		Coalesced:          st.Coalesced,
+	}
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	Kind      string       `json:"kind"`
+	Algorithm string       `json:"algorithm,omitempty"`
+	K         int          `json:"k"`
+	Ts        int64        `json:"ts"`
+	Te        int64        `json:"te"`
+	Results   []ResultJSON `json:"results"`
+	Stats     StatsJSON    `json:"stats"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	Records []RecordJSON `json:"records"`
+}
+
+// RecordJSON is one uncertain positioning record on the wire.
+type RecordJSON struct {
+	OID     int64        `json:"oid"`
+	T       int64        `json:"t"`
+	Samples []SampleJSON `json:"samples"`
+}
+
+// SampleJSON is one probabilistic sample: the object is at P-location PLoc
+// with probability Prob.
+type SampleJSON struct {
+	PLoc int     `json:"ploc"`
+	Prob float64 `json:"prob"`
+}
+
+// IngestResponse is the body of a successful POST /v1/ingest.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+	// Records is the table's record count after the batch.
+	Records int `json:"records"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Engine struct {
+		CacheEntries       int   `json:"cache_entries"`
+		CacheHits          int64 `json:"cache_hits"`
+		CacheMisses        int64 `json:"cache_misses"`
+		CacheInvalidations int64 `json:"cache_invalidations"`
+		Coalesced          int64 `json:"coalesced"`
+		Flights            int64 `json:"flights"`
+	} `json:"engine"`
+	Server struct {
+		UptimeSeconds   float64 `json:"uptime_seconds"`
+		Queries         int64   `json:"queries"`
+		QueryErrors     int64   `json:"query_errors"`
+		IngestRequests  int64   `json:"ingest_requests"`
+		RecordsIngested int64   `json:"records_ingested"`
+		Goroutines      int     `json:"goroutines"`
+	} `json:"server"`
+	Table struct {
+		Records int `json:"records"`
+		Objects int `json:"objects"`
+	} `json:"table"`
+	Space struct {
+		SLocations int `json:"slocations"`
+		Partitions int `json:"partitions"`
+	} `json:"space"`
+}
+
+// errorJSON writes a JSON error body with the status code.
+func errorJSON(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes the request body into v, bounding its size.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("body exceeds %d bytes", tooLarge.Limit)
+		}
+		return err
+	}
+	return nil
+}
+
+var algorithms = map[string]tkplq.Algorithm{
+	"naive": tkplq.Naive,
+	"nl":    tkplq.NestedLoop,
+	"bf":    tkplq.BestFirst,
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	if req.Kind == "" {
+		req.Kind = "topk"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "bf"
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	algo, ok := algorithms[req.Algorithm]
+	if !ok {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "unknown algorithm %q (want naive, nl or bf)", req.Algorithm)
+		return
+	}
+
+	// Validate ids here for every kind: the engine rejects bad TopK/density
+	// query sets itself, but Flow has no error return and would panic on an
+	// out-of-range id.
+	numSLocs := s.sys.Space().NumSLocations()
+	q := make([]tkplq.SLocID, 0, len(req.SLocs))
+	for _, id := range req.SLocs {
+		if id < 0 || id >= numSLocs {
+			s.queryErrors.Add(1)
+			errorJSON(w, http.StatusBadRequest, "unknown S-location %d (space has %d)", id, numSLocs)
+			return
+		}
+		q = append(q, tkplq.SLocID(id))
+	}
+	if len(q) == 0 {
+		q = s.sys.AllSLocations()
+	}
+	ts, te := tkplq.Time(req.Ts), tkplq.Time(req.Te)
+	if te == 0 {
+		if _, hi, ok := s.sys.Table().TimeSpan(); ok {
+			te = hi
+		}
+	}
+	if te < ts {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "empty window: te %d < ts %d", te, ts)
+		return
+	}
+
+	var (
+		res     []tkplq.Result
+		stats   tkplq.Stats
+		err     error
+		started = time.Now()
+	)
+	switch req.Kind {
+	case "topk":
+		res, stats, err = s.sys.TopK(q, req.K, ts, te, algo)
+	case "density":
+		req.Algorithm = "" // density always runs the shared nested-loop pass
+		res, stats, err = s.sys.TopKDensity(q, req.K, ts, te)
+	case "flow":
+		if len(req.SLocs) != 1 {
+			s.queryErrors.Add(1)
+			errorJSON(w, http.StatusBadRequest, "flow requires exactly one S-location in slocs, got %d", len(req.SLocs))
+			return
+		}
+		req.Algorithm = ""
+		var flow float64
+		flow, stats = s.sys.Flow(q[0], ts, te)
+		res = []tkplq.Result{{SLoc: q[0], Flow: flow}}
+	default:
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "unknown query kind %q (want topk, density or flow)", req.Kind)
+		return
+	}
+	if err != nil {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+
+	space := s.sys.Space()
+	out := QueryResponse{
+		Kind:      req.Kind,
+		Algorithm: req.Algorithm,
+		K:         req.K,
+		Ts:        int64(ts),
+		Te:        int64(te),
+		Results:   make([]ResultJSON, 0, len(res)),
+		Stats:     statsJSON(stats),
+		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
+	}
+	for _, re := range res {
+		out.Results = append(out.Results, ResultJSON{
+			SLoc: int(re.SLoc),
+			Name: space.SLocation(re.SLoc).Name,
+			Flow: re.Flow,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad ingest request: %v", err)
+		return
+	}
+	if len(req.Records) == 0 {
+		errorJSON(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	recs := make([]tkplq.Record, 0, len(req.Records))
+	numPLocs := s.sys.Space().NumPLocations()
+	for i, rj := range req.Records {
+		samples := make(tkplq.SampleSet, 0, len(rj.Samples))
+		for _, sj := range rj.Samples {
+			if sj.PLoc < 0 || sj.PLoc >= numPLocs {
+				errorJSON(w, http.StatusBadRequest, "record %d: unknown P-location %d", i, sj.PLoc)
+				return
+			}
+			samples = append(samples, tkplq.Sample{Loc: tkplq.PLocID(sj.PLoc), Prob: sj.Prob})
+		}
+		recs = append(recs, tkplq.Record{
+			OID:     tkplq.ObjectID(rj.OID),
+			T:       tkplq.Time(rj.T),
+			Samples: samples,
+		})
+	}
+	if err := s.sys.Ingest(recs); err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.ingestRequests.Add(1)
+	s.recordsIngested.Add(int64(len(recs)))
+	writeJSON(w, IngestResponse{Ingested: len(recs), Records: s.sys.Table().Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var out StatsResponse
+	cs := s.sys.CacheStats()
+	out.Engine.CacheEntries = cs.Entries
+	out.Engine.CacheHits = cs.Hits
+	out.Engine.CacheMisses = cs.Misses
+	out.Engine.CacheInvalidations = cs.Invalidations
+	out.Engine.Coalesced = cs.Coalesced
+	out.Engine.Flights = cs.Flights
+	out.Server.UptimeSeconds = time.Since(s.started).Seconds()
+	out.Server.Queries = s.queries.Load()
+	out.Server.QueryErrors = s.queryErrors.Load()
+	out.Server.IngestRequests = s.ingestRequests.Load()
+	out.Server.RecordsIngested = s.recordsIngested.Load()
+	out.Server.Goroutines = runtime.NumGoroutine()
+	out.Table.Records = s.sys.Table().Len()
+	out.Table.Objects = len(s.sys.Table().Objects())
+	out.Space.SLocations = s.sys.Space().NumSLocations()
+	out.Space.Partitions = s.sys.Space().NumPartitions()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":  "ok",
+		"records": s.sys.Table().Len(),
+	})
+}

@@ -1,0 +1,151 @@
+// Package server exposes a tkplq.System over a long-running HTTP JSON API:
+// the serving layer behind the tkplqd daemon.
+//
+// Endpoints:
+//
+//	POST /v1/query   — TkPLQ / density / flow over a time window
+//	POST /v1/ingest  — batched uncertain positioning records into the live table
+//	GET  /v1/stats   — engine cache + coalescer counters, server counters, table shape
+//	GET  /healthz    — liveness
+//
+// Requests are bounded (per-request timeout, body size cap) and shutdown is
+// graceful. Concurrent identical /v1/query requests share one evaluation via
+// the engine's query-level request coalescing; the per-response stats carry
+// `coalesced` so clients (and the smoke tests) can observe the dedupe.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tkplq"
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	// System is the query system to serve. Required.
+	System *tkplq.System
+	// Addr is the listen address; ":8080" when empty. Use "127.0.0.1:0" to
+	// bind an ephemeral port (Server.Addr reports the bound address).
+	Addr string
+	// RequestTimeout bounds each request's handling time; 30s when zero.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size; 8 MiB when zero.
+	MaxBodyBytes int64
+	// Logf receives server log lines; log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// DefaultRequestTimeout bounds request handling when Config.RequestTimeout
+// is zero.
+const DefaultRequestTimeout = 30 * time.Second
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 8 << 20
+
+// Server serves one tkplq.System over HTTP.
+type Server struct {
+	sys     *tkplq.System
+	cfg     Config
+	handler http.Handler
+	httpSrv *http.Server
+	ln      net.Listener
+	started time.Time
+
+	queries         atomic.Int64
+	queryErrors     atomic.Int64
+	ingestRequests  atomic.Int64
+	recordsIngested atomic.Int64
+}
+
+// New builds a Server around the system. It does not listen yet; call Start
+// (or use Handler with a test server).
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, errors.New("server: nil System")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{sys: cfg.System, cfg: cfg, started: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The timeout handler bounds slow evaluations end-to-end: it replies 503
+	// with a JSON body once the budget is spent.
+	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, `{"error":"request timed out"}`)
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout backstops the timeout handler (it must outlast it so
+		// the 503 body can still be written).
+		WriteTimeout: cfg.RequestTimeout + 10*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	return s, nil
+}
+
+// Handler returns the server's root handler (timeouts included), for tests
+// and embedding.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Start binds the configured address. After Start, Addr reports the bound
+// address and Serve accepts connections.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown. It returns nil on graceful
+// shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	s.cfg.Logf("server: serving on %s", s.Addr())
+	err := s.httpSrv.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests to
+// drain, up to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cfg.Logf("server: shutting down (%d queries, %d records ingested)",
+		s.queries.Load(), s.recordsIngested.Load())
+	return s.httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end server smoke: gendata generates a dataset, tkplqd serves it,
+# and the HTTP API must answer /healthz, /v1/query and /v1/stats with
+# well-formed payloads. Run from the repo root (CI runs `make smoke`).
+set -euo pipefail
+
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:${PORT}"
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
+        kill "${DAEMON_PID}" 2>/dev/null || true
+        wait "${DAEMON_PID}" 2>/dev/null || true
+    fi
+    rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+echo "== building gendata + tkplqd"
+go build -o "${WORKDIR}/gendata" ./cmd/gendata
+go build -o "${WORKDIR}/tkplqd" ./cmd/tkplqd
+
+echo "== generating dataset"
+"${WORKDIR}/gendata" -objects 12 -duration 1800 -seed 7 \
+    -out "${WORKDIR}/smoke.csv" -stats
+
+echo "== starting tkplqd on ${ADDR}"
+"${WORKDIR}/tkplqd" -addr "${ADDR}" -dataset syn -iupt "${WORKDIR}/smoke.csv" \
+    > "${WORKDIR}/tkplqd.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+        echo "tkplqd exited early:"; cat "${WORKDIR}/tkplqd.log"; exit 1
+    fi
+    if [ "$i" -eq 100 ]; then
+        echo "tkplqd never became healthy:"; cat "${WORKDIR}/tkplqd.log"; exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== /healthz"
+HEALTH=$(curl -fsS "http://${ADDR}/healthz")
+echo "${HEALTH}"
+[ "$(echo "${HEALTH}" | jq -r .status)" = "ok" ]
+[ "$(echo "${HEALTH}" | jq -r .records)" -gt 0 ]
+
+echo "== /v1/query (top-5 best-first)"
+QUERY=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}')
+echo "${QUERY}" | jq .
+
+# Well-formed ranking: HTTP 200 (curl -f), non-empty results, every entry has
+# an id, a name and a numeric non-negative flow, and flows are descending.
+[ "$(echo "${QUERY}" | jq '.results | length')" -gt 0 ]
+echo "${QUERY}" | jq -e '.results | all(.sloc >= 0 and .name != "" and (.flow | type == "number") and .flow >= 0)' >/dev/null
+echo "${QUERY}" | jq -e '[.results[].flow] | . == (sort | reverse)' >/dev/null
+echo "${QUERY}" | jq -e '.stats.objects_total > 0' >/dev/null
+
+echo "== /v1/ingest"
+INGEST=$(curl -fsS -X POST "http://${ADDR}/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"records":[{"oid":9001,"t":60,"samples":[{"ploc":0,"prob":1.0}]}]}')
+echo "${INGEST}"
+[ "$(echo "${INGEST}" | jq -r .ingested)" = "1" ]
+
+echo "== /v1/stats"
+STATS=$(curl -fsS "http://${ADDR}/v1/stats")
+echo "${STATS}" | jq .
+echo "${STATS}" | jq -e '.server.queries >= 1 and .server.records_ingested >= 1 and .engine.flights >= 1' >/dev/null
+
+echo "== graceful shutdown"
+kill "${DAEMON_PID}"
+wait "${DAEMON_PID}"
+DAEMON_PID=""
+
+echo "server smoke OK"

@@ -68,9 +68,41 @@ func (s *System) TopKDensity(q []SLocID, k int, ts, te Time) ([]Result, Stats, e
 	return s.engine.TopKDensity(s.table, q, k, ts, te)
 }
 
-// CacheStats returns a snapshot of the engine's presence/interval cache:
-// live entries plus lifetime hit, miss and invalidation counts. The zero
-// value is returned when Options.DisableCache was set.
+// Ingest validates and appends a batch of positioning records to the
+// system's live table and invalidates the engine's cached presence summaries
+// for the affected objects. The whole batch is validated before anything is
+// appended, so a bad record leaves the table untouched. Ingest is safe to
+// call concurrently with queries: the table is internally synchronized, and
+// query-level coalescing keys on the table's record count, so queries racing
+// an ingest never share a stale evaluation.
+func (s *System) Ingest(recs []Record) error {
+	for i, rec := range recs {
+		if err := rec.Samples.Validate(); err != nil {
+			return fmt.Errorf("tkplq: record %d (oid %d, t %d): %w", i, rec.OID, rec.T, err)
+		}
+		if rec.T < 0 {
+			return fmt.Errorf("tkplq: record %d (oid %d): negative timestamp %d", i, rec.OID, rec.T)
+		}
+	}
+	for _, rec := range recs {
+		s.table.Append(rec)
+	}
+	// Invalidate each touched object once, after all appends.
+	seen := make(map[ObjectID]bool, len(recs))
+	for _, rec := range recs {
+		if !seen[rec.OID] {
+			seen[rec.OID] = true
+			s.engine.InvalidateObject(rec.OID)
+		}
+	}
+	return nil
+}
+
+// CacheStats returns a snapshot of the engine's work-sharing machinery: the
+// presence/interval cache (live entries plus lifetime hit, miss and
+// invalidation counts) and the query-level request coalescer (queries served
+// by joining an in-flight identical evaluation vs. evaluations performed).
+// Fields of a component disabled via Options are zero.
 func (s *System) CacheStats() CacheStats { return s.engine.CacheStats() }
 
 // InvalidateObject drops the engine's cached presence summaries for one

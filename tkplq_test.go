@@ -163,3 +163,54 @@ func TestGeometryHelpers(t *testing.T) {
 		t.Error("R normalization broken")
 	}
 }
+
+// TestIngest: valid batches append and refresh query results; an invalid
+// record anywhere in the batch rejects the whole batch atomically.
+func TestIngest(t *testing.T) {
+	fig := tkplq.PaperExampleSpace()
+	p := fig.PLocs
+	sys, err := tkplq.NewSystem(fig.Space, tkplq.NewTable(), tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := []tkplq.SLocID{fig.SLocs[0], fig.SLocs[5]}
+	batch := []tkplq.Record{
+		{OID: 1, T: 1, Samples: tkplq.SampleSet{{Loc: p[3], Prob: 1.0}}},
+		{OID: 1, T: 3, Samples: tkplq.SampleSet{{Loc: p[8], Prob: 1.0}}},
+		{OID: 1, T: 4, Samples: tkplq.SampleSet{{Loc: p[7], Prob: 1.0}}},
+		{OID: 2, T: 1, Samples: tkplq.SampleSet{{Loc: p[0], Prob: 0.5}, {Loc: p[1], Prob: 0.5}}},
+		{OID: 2, T: 3, Samples: tkplq.SampleSet{{Loc: p[1], Prob: 0.7}, {Loc: p[3], Prob: 0.3}}},
+	}
+	if err := sys.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Table().Len(); got != len(batch) {
+		t.Fatalf("table has %d records after ingest, want %d", got, len(batch))
+	}
+	res, _, err := sys.TopK(q, 1, 1, 8, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].SLoc != fig.SLocs[5] {
+		t.Errorf("top-1 after ingest = %v, want r6", res[0])
+	}
+
+	// A batch with one invalid record (probabilities sum to 0.9) must leave
+	// the table untouched.
+	bad := []tkplq.Record{
+		{OID: 3, T: 2, Samples: tkplq.SampleSet{{Loc: p[1], Prob: 0.6}, {Loc: p[2], Prob: 0.4}}},
+		{OID: 4, T: 2, Samples: tkplq.SampleSet{{Loc: p[1], Prob: 0.5}, {Loc: p[2], Prob: 0.4}}},
+	}
+	if err := sys.Ingest(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if got := sys.Table().Len(); got != len(batch) {
+		t.Errorf("table has %d records after rejected batch, want %d", got, len(batch))
+	}
+	if err := sys.Ingest([]tkplq.Record{
+		{OID: 5, T: -1, Samples: tkplq.SampleSet{{Loc: p[0], Prob: 1.0}}},
+	}); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}

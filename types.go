@@ -105,7 +105,9 @@ type (
 	// single-threaded); results are bit-identical at every pool size.
 	// Options.DisableCache / Options.CacheCapacity control the presence
 	// cache that lets repeated and overlapping-window queries reuse
-	// per-object work.
+	// per-object work. Options.DisableCoalescing turns off query-level
+	// request coalescing, which lets concurrent identical queries share one
+	// in-flight evaluation.
 	Options = core.Options
 	// EngineKind selects the presence computation engine.
 	EngineKind = core.EngineKind
@@ -116,9 +118,11 @@ type (
 	// Result is one ranked TkPLQ answer.
 	Result = core.Result
 	// Stats reports work performed by a query, including the worker-pool
-	// size used and presence-cache hits and misses.
+	// size used, presence-cache hits and misses, and whether the query was
+	// coalesced onto a concurrent identical evaluation (Stats.Coalesced).
 	Stats = core.Stats
-	// CacheStats is a snapshot of the engine's presence-cache state.
+	// CacheStats is a snapshot of the engine's presence-cache and request-
+	// coalescer state.
 	CacheStats = core.CacheStats
 )
 
