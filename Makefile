@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt vet staticcheck vuln smoke ci
+.PHONY: all build test race bench bench-json lint fmt vet staticcheck vuln smoke apicheck ci
 
 all: build
 
@@ -67,4 +67,10 @@ vuln:
 smoke:
 	./scripts/server_smoke.sh
 
-ci: lint build race bench smoke
+# Public-API drift gate: the exported surface of package tkplq must match
+# the golden snapshot in testdata/api.txt. After an intentional API change:
+#   go test -run TestPublicAPIGolden . -update-api
+apicheck:
+	$(GO) test -run TestPublicAPIGolden .
+
+ci: lint build apicheck race bench smoke

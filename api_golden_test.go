@@ -1,0 +1,224 @@
+package tkplq_test
+
+// The public-API golden test: a snapshot of every exported declaration of
+// package tkplq lives in testdata/api.txt, and this test fails when the
+// surface drifts — so a PR can never silently break the facade. After an
+// intentional change, regenerate with:
+//
+//	go test -run TestPublicAPIGolden . -update-api
+//
+// (wired into CI as `make apicheck`).
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt with the current public API")
+
+const apiGoldenPath = "testdata/api.txt"
+
+func TestPublicAPIGolden(t *testing.T) {
+	got, err := publicAPI(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := strings.Join(got, "\n") + "\n"
+
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(current), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d declarations", apiGoldenPath, len(got))
+		return
+	}
+
+	wantBytes, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("%v — run `go test -run TestPublicAPIGolden . -update-api` to create the snapshot", err)
+	}
+	want := strings.Split(strings.TrimRight(string(wantBytes), "\n"), "\n")
+
+	wantSet := make(map[string]bool, len(want))
+	for _, line := range want {
+		wantSet[line] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, line := range got {
+		gotSet[line] = true
+	}
+	var missing, added []string
+	for _, line := range want {
+		if !gotSet[line] {
+			missing = append(missing, line)
+		}
+	}
+	for _, line := range got {
+		if !wantSet[line] {
+			added = append(added, line)
+		}
+	}
+	if len(missing) == 0 && len(added) == 0 {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("public API drifted from testdata/api.txt:\n")
+	for _, line := range missing {
+		fmt.Fprintf(&sb, "  removed/changed: %s\n", line)
+	}
+	for _, line := range added {
+		fmt.Fprintf(&sb, "  added/changed:   %s\n", line)
+	}
+	sb.WriteString("if intentional, regenerate with: go test -run TestPublicAPIGolden . -update-api")
+	t.Fatal(sb.String())
+}
+
+var spaceRun = regexp.MustCompile(`\s+`)
+
+// publicAPI renders every exported top-level declaration of the package in
+// dir as one normalized line each, sorted.
+func publicAPI(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg, ok := pkgs["tkplq"]
+	if !ok {
+		return nil, fmt.Errorf("package tkplq not found in %s", dir)
+	}
+
+	render := func(node any) (string, error) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			return "", err
+		}
+		return spaceRun.ReplaceAllString(buf.String(), " "), nil
+	}
+
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				d.Doc = nil
+				d.Body = nil
+				line, err := render(d)
+				if err != nil {
+					return nil, err
+				}
+				lines = append(lines, line)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						sp.Doc, sp.Comment = nil, nil
+						// Struct and interface types snapshot their full
+						// exported shape; other types (aliases included)
+						// snapshot the definition.
+						if st, ok := sp.Type.(*ast.StructType); ok {
+							stripUnexportedFields(st)
+						}
+						line, err := render(sp)
+						if err != nil {
+							return nil, err
+						}
+						lines = append(lines, "type "+line)
+					case *ast.ValueSpec:
+						exported := false
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								exported = true
+								break
+							}
+						}
+						if !exported {
+							continue
+						}
+						sp.Doc, sp.Comment = nil, nil
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						// Render the full spec (names, type, values) so a
+						// retyped or re-pointed const/var trips the gate.
+						line, err := render(sp)
+						if err != nil {
+							return nil, err
+						}
+						lines = append(lines, kw+" "+line)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// stripUnexportedFields removes unexported fields from a struct snapshot.
+func stripUnexportedFields(st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	kept := st.Fields.List[:0]
+	for _, f := range st.Fields.List {
+		exported := len(f.Names) == 0 // embedded field: keep
+		for _, n := range f.Names {
+			if n.IsExported() {
+				exported = true
+				break
+			}
+		}
+		if exported {
+			f.Doc, f.Comment = nil, nil
+			kept = append(kept, f)
+		}
+	}
+	st.Fields.List = kept
+}

@@ -6,6 +6,7 @@
 package tkplq_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -347,6 +348,52 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchQuery contrasts M same-window queries issued sequentially
+// through System.Do against one System.DoBatch call. The batch performs the
+// per-object data reduction and presence summarization once for the whole
+// group (the cache is disabled so the sequential path cannot hide behind
+// it), which is the serving-layer win for overlapping dashboard queries.
+func BenchmarkBatchQuery(b *testing.B) {
+	d := parallelData(b)
+	const m = 8
+	queries := make([]tkplq.Query, m)
+	for i := range queries {
+		// Distinct query subsets and ks over one shared window.
+		lo := i % (len(d.slocs) / 2)
+		queries[i] = tkplq.Query{
+			Kind: tkplq.KindTopK, Algorithm: tkplq.NestedLoop, K: 3 + i%3,
+			Ts: 0, Te: d.span, SLocs: d.slocs[lo:],
+		}
+	}
+	newSys := func() *tkplq.System {
+		sys, err := tkplq.NewSystem(d.building.Space, d.table, tkplq.Options{DisableCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	b.Run("sequential", func(b *testing.B) {
+		sys := newSys()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := sys.Do(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		sys := newSys()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DoBatch(context.Background(), queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkQueryStampede measures a burst of concurrent identical TkPLQ

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tkplq/internal/experiments"
@@ -44,7 +48,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the run context, which aborts the measured
+	// evaluation mid-query via the engine's context plumbing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := &experiments.Config{
+		Ctx:      ctx,
 		Scale:    scale,
 		Queries:  *queriesFlag,
 		MCRounds: *mcFlag,
@@ -71,6 +80,10 @@ func main() {
 		start := time.Now()
 		tables, err := exp.Run(cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
 			os.Exit(1)
 		}

@@ -3,47 +3,81 @@
 //
 // The indoor space is regenerated deterministically from the dataset flags
 // (spaces are cheap; the IUPT is the heavy artifact and can be loaded from a
-// file produced by gendata, or generated on the fly).
+// file produced by gendata, or generated on the fly). Queries run through
+// the context-aware System.Do API, so Ctrl-C aborts a long evaluation
+// mid-flight instead of waiting it out.
 //
 // Usage:
 //
 //	tkplq [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
 //	      [-objects N] [-duration SECONDS] [-seed N]
 //	      [-k N] [-q FRACTION] [-ts N] [-te N] [-algo naive|nl|bf]
-//	      [-engine dp|enum] [-workers N] [-compare]
+//	      [-engine dp|enum] [-workers N] [-compare] [-batch]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"tkplq/internal/core"
-	"tkplq/internal/indoor"
+	"tkplq"
 	"tkplq/internal/iupt"
 	"tkplq/internal/sim"
 )
 
+// errFlagParse marks a flag-parse failure the FlagSet has already reported
+// on stderr, so main must not print it a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch err := run(ctx, os.Args[1:]); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errFlagParse):
+		os.Exit(2)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "tkplq: interrupted")
+		os.Exit(130)
+	default:
+		fmt.Fprintln(os.Stderr, "tkplq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("tkplq", flag.ContinueOnError)
 	var (
-		dataset  = flag.String("dataset", "syn", "dataset kind: syn or rd")
-		iuptFile = flag.String("iupt", "", "IUPT file from gendata (default: generate)")
-		format   = flag.String("format", "csv", "IUPT file format: csv or bin")
-		objects  = flag.Int("objects", 50, "number of objects when generating")
-		duration = flag.Int64("duration", 7200, "simulated span when generating")
-		seed     = flag.Int64("seed", 42, "random seed (must match gendata for -iupt files)")
-		k        = flag.Int("k", 5, "number of results")
-		qFrac    = flag.Float64("q", 0.5, "fraction of S-locations in the query set")
-		tsFlag   = flag.Int64("ts", 0, "query interval start (seconds)")
-		teFlag   = flag.Int64("te", 0, "query interval end (0 = full span)")
-		algoFlag = flag.String("algo", "bf", "search algorithm: naive, nl or bf")
-		engine   = flag.String("engine", "dp", "presence engine: dp or enum")
-		workers  = flag.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
-		compare  = flag.Bool("compare", false, "run all three algorithms and compare work")
+		dataset  = fs.String("dataset", "syn", "dataset kind: syn or rd")
+		iuptFile = fs.String("iupt", "", "IUPT file from gendata (default: generate)")
+		format   = fs.String("format", "csv", "IUPT file format: csv or bin")
+		objects  = fs.Int("objects", 50, "number of objects when generating")
+		duration = fs.Int64("duration", 7200, "simulated span when generating")
+		seed     = fs.Int64("seed", 42, "random seed (must match gendata for -iupt files)")
+		k        = fs.Int("k", 5, "number of results")
+		qFrac    = fs.Float64("q", 0.5, "fraction of S-locations in the query set")
+		tsFlag   = fs.Int64("ts", 0, "query interval start (seconds)")
+		teFlag   = fs.Int64("te", 0, "query interval end (0 = full span)")
+		algoFlag = fs.String("algo", "bf", "search algorithm: naive, nl or bf")
+		engine   = fs.String("engine", "dp", "presence engine: dp or enum")
+		workers  = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
+		compare  = fs.Bool("compare", false, "run all three algorithms and compare work")
+		batch    = fs.Bool("batch", false, "with -compare: evaluate the three algorithms as one shared-work DoBatch")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errFlagParse // the FlagSet already printed the message + usage
+	}
 
 	var b *sim.Building
 	var err error
@@ -53,18 +87,17 @@ func main() {
 	case "rd":
 		b, err = sim.RealDataFloor()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
-		os.Exit(2)
+		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	var table *iupt.Table
+	var table *tkplq.Table
 	if *iuptFile != "" {
 		f, err := os.Open(*iuptFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch *format {
 		case "csv":
@@ -72,46 +105,48 @@ func main() {
 		case "bin":
 			table, err = iupt.ReadBinary(f)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
-			os.Exit(2)
+			f.Close()
+			return fmt.Errorf("unknown format %q", *format)
 		}
 		cerr := f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if cerr != nil {
-			fatal(cerr)
+			return cerr
 		}
 	} else {
 		moveCfg := sim.MovementConfig{
-			Objects: *objects, Duration: iupt.Time(*duration), MaxSpeed: 1.0,
+			Objects: *objects, Duration: tkplq.Time(*duration), MaxSpeed: 1.0,
 			MinDwell: 300, MaxDwell: 1800,
-			MinLifespan: iupt.Time(*duration / 2), MaxLifespan: iupt.Time(*duration),
+			MinLifespan: tkplq.Time(*duration / 2), MaxLifespan: tkplq.Time(*duration),
 			Seed: *seed,
 		}
 		trajs, err := sim.SimulateMovement(b, moveCfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		table, err = sim.GenerateIUPT(b, trajs, sim.PositioningConfig{
 			MaxPeriod: 3, MSS: 4, ErrorRadius: 5, Gamma: 0.2, Seed: *seed + 1,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	opts := core.Options{Workers: *workers}
+	opts := tkplq.Options{Workers: *workers}
 	switch *engine {
 	case "dp":
-		opts.Engine = core.EngineDP
+		opts.Engine = tkplq.EngineDP
 	case "enum":
-		opts.Engine = core.EngineEnum
+		opts.Engine = tkplq.EngineEnum
 	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+		return fmt.Errorf("unknown engine %q", *engine)
 	}
-	eng := core.NewEngine(b.Space, opts)
+	sys, err := tkplq.NewSystem(b.Space, table, opts)
+	if err != nil {
+		return err
+	}
 
 	// Query set: a deterministic random fraction of the S-locations.
 	rng := rand.New(rand.NewSource(*seed + 7))
@@ -121,58 +156,80 @@ func main() {
 		qSize = 1
 	}
 	perm := rng.Perm(total)[:qSize]
-	q := make([]indoor.SLocID, qSize)
+	q := make([]tkplq.SLocID, qSize)
 	for i, p := range perm {
-		q[i] = indoor.SLocID(p)
+		q[i] = tkplq.SLocID(p)
 	}
 
-	ts := iupt.Time(*tsFlag)
-	te := iupt.Time(*teFlag)
+	ts := tkplq.Time(*tsFlag)
+	te := tkplq.Time(*teFlag)
 	if te == 0 {
 		_, hi, ok := table.TimeSpan()
 		if !ok {
-			fatal(fmt.Errorf("empty IUPT"))
+			return fmt.Errorf("empty IUPT")
 		}
 		te = hi
 	}
 
-	algos := map[string]core.Algorithm{
-		"naive": core.AlgoNaive, "nl": core.AlgoNestedLoop, "bf": core.AlgoBestFirst,
+	algos := map[string]tkplq.Algorithm{
+		"naive": tkplq.Naive, "nl": tkplq.NestedLoop, "bf": tkplq.BestFirst,
 	}
-	run := func(name string, algo core.Algorithm) {
-		start := time.Now()
-		res, stats, err := eng.TopK(table, q, *k, ts, te, algo)
-		if err != nil {
-			fatal(err)
-		}
-		elapsed := time.Since(start)
+	report := func(name string, resp *tkplq.Response, elapsed time.Duration) {
 		fmt.Printf("-- %s: top-%d over |Q|=%d, [%d, %d] (%.1f ms) --\n",
 			name, *k, len(q), ts, te, float64(elapsed.Microseconds())/1000)
-		for i, r := range res {
+		for i, r := range resp.Results {
 			fmt.Printf("%2d. %-24s flow %.4f\n", i+1, b.Space.SLocation(r.SLoc).Name, r.Flow)
 		}
+		stats := resp.Stats
 		fmt.Printf("objects: %d total, %d computed (pruning %.1f%%); heap pops %d; breaks %d\n",
 			stats.ObjectsTotal, stats.ObjectsComputed, stats.PruningRatio()*100,
 			stats.HeapPops, stats.SequenceBreaks)
-		fmt.Printf("workers: %d; cache: %d hits, %d misses\n\n",
-			stats.Workers, stats.CacheHits, stats.CacheMisses)
+		fmt.Printf("workers: %d; cache: %d hits, %d misses", stats.Workers, stats.CacheHits, stats.CacheMisses)
+		if stats.SharedBatch > 0 {
+			fmt.Printf("; shared batch of %d", stats.SharedBatch)
+		}
+		fmt.Printf("\n\n")
+	}
+	runOne := func(name string, algo tkplq.Algorithm) error {
+		start := time.Now()
+		resp, err := sys.Do(ctx, tkplq.Query{Kind: tkplq.KindTopK, Algorithm: algo, K: *k, Ts: ts, Te: te, SLocs: q})
+		if err != nil {
+			return err
+		}
+		report(name, resp, time.Since(start))
+		return nil
 	}
 
 	if *compare {
-		for _, name := range []string{"naive", "nl", "bf"} {
-			run(name, algos[name])
+		names := []string{"naive", "nl", "bf"}
+		if *batch {
+			// One shared-work batch: the per-object reduction runs once for
+			// all three algorithm variants (they share the window).
+			queries := make([]tkplq.Query, len(names))
+			for i, name := range names {
+				queries[i] = tkplq.Query{Kind: tkplq.KindTopK, Algorithm: algos[name], K: *k, Ts: ts, Te: te, SLocs: q}
+			}
+			start := time.Now()
+			resps, err := sys.DoBatch(ctx, queries)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			for i, name := range names {
+				report(name+" (batched)", resps[i], elapsed)
+			}
+			return nil
 		}
-		return
+		for _, name := range names {
+			if err := runOne(name, algos[name]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	algo, ok := algos[*algoFlag]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoFlag)
-		os.Exit(2)
+		return fmt.Errorf("unknown algorithm %q", *algoFlag)
 	}
-	run(*algoFlag, algo)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tkplq:", err)
-	os.Exit(1)
+	return runOne(*algoFlag, algo)
 }

@@ -2,13 +2,20 @@
 // indoor mobility dataset and serves continuous queries over HTTP.
 //
 //	POST /v1/query   {"kind":"topk","algorithm":"bf","k":5,"ts":0,"te":0,"slocs":[]}
+//	POST /v2/query   same shape plus per-query options (workers, no_cache,
+//	                 no_coalesce, oid for kind "presence"); send a JSON array
+//	                 to evaluate a shared-work batch in one request
 //	POST /v1/ingest  {"records":[{"oid":1,"t":120,"samples":[{"ploc":4,"prob":0.6},...]}]}
 //	GET  /v1/stats
 //	GET  /healthz
 //
-// Concurrent identical queries share one evaluation (query-level request
-// coalescing) on top of the engine's per-object presence cache. The daemon
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// Every request is evaluated under its own context: the request-timeout
+// budget and the client connection are the cancellation sources, so a
+// timed-out or abandoned request stops the engine's shard workers instead
+// of burning them to completion. Concurrent identical queries share one
+// evaluation (query-level request coalescing) on top of the engine's
+// per-object presence cache. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
 //
 // Usage:
 //

@@ -77,4 +77,7 @@ func main() {
 		fmt.Printf("   (%d objects in window)\n", stats.ObjectsTotal)
 	}
 	fmt.Println("\neach poll reuses cached per-window state; Observe() invalidates it.")
+	// The Monitor rides the same engine as System.Do/DoBatch, so its sliding
+	// evaluations share the presence cache with any ad-hoc queries issued
+	// against the same system.
 }

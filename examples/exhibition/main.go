@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -95,16 +96,19 @@ func main() {
 	const k = 5
 	var ts, te tkplq.Time = 1800, 1800 + 2700
 
-	res, stats, err := sys.TopK(booths, k, ts, te, tkplq.BestFirst)
+	resp, err := sys.Do(context.Background(), tkplq.Query{
+		Kind: tkplq.KindTopK, Algorithm: tkplq.BestFirst, K: k, Ts: ts, Te: te, SLocs: booths,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := resp.Results
 	fmt.Printf("top-%d booths by estimated visitor flow:\n", k)
 	for i, r := range res {
 		fmt.Printf("%2d. %-18s flow %.1f\n", i+1, hall.Space.SLocation(r.SLoc).Name, r.Flow)
 	}
 	fmt.Printf("(pruned %.0f%% of visitors without touching their paths)\n\n",
-		stats.PruningRatio()*100)
+		resp.Stats.PruningRatio()*100)
 
 	// Score against the simulation's exact ground truth, and against the
 	// simple-counting strawman (count the most probable sample of every

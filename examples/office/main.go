@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,12 +74,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	all := sysFull.AllSLocations()
 	allTruth := tkplq.GroundTruthFlows(office.Space, users, all, ts, te)
-	ranking, _, err := sysFull.TopK(all, len(all), ts, te, tkplq.NestedLoop)
+	full, err := sysFull.Do(ctx, tkplq.Query{
+		Kind: tkplq.KindTopK, Algorithm: tkplq.NestedLoop, K: len(all), Ts: ts, Te: te, SLocs: all,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ranking := full.Results
 	fmt.Println("estimated flow vs true visitors, whole floor, Δt = 15 min:")
 	for _, r := range ranking {
 		fmt.Printf("  %-4s est %6.2f   true %3.0f\n",
@@ -97,11 +102,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bfRes, _, err := sys.TopK(q, k, ts, te, tkplq.BestFirst)
+		bfResp, err := sys.Do(ctx, tkplq.Query{
+			Kind: tkplq.KindTopK, Algorithm: tkplq.BestFirst, K: k, Ts: ts, Te: te, SLocs: q,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		bf := tkplq.Effectiveness(bfRes, truth)
+		bf := tkplq.Effectiveness(bfResp.Results, truth)
 
 		scRes := tkplq.TopKOf(baseline.SC(office.Space, variant, q, ts, te), k)
 		sc := tkplq.Effectiveness(scRes, truth)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,23 +55,47 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Every query kind flows through the single context-aware entry point,
+	// System.Do; a canceled context would abort the evaluation mid-flight.
+	ctx := context.Background()
+
 	// Per-object presence (paper Examples 2 and 3).
 	r1, r6 := fig.SLocs[0], fig.SLocs[5]
+	presence := func(oid tkplq.ObjectID) float64 {
+		resp, err := sys.Do(ctx, tkplq.Query{
+			Kind: tkplq.KindPresence, SLocs: []tkplq.SLocID{r6}, OID: oid, Ts: 1, Te: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp.Flow
+	}
 	fmt.Printf("\npresence in r6: o1=%.2f o2=%.2f o3=%.2f\n",
-		sys.Presence(r6, 1, 1, 8), sys.Presence(r6, 2, 1, 8), sys.Presence(r6, 3, 1, 8))
+		presence(1), presence(2), presence(3))
 
-	// Indoor flows (paper Example 3: Θ(r6)=1.97, Θ(r1)=0.5).
-	f6, _ := sys.Flow(r6, 1, 8)
-	f1, _ := sys.Flow(r1, 1, 8)
-	fmt.Printf("flows: Θ(r6)=%.2f Θ(r1)=%.2f\n", f6, f1)
+	// Indoor flows (paper Example 3: Θ(r6)=1.97, Θ(r1)=0.5). Both flow
+	// queries share the window [t1, t8], so DoBatch reduces every object's
+	// positioning sequence once and answers both from the shared pass.
+	flows, err := sys.DoBatch(ctx, []tkplq.Query{
+		{Kind: tkplq.KindFlow, SLocs: []tkplq.SLocID{r6}, Ts: 1, Te: 8},
+		{Kind: tkplq.KindFlow, SLocs: []tkplq.SLocID{r1}, Ts: 1, Te: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flows: Θ(r6)=%.2f Θ(r1)=%.2f (one shared pass over %d queries)\n",
+		flows[0].Flow, flows[1].Flow, flows[0].Stats.SharedBatch)
 
 	// The top-k popular location query (paper Example 4).
-	res, stats, err := sys.TopK([]tkplq.SLocID{r1, r6}, 1, 1, 8, tkplq.BestFirst)
+	resp, err := sys.Do(ctx, tkplq.Query{
+		Kind: tkplq.KindTopK, Algorithm: tkplq.BestFirst, K: 1, Ts: 1, Te: 8,
+		SLocs: []tkplq.SLocID{r1, r6},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntop-1 during [t1,t8]: %s (flow %.2f)\n",
-		space.SLocation(res[0].SLoc).Name, res[0].Flow)
+		space.SLocation(resp.Results[0].SLoc).Name, resp.Results[0].Flow)
 	fmt.Printf("work: %d/%d objects computed, %d heap pops\n",
-		stats.ObjectsComputed, stats.ObjectsTotal, stats.HeapPops)
+		resp.Stats.ObjectsComputed, resp.Stats.ObjectsTotal, resp.Stats.HeapPops)
 }

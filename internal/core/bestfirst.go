@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"tkplq/internal/geom"
@@ -24,8 +25,11 @@ type (
 // pops heap entries best-first, descending whichever tree side is deeper,
 // computing concrete flows only for leaf entries that survive to the top,
 // and terminates as soon as k results are confirmed.
-func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := e.sequences(table, ts, te)
+func (e *Engine) topkBestFirst(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
+	seqs, err := e.sequences(ctx, table, ts, te)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	query := make(map[indoor.SLocID]bool, len(q))
 	for _, s := range q {
 		query[s] = true
@@ -34,7 +38,9 @@ func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, 
 	// Every object's reduction (PSLs) is needed for RC; shard them across
 	// the worker pool. Summaries stay lazy — only candidates that survive to
 	// the top of the heap pay for path construction, as in the paper.
-	oracle.ensureReductions(oracle.objects())
+	if err := oracle.ensureReductions(ctx, oracle.objects()); err != nil {
+		return nil, Stats{}, err
+	}
 
 	// Phase 1: RC over PSL MBRs of non-pruned objects.
 	var rcItems []rtree.BulkItem[iupt.ObjectID]
@@ -71,10 +77,14 @@ func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, 
 		push(bfEntry{ub: ub, qEntry: eQ, list: list})
 	}
 
-	// Phase 3: best-first descent.
+	// Phase 3: best-first descent. The context is checked on every pop, so a
+	// canceled query abandons the search between candidate evaluations.
 	results := make([]Result, 0, k)
 	returned := make(map[indoor.SLocID]bool, k)
 	for h.Len() > 0 && len(results) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 		en := heap.Pop(&h).(bfEntry)
 		oracle.stats.HeapPops++
 		switch {
@@ -87,7 +97,10 @@ func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, 
 			if len(en.list) == 0 || en.list[0].IsLeafEntry() {
 				// Load the candidate objects and compute the concrete flow,
 				// sharing each object's summary across query locations.
-				flow := e.flowForCandidates(oracle, en.qEntry.Item(), en.list)
+				flow, err := e.flowForCandidates(ctx, oracle, en.qEntry.Item(), en.list)
+				if err != nil {
+					return nil, Stats{}, err
+				}
 				push(bfEntry{ub: flow, qEntry: en.qEntry, flowDone: true})
 			} else {
 				// Descend the RC side.
@@ -147,7 +160,7 @@ func (e *Engine) topkBestFirst(table *iupt.Table, q []indoor.SLocID, k int, ts, 
 	}
 	// Re-rank the k confirmed results so tie ordering (flow desc, id asc)
 	// matches Naive and Nested-Loop exactly.
-	return rankTopK(results, k), oracle.finishStats()
+	return rankTopK(results, k), oracle.finishStats(), nil
 }
 
 // pushZeroSubtree enqueues every query leaf under eq as a zero-flow result
@@ -169,7 +182,7 @@ func pushZeroSubtree(push *func(bfEntry), eq rtree.Entry[indoor.SLocID]) {
 // PSL MBRs. The candidates' summaries are computed across the worker pool;
 // the presence sum itself walks objects ascending, so the flow is
 // bit-identical at any pool size.
-func (e *Engine) flowForCandidates(oracle *presenceOracle, sloc indoor.SLocID, list []rtree.Entry[iupt.ObjectID]) float64 {
+func (e *Engine) flowForCandidates(ctx context.Context, oracle *presenceOracle, sloc indoor.SLocID, list []rtree.Entry[iupt.ObjectID]) (float64, error) {
 	cell := e.space.CellOfSLoc(sloc)
 	seen := make(map[iupt.ObjectID]bool, len(list))
 	oids := make([]iupt.ObjectID, 0, len(list))
@@ -181,14 +194,16 @@ func (e *Engine) flowForCandidates(oracle *presenceOracle, sloc indoor.SLocID, l
 		}
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	oracle.ensureSummaries(oids)
+	if err := oracle.ensureSummaries(ctx, oids); err != nil {
+		return 0, err
+	}
 	flow := 0.0
 	for _, oid := range oids {
 		if sum := oracle.summary(oid); sum != nil {
 			flow += sum.Presence(cell, e.opts.Presence)
 		}
 	}
-	return flow
+	return flow, nil
 }
 
 // entriesOf snapshots a node's entries.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"tkplq/internal/indoor"
@@ -71,8 +72,9 @@ type flightKey struct {
 	qHash    uint64
 }
 
-// flight is one in-flight evaluation. res, stats, err and panicked are
-// written by the leader before done is closed and are immutable afterwards.
+// flight is one in-flight evaluation. res, stats, err, panicked and
+// abandoned are written by the leader before done is closed and are
+// immutable afterwards.
 type flight struct {
 	q    []indoor.SLocID // canonical (ascending) query set, for collision verification
 	done chan struct{}
@@ -84,6 +86,11 @@ type flight struct {
 	// completing; followers then evaluate for themselves rather than serve
 	// an empty result.
 	panicked bool
+	// abandoned is true when the leader's own context was canceled before
+	// the evaluation finished. The leader's ctx.Err() is about *its* caller,
+	// not the followers', so followers with live contexts take over and
+	// evaluate for themselves instead of inheriting the cancellation.
+	abandoned bool
 }
 
 // canonicalSLocs returns a sorted copy of q (ascending id). Rankings are
@@ -139,7 +146,14 @@ func flightKeyFor(kind flightKind, table *iupt.Table, q []indoor.SLocID, k int, 
 // do runs eval under the key, sharing the evaluation with every concurrent
 // identical caller. q must be the canonical query set behind key.qHash. The
 // returned result slice is a private copy for each caller.
-func (c *coalescer) do(key flightKey, q []indoor.SLocID, eval func() ([]Result, Stats, error)) ([]Result, Stats, error) {
+//
+// Context semantics: a follower whose ctx is canceled while it waits
+// *detaches* — it returns ctx.Err() immediately and the leader keeps
+// evaluating for everyone else. A leader whose own ctx is canceled
+// mid-evaluation marks the flight abandoned; followers with live contexts
+// then evaluate for themselves instead of inheriting a cancellation that
+// was never theirs.
+func (c *coalescer) do(ctx context.Context, key flightKey, q []indoor.SLocID, eval func(context.Context) ([]Result, Stats, error)) ([]Result, Stats, error) {
 	c.mu.Lock()
 	if f, ok := c.flights[key]; ok {
 		if !slocsEqual(f.q, q) {
@@ -147,11 +161,19 @@ func (c *coalescer) do(key flightKey, q []indoor.SLocID, eval func() ([]Result, 
 			// rather than serve someone else's answer.
 			c.led++
 			c.mu.Unlock()
-			return eval()
+			return eval(ctx)
 		}
 		c.waiting++
 		c.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			// Follower detach: this caller is gone, the flight is not.
+			c.mu.Lock()
+			c.waiting--
+			c.mu.Unlock()
+			return nil, Stats{}, ctx.Err()
+		}
 		c.mu.Lock()
 		c.waiting--
 		if f.panicked {
@@ -160,7 +182,15 @@ func (c *coalescer) do(key flightKey, q []indoor.SLocID, eval func() ([]Result, 
 			// would have without coalescing.
 			c.led++
 			c.mu.Unlock()
-			return eval()
+			return eval(ctx)
+		}
+		if f.abandoned {
+			// The leader was canceled, not broken: re-enter the coalescer so
+			// the first woken follower leads ONE replacement flight and the
+			// rest coalesce onto it — a canceled leader must not turn its
+			// followers back into the stampede coalescing exists to prevent.
+			c.mu.Unlock()
+			return c.do(ctx, key, q, eval)
 		}
 		c.coalesced++
 		c.mu.Unlock()
@@ -187,8 +217,13 @@ func (c *coalescer) do(key flightKey, q []indoor.SLocID, eval func() ([]Result, 
 		c.mu.Unlock()
 		close(f.done)
 	}()
-	f.res, f.stats, f.err = eval()
+	f.res, f.stats, f.err = eval(ctx)
 	f.panicked = false
+	if f.err != nil && ctx.Err() != nil {
+		// The leader's evaluation died with its own context — hand the work
+		// back to the followers rather than failing them with this ctx.Err().
+		f.abandoned = true
+	}
 	// The leader hands its followers the f.res backing array; return a copy so
 	// a caller mutating its slice cannot race the followers' copies.
 	return append([]Result(nil), f.res...), f.stats, f.err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -320,8 +321,8 @@ func TestCoalescePanickingLeader(t *testing.T) {
 	key := flightKey{kind: flightTopK, k: 1}
 	q := []indoor.SLocID{0}
 
-	boom := func() ([]Result, Stats, error) { panic("engine blew up") }
-	good := func() ([]Result, Stats, error) {
+	boom := func(context.Context) ([]Result, Stats, error) { panic("engine blew up") }
+	good := func(context.Context) ([]Result, Stats, error) {
 		return []Result{{SLoc: 0, Flow: 1}}, Stats{}, nil
 	}
 
@@ -331,7 +332,7 @@ func TestCoalescePanickingLeader(t *testing.T) {
 	leaderDone := make(chan any, 1)
 	go func() {
 		defer func() { leaderDone <- recover() }()
-		c.do(key, q, boom)
+		c.do(context.Background(), key, q, boom)
 	}()
 	// Make sure boom is the leader: its flight must be registered before the
 	// follower is launched.
@@ -350,7 +351,7 @@ func TestCoalescePanickingLeader(t *testing.T) {
 	}
 	followerDone := make(chan []Result, 1)
 	go func() {
-		res, _, err := c.do(key, q, good)
+		res, _, err := c.do(context.Background(), key, q, good)
 		if err != nil {
 			t.Error(err)
 		}
@@ -369,7 +370,7 @@ func TestCoalescePanickingLeader(t *testing.T) {
 
 	// No dead flight left behind: a fresh identical query completes.
 	c.holdEval = nil
-	res, st, err := c.do(key, q, good)
+	res, st, err := c.do(context.Background(), key, q, good)
 	if err != nil || len(res) != 1 || st.Coalesced != 0 {
 		t.Fatalf("post-panic query = (%v, %+v, %v), want a clean solo evaluation", res, st, err)
 	}

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 
@@ -231,9 +232,10 @@ func NewEngine(space *indoor.Space, opts Options) *Engine {
 func (e *Engine) Space() *indoor.Space { return e.space }
 
 // sequences fetches the per-object positioning sequences of [ts, te],
-// sharding the per-object sorting across the worker pool.
-func (e *Engine) sequences(table *iupt.Table, ts, te iupt.Time) map[iupt.ObjectID]iupt.Sequence {
-	return table.SequencesInRangeSharded(ts, te, e.opts.workerCount())
+// sharding the per-object sorting across the worker pool. A canceled ctx
+// aborts the fetch and returns ctx.Err().
+func (e *Engine) sequences(ctx context.Context, table *iupt.Table, ts, te iupt.Time) (map[iupt.ObjectID]iupt.Sequence, error) {
+	return table.SequencesInRangeSharded(ctx, ts, te, e.opts.workerCount())
 }
 
 // Options returns the engine's options.
@@ -283,6 +285,11 @@ type Stats struct {
 	// leader's work). 0 for the caller that performed the evaluation, and
 	// always 0 when Options.DisableCoalescing is set.
 	Coalesced int64
+	// SharedBatch is the number of queries that shared this evaluation's
+	// per-object data reduction and presence summarization inside one
+	// Engine.DoBatch group (the other per-object fields then describe the
+	// group's single shared pass). 0 for queries evaluated on their own.
+	SharedBatch int
 }
 
 // PruningRatio returns σ = (|O| - |Of|) / |O| (§5.1); 0 for an empty O.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
 )
@@ -15,18 +17,26 @@ import (
 // flow is needed, so Best-First's partial evaluation cannot help).
 // Concurrent identical calls share one evaluation (Options.DisableCoalescing,
 // Stats.Coalesced).
+// TopKDensity is the uncancellable legacy form of Do with KindDensity; use
+// Do to bound the evaluation with a context.
 func (e *Engine) TopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
-	k, err := e.validateTopK(q, k)
+	resp, err := e.Do(context.Background(), table, Query{Kind: KindDensity, K: k, Ts: ts, Te: te, SLocs: q})
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return resp.Results, resp.Stats, nil
+}
+
+// coalescedTopKDensity routes an already-validated density query through the
+// request coalescer (when enabled).
+func (e *Engine) coalescedTopKDensity(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
 	if e.coal == nil {
-		return e.evalTopKDensity(table, q, k, ts, te)
+		return e.evalTopKDensity(ctx, table, q, k, ts, te)
 	}
 	canon := canonicalSLocs(q)
 	key := flightKeyFor(flightDensity, table, canon, k, ts, te, AlgoNestedLoop)
-	return e.coal.do(key, canon, func() ([]Result, Stats, error) {
-		return e.evalTopKDensity(table, q, k, ts, te)
+	return e.coal.do(ctx, key, canon, func(ctx context.Context) ([]Result, Stats, error) {
+		return e.evalTopKDensity(ctx, table, q, k, ts, te)
 	})
 }
 
@@ -34,11 +44,18 @@ func (e *Engine) TopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts, te
 // validated, so it dispatches straight to the nested-loop pass (going through
 // the public TopK here would open a nested flight and double-count
 // CacheStats.Flights).
-func (e *Engine) evalTopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
-	full, stats, err := e.evalTopK(table, q, len(q), ts, te, AlgoNestedLoop)
+func (e *Engine) evalTopKDensity(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
+	full, stats, err := e.evalTopK(ctx, table, q, len(q), ts, te, AlgoNestedLoop)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return e.densityRank(full, k), stats, nil
+}
+
+// densityRank divides each location's flow by its floor area and re-ranks,
+// dropping zero-area locations. Shared by the single-query path and the
+// DoBatch path so both perform the identical float operations.
+func (e *Engine) densityRank(full []Result, k int) []Result {
 	out := make([]Result, 0, len(full))
 	for _, r := range full {
 		area := e.SLocArea(r.SLoc)
@@ -47,7 +64,7 @@ func (e *Engine) evalTopKDensity(table *iupt.Table, q []indoor.SLocID, k int, ts
 		}
 		out = append(out, Result{SLoc: r.SLoc, Flow: r.Flow / area})
 	}
-	return rankTopK(out, k), stats, nil
+	return rankTopK(out, k)
 }
 
 // SLocArea returns the S-location's floor area in square meters: the sum of

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
 )
@@ -13,58 +15,104 @@ import (
 // in ascending object order, so the flow is bit-identical at any pool size.
 // Concurrent identical calls share one evaluation (Options.DisableCoalescing,
 // Stats.Coalesced).
+//
+// Flow is the uncancellable legacy form of Do with KindFlow; use Do to bound
+// the evaluation with a context (and to see validation errors — Flow maps an
+// unknown S-location to 0).
 func (e *Engine) Flow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
+	resp, err := e.Do(context.Background(), table, Query{Kind: KindFlow, SLocs: []indoor.SLocID{q}, Ts: ts, Te: te})
+	if err != nil {
+		return 0, Stats{}
+	}
+	return resp.Flow, resp.Stats
+}
+
+// coalescedFlow routes an already-validated flow computation through the
+// request coalescer (when enabled).
+func (e *Engine) coalescedFlow(ctx context.Context, table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats, error) {
 	if e.coal == nil {
-		return e.evalFlow(table, q, ts, te)
+		return e.evalFlow(ctx, table, q, ts, te)
 	}
 	canon := []indoor.SLocID{q}
 	key := flightKeyFor(flightFlow, table, canon, 0, ts, te, 0)
-	res, stats, _ := e.coal.do(key, canon, func() ([]Result, Stats, error) {
-		flow, st := e.evalFlow(table, q, ts, te)
+	res, stats, err := e.coal.do(ctx, key, canon, func(ctx context.Context) ([]Result, Stats, error) {
+		flow, st, err := e.evalFlow(ctx, table, q, ts, te)
+		if err != nil {
+			return nil, Stats{}, err
+		}
 		return []Result{{SLoc: q, Flow: flow}}, st, nil
 	})
-	return res[0].Flow, stats
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return res[0].Flow, stats, nil
 }
 
 // evalFlow is the uncoalesced flow evaluation.
-func (e *Engine) evalFlow(table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats) {
-	seqs := e.sequences(table, ts, te)
+func (e *Engine) evalFlow(ctx context.Context, table *iupt.Table, q indoor.SLocID, ts, te iupt.Time) (float64, Stats, error) {
+	seqs, err := e.sequences(ctx, table, ts, te)
+	if err != nil {
+		return 0, Stats{}, err
+	}
 	oracle := newOracle(e, seqs, map[indoor.SLocID]bool{q: true})
-	oracle.ensureSummaries(oracle.objects())
-	flow := e.flowWithOracle(oracle, q)
-	return flow, oracle.finishStats()
+	if err := oracle.ensureSummaries(ctx, oracle.objects()); err != nil {
+		return 0, Stats{}, err
+	}
+	flow, err := e.flowWithOracle(ctx, oracle, q)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return flow, oracle.finishStats(), nil
 }
 
 // flowWithOracle sums presences of all (non-pruned) objects for q, in
 // ascending object order. Objects not yet summarized are computed lazily on
-// the calling goroutine; callers wanting fan-out run ensureSummaries first.
-func (e *Engine) flowWithOracle(oracle *presenceOracle, q indoor.SLocID) float64 {
+// the calling goroutine (the context is checked between objects); callers
+// wanting fan-out run ensureSummaries first.
+func (e *Engine) flowWithOracle(ctx context.Context, oracle *presenceOracle, q indoor.SLocID) (float64, error) {
 	cell := e.space.CellOfSLoc(q)
 	flow := 0.0
 	for _, oid := range oracle.objects() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if _, ok := oracle.reduction(oid); !ok {
 			continue
 		}
 		flow += oracle.summary(oid).Presence(cell, e.opts.Presence)
 	}
-	return flow
+	return flow, nil
 }
 
 // Presence computes Φ_{ts,te}(q, o) for a single object (paper Equation 1),
 // mainly useful for inspection and tests. It shares the engine's presence
 // cache, so a Presence probe after a Flow or TopK over the same window is a
-// cache hit.
+// cache hit. Presence is the uncancellable legacy form of Do with
+// KindPresence.
 func (e *Engine) Presence(table *iupt.Table, q indoor.SLocID, oid iupt.ObjectID, ts, te iupt.Time) float64 {
-	seqs := e.sequences(table, ts, te)
+	resp, err := e.Do(context.Background(), table, Query{Kind: KindPresence, SLocs: []indoor.SLocID{q}, OID: oid, Ts: ts, Te: te})
+	if err != nil {
+		return 0
+	}
+	return resp.Flow
+}
+
+// evalPresence is the uncoalesced presence evaluation (single object, single
+// S-location).
+func (e *Engine) evalPresence(ctx context.Context, table *iupt.Table, q indoor.SLocID, oid iupt.ObjectID, ts, te iupt.Time) (float64, Stats, error) {
+	seqs, err := e.sequences(ctx, table, ts, te)
+	if err != nil {
+		return 0, Stats{}, err
+	}
 	seq, ok := seqs[oid]
 	if !ok {
-		return 0
+		return 0, Stats{}, nil
 	}
 	oracle := newOracle(e, map[iupt.ObjectID]iupt.Sequence{oid: seq}, nil)
 	sum := oracle.summary(oid)
-	oracle.finishStats() // fold the lookup into the engine's CacheStats
+	stats := oracle.finishStats() // fold the lookup into the engine's CacheStats
 	if sum == nil {
-		return 0
+		return 0, stats, nil
 	}
-	return sum.Presence(e.space.CellOfSLoc(q), e.opts.Presence)
+	return sum.Presence(e.space.CellOfSLoc(q), e.opts.Presence), stats, nil
 }

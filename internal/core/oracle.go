@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"tkplq/internal/indoor"
@@ -178,23 +179,27 @@ func (o *presenceOracle) summary(oid iupt.ObjectID) *ObjectSummary {
 }
 
 // ensureSummaries fills the reduction and summary caches for the listed
-// objects, fanning pending ones across the engine's worker pool.
-func (o *presenceOracle) ensureSummaries(oids []iupt.ObjectID) {
-	o.ensure(oids, true)
+// objects, fanning pending ones across the engine's worker pool. A canceled
+// ctx aborts between objects and returns ctx.Err(); completed per-object
+// work stays in the engine cache (entries are content-verified, so partial
+// progress is safe to keep) but none of it is merged into this oracle.
+func (o *presenceOracle) ensureSummaries(ctx context.Context, oids []iupt.ObjectID) error {
+	return o.ensure(ctx, oids, true)
 }
 
 // ensureReductions fills only the reduction cache for the listed objects
 // (Best-First phase 1 needs every object's PSLs but summaries only for the
 // candidates that survive to the top of the heap).
-func (o *presenceOracle) ensureReductions(oids []iupt.ObjectID) {
-	o.ensure(oids, false)
+func (o *presenceOracle) ensureReductions(ctx context.Context, oids []iupt.ObjectID) error {
+	return o.ensure(ctx, oids, false)
 }
 
 // ensure computes pending objects across min(Workers, pending) goroutines,
 // partitioned with iupt.ShardObjects, then merges outcomes in ascending
 // object order so maps, stats and every later flow accumulation are
-// identical to the sequential path.
-func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
+// identical to the sequential path. Workers check ctx between objects, so a
+// canceled evaluation stops burning the pool within one object's work.
+func (o *presenceOracle) ensure(ctx context.Context, oids []iupt.ObjectID, needSummary bool) error {
 	pending := make([]iupt.ObjectID, 0, len(oids))
 	for _, oid := range oids {
 		if needSummary {
@@ -211,13 +216,16 @@ func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
 	}
 	if workers <= 1 || len(pending) < minParallelItems {
 		for _, oid := range pending {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if needSummary {
 				o.summary(oid)
 			} else {
 				o.reduction(oid)
 			}
 		}
-		return
+		return ctx.Err()
 	}
 
 	outcomes := make([]outcome, len(pending))
@@ -229,6 +237,9 @@ func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
 		go func(shard []iupt.ObjectID, base int) {
 			defer wg.Done()
 			for i, oid := range shard {
+				if ctx.Err() != nil {
+					return
+				}
 				var have *Reduction
 				if red, ok := o.reductions[oid]; ok && red != nil {
 					have = red
@@ -239,6 +250,11 @@ func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
 		start += len(shard)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Partial outcomes are discarded: a canceled query returns no result,
+		// and whatever the workers finished already went to the engine cache.
+		return err
+	}
 
 	for i, oid := range pending {
 		oc := outcomes[i]
@@ -253,6 +269,7 @@ func (o *presenceOracle) ensure(oids []iupt.ObjectID, needSummary bool) {
 	if len(shards) > o.stats.Workers {
 		o.stats.Workers = len(shards)
 	}
+	return nil
 }
 
 // finishStats normalizes the oracle's stats before they are returned:

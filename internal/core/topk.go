@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,21 +19,27 @@ import (
 // merging, so rankings and flows are bit-identical for every worker count.
 // Concurrent identical calls share one evaluation (Options.DisableCoalescing,
 // Stats.Coalesced).
+//
+// TopK is the uncancellable legacy form of Do with KindTopK; use Do to bound
+// the evaluation with a context.
 func (e *Engine) TopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
-	k, err := e.validateTopK(q, k)
+	resp, err := e.Do(context.Background(), table, Query{Kind: KindTopK, Algorithm: algo, K: k, Ts: ts, Te: te, SLocs: q})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if algo != AlgoNaive && algo != AlgoNestedLoop && algo != AlgoBestFirst {
-		return nil, Stats{}, fmt.Errorf("core: unknown algorithm %d", algo)
-	}
+	return resp.Results, resp.Stats, nil
+}
+
+// coalescedTopK routes an already-validated TkPLQ through the request
+// coalescer (when enabled) to the selected algorithm.
+func (e *Engine) coalescedTopK(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
 	if e.coal == nil {
-		return e.evalTopK(table, q, k, ts, te, algo)
+		return e.evalTopK(ctx, table, q, k, ts, te, algo)
 	}
 	canon := canonicalSLocs(q)
 	key := flightKeyFor(flightTopK, table, canon, k, ts, te, algo)
-	return e.coal.do(key, canon, func() ([]Result, Stats, error) {
-		return e.evalTopK(table, q, k, ts, te, algo)
+	return e.coal.do(ctx, key, canon, func(ctx context.Context) ([]Result, Stats, error) {
+		return e.evalTopK(ctx, table, q, k, ts, te, algo)
 	})
 }
 
@@ -61,17 +68,14 @@ func (e *Engine) validateTopK(q []indoor.SLocID, k int) (int, error) {
 }
 
 // evalTopK dispatches an already-validated TopK to the selected algorithm.
-func (e *Engine) evalTopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
+func (e *Engine) evalTopK(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time, algo Algorithm) ([]Result, Stats, error) {
 	switch algo {
 	case AlgoNaive:
-		res, st := e.topkNaive(table, q, k, ts, te)
-		return res, st, nil
+		return e.topkNaive(ctx, table, q, k, ts, te)
 	case AlgoNestedLoop:
-		res, st := e.topkNestedLoop(table, q, k, ts, te)
-		return res, st, nil
+		return e.topkNestedLoop(ctx, table, q, k, ts, te)
 	default:
-		res, st := e.topkBestFirst(table, q, k, ts, te)
-		return res, st, nil
+		return e.topkBestFirst(ctx, table, q, k, ts, te)
 	}
 }
 
@@ -81,8 +85,11 @@ func (e *Engine) evalTopK(table *iupt.Table, q []indoor.SLocID, k int, ts, te iu
 // they are sharded across the worker pool; within a location the evaluation
 // is sequential and bypasses the presence cache (sharing cached summaries
 // across locations is exactly what Naive exists to not do).
-func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := e.sequences(table, ts, te)
+func (e *Engine) topkNaive(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
+	seqs, err := e.sequences(ctx, table, ts, te)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	stats := Stats{ObjectsTotal: len(seqs), Workers: 1}
 
 	// Each location's oracle is discarded after evaluation; only its stat
@@ -99,7 +106,8 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 		// A fresh, cache-bypassing oracle per location: no sharing, by design.
 		oracle := newOracle(e, seqs, map[indoor.SLocID]bool{sloc: true})
 		oracle.nocache = true
-		flows[i] = Result{SLoc: sloc, Flow: e.flowWithOracle(oracle, sloc)}
+		flow, _ := e.flowWithOracle(ctx, oracle, sloc)
+		flows[i] = Result{SLoc: sloc, Flow: flow}
 		out := locOutcome{stats: oracle.stats}
 		for oid, s := range oracle.summaries {
 			if s != nil {
@@ -115,6 +123,9 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 	}
 	if workers <= 1 || len(q) < minParallelItems {
 		for i := range q {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
 			eval(i)
 		}
 	} else {
@@ -125,6 +136,9 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain the channel without evaluating
+					}
 					eval(i)
 				}
 			}()
@@ -135,6 +149,9 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 		close(next)
 		wg.Wait()
 		stats.Workers = workers
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
 	}
 
 	// Merge per-location stats in query order; distinct computed objects are
@@ -151,7 +168,7 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 		}
 	}
 	stats.ObjectsComputed = len(computed)
-	return rankTopK(flows, k), stats
+	return rankTopK(flows, k), stats, nil
 }
 
 // topkNestedLoop is Algorithm 3: one pass over objects; each object's path
@@ -159,15 +176,20 @@ func (e *Engine) topkNaive(table *iupt.Table, q []indoor.SLocID, k int, ts, te i
 // Summaries are computed across the worker pool; the accumulation below
 // walks objects ascending and cells sorted, so flows are deterministic and
 // worker-count-invariant.
-func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats) {
-	seqs := e.sequences(table, ts, te)
+func (e *Engine) topkNestedLoop(ctx context.Context, table *iupt.Table, q []indoor.SLocID, k int, ts, te iupt.Time) ([]Result, Stats, error) {
+	seqs, err := e.sequences(ctx, table, ts, te)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	query := make(map[indoor.SLocID]bool, len(q))
 	for _, s := range q {
 		query[s] = true
 	}
 	oracle := newOracle(e, seqs, query)
 	oids := oracle.objects()
-	oracle.ensureSummaries(oids)
+	if err := oracle.ensureSummaries(ctx, oids); err != nil {
+		return nil, Stats{}, err
+	}
 
 	flows := make(map[indoor.SLocID]float64, len(q))
 	for _, oid := range oids {
@@ -201,7 +223,7 @@ func (e *Engine) topkNestedLoop(table *iupt.Table, q []indoor.SLocID, k int, ts,
 	for _, sloc := range q {
 		results = append(results, Result{SLoc: sloc, Flow: flows[sloc]})
 	}
-	return rankTopK(results, k), oracle.finishStats()
+	return rankTopK(results, k), oracle.finishStats(), nil
 }
 
 // rankTopK sorts by flow descending, breaking ties by ascending S-location

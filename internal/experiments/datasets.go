@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tkplq/internal/iupt"
@@ -23,6 +24,17 @@ type Dataset struct {
 	// Workers is the engine worker-pool setting applied to every measured
 	// query over this dataset (0 = GOMAXPROCS); see Config.Workers.
 	Workers int
+	// Ctx bounds every measured evaluation over this dataset; nil means
+	// Background. See Config.Ctx.
+	Ctx context.Context
+}
+
+// ctx returns the dataset's evaluation context, defaulting to Background.
+func (ds *Dataset) ctx() context.Context {
+	if ds.Ctx != nil {
+		return ds.Ctx
+	}
+	return context.Background()
 }
 
 // rdParams are the real-data analog generation parameters per scale
@@ -153,7 +165,7 @@ func (c *Config) RealDataset() (*Dataset, error) {
 	cache.rd = &Dataset{
 		Name: "RD", Building: b, Trajs: trajs, Table: table,
 		MoveCfg: moveCfg, PosCfg: posCfg, Span: p.duration,
-		Workers: c.Workers,
+		Workers: c.Workers, Ctx: c.Ctx,
 	}
 	return cache.rd, nil
 }
@@ -193,7 +205,7 @@ func (c *Config) SyntheticDataset() (*Dataset, error) {
 	ds := &Dataset{
 		Name: "SYN", Building: b, Trajs: trajs,
 		MoveCfg: moveCfg, Span: p.duration,
-		Workers: c.Workers,
+		Workers: c.Workers, Ctx: c.Ctx,
 	}
 	table, err := c.synIUPT(ds, 3, 5)
 	if err != nil {

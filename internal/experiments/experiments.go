@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -55,6 +56,10 @@ func (s Scale) String() string {
 
 // Config drives an experiment run.
 type Config struct {
+	// Ctx, when non-nil, bounds every measured query evaluation: canceling
+	// it (e.g. on SIGINT) aborts the experiment mid-query via the engine's
+	// context plumbing instead of waiting the evaluation out.
+	Ctx context.Context
 	// Scale selects dataset sizes; see Scale.
 	Scale Scale
 	// Queries is how many random (query set, interval) draws each data

@@ -55,11 +55,12 @@ type methodRun struct {
 	Res     []core.Result
 }
 
-// runExact times one TkPLQ execution of the exact engine. A fresh engine
-// per draw keeps the presence cache cold, and the worker pool defaults to 1
-// (not GOMAXPROCS) unless Config.Workers opts in — so recorded times stay
-// comparable with the paper's single-threaded evaluation and with numbers
-// measured before the sharded engine existed.
+// runExact times one TkPLQ execution of the exact engine through the
+// context-aware Do API (so canceling Config.Ctx aborts mid-query). A fresh
+// engine per draw keeps the presence cache cold, and the worker pool
+// defaults to 1 (not GOMAXPROCS) unless Config.Workers opts in — so
+// recorded times stay comparable with the paper's single-threaded
+// evaluation and with numbers measured before the sharded engine existed.
 func runExact(opts core.Options, ds *Dataset, table *iupt.Table, d queryDraw, k int, algo core.Algorithm) (methodRun, error) {
 	if opts.Workers == 0 {
 		opts.Workers = ds.Workers
@@ -69,11 +70,13 @@ func runExact(opts core.Options, ds *Dataset, table *iupt.Table, d queryDraw, k 
 	}
 	eng := core.NewEngine(ds.Building.Space, opts)
 	start := time.Now()
-	res, stats, err := eng.TopK(table, d.Q, k, d.ts, d.te, algo)
+	resp, err := eng.Do(ds.ctx(), table, core.Query{
+		Kind: core.KindTopK, Algorithm: algo, K: k, Ts: d.ts, Te: d.te, SLocs: d.Q,
+	})
 	if err != nil {
 		return methodRun{}, err
 	}
-	return methodRun{Seconds: time.Since(start).Seconds(), Stats: stats, Res: res}, nil
+	return methodRun{Seconds: time.Since(start).Seconds(), Stats: resp.Stats, Res: resp.Results}, nil
 }
 
 // runBaseline times one baseline execution, ranking its flow map.

@@ -6,6 +6,7 @@
 package iupt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -291,9 +292,11 @@ func (t *Table) RangeQuery(ts, te Time, fn func(rec Record) bool) {
 // SequencesInRange builds the per-object positioning sequences for records
 // in [ts, te] — the hash table HO of paper Algorithms 2-4. Sequences are
 // time-ordered (stably, so same-timestamp records keep a deterministic
-// order). See SequencesInRangeSharded for the worker-pool variant.
+// order). See SequencesInRangeSharded for the worker-pool, context-aware
+// variant.
 func (t *Table) SequencesInRange(ts, te Time) map[ObjectID]Sequence {
-	return t.SequencesInRangeSharded(ts, te, 1)
+	out, _ := t.SequencesInRangeSharded(context.Background(), ts, te, 1)
+	return out
 }
 
 // Validate checks every record's sample set.

@@ -1,6 +1,7 @@
 package iupt
 
 import (
+	"context"
 	"sort"
 	"sync"
 )
@@ -57,13 +58,23 @@ func ShardObjects(oids []ObjectID, n int) [][]ObjectID {
 // sorting sharded across up to workers goroutines. The output is identical
 // to SequencesInRange for every worker count (each object's sort is
 // independent and deterministic); workers <= 1 stays on the calling
-// goroutine.
-func (t *Table) SequencesInRangeSharded(ts, te Time, workers int) map[ObjectID]Sequence {
+// goroutine. A canceled ctx aborts the scan and sort promptly and returns
+// ctx.Err() — the scan checks the context between record batches, the sort
+// between objects — so a canceled query never pays for a large window.
+func (t *Table) SequencesInRangeSharded(ctx context.Context, ts, te Time, workers int) (map[ObjectID]Sequence, error) {
 	out := make(map[ObjectID]Sequence)
+	scanned := 0
 	t.RangeQuery(ts, te, func(rec Record) bool {
+		if scanned&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		scanned++
 		out[rec.OID] = append(out[rec.OID], TimedSampleSet{T: rec.T, Samples: rec.Samples})
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sortSeq := func(oid ObjectID) {
 		seq := out[oid] // concurrent map reads are safe; the sort mutates
 		// only the sequence's own backing array
@@ -74,20 +85,29 @@ func (t *Table) SequencesInRangeSharded(ts, te Time, workers int) map[ObjectID]S
 	}
 	if workers <= 1 {
 		for oid := range out {
+			if ctx.Err() != nil {
+				break
+			}
 			sortSeq(oid)
 		}
-		return out
+	} else {
+		var wg sync.WaitGroup
+		for _, shard := range ShardObjects(SortedObjects(out), workers) {
+			wg.Add(1)
+			go func(shard []ObjectID) {
+				defer wg.Done()
+				for _, oid := range shard {
+					if ctx.Err() != nil {
+						return
+					}
+					sortSeq(oid)
+				}
+			}(shard)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for _, shard := range ShardObjects(SortedObjects(out), workers) {
-		wg.Add(1)
-		go func(shard []ObjectID) {
-			defer wg.Done()
-			for _, oid := range shard {
-				sortSeq(oid)
-			}
-		}(shard)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package iupt
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -75,9 +77,32 @@ func TestSequencesInRangeShardedMatchesSequential(t *testing.T) {
 	}
 	want := tb.SequencesInRange(5, 25)
 	for _, workers := range []int{-1, 0, 1, 2, 4, 16} {
-		got := tb.SequencesInRangeSharded(5, 25, workers)
+		got, err := tb.SequencesInRangeSharded(context.Background(), 5, 25, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("workers=%d: sequences differ from sequential", workers)
+		}
+	}
+}
+
+func TestSequencesInRangeShardedCanceled(t *testing.T) {
+	tb := NewTable()
+	for oid := ObjectID(1); oid <= 4; oid++ {
+		for tm := Time(0); tm < 20; tm++ {
+			tb.Append(Record{OID: oid, T: tm, Samples: SampleSet{{Loc: 0, Prob: 1}}})
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		got, err := tb.SequencesInRangeSharded(ctx, 0, 20, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got != nil {
+			t.Fatalf("workers=%d: canceled call returned sequences", workers)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,9 +12,10 @@ import (
 	"tkplq"
 )
 
-// QueryRequest is the body of POST /v1/query.
+// QueryRequest is the body of POST /v1/query (and the base of the v2 form).
 type QueryRequest struct {
-	// Kind selects the query: "topk" (default), "density" or "flow".
+	// Kind selects the query: "topk" (default), "density" or "flow"
+	// (v2 additionally accepts "presence").
 	Kind string `json:"kind"`
 	// Algorithm selects the TkPLQ search: "naive", "nl" or "bf" (default).
 	// Ignored for density and flow.
@@ -50,6 +52,7 @@ type StatsJSON struct {
 	CacheHits          int64 `json:"cache_hits"`
 	CacheMisses        int64 `json:"cache_misses"`
 	Coalesced          int64 `json:"coalesced"`
+	SharedBatch        int   `json:"shared_batch,omitempty"`
 }
 
 func statsJSON(st tkplq.Stats) StatsJSON {
@@ -66,14 +69,16 @@ func statsJSON(st tkplq.Stats) StatsJSON {
 		CacheHits:          st.CacheHits,
 		CacheMisses:        st.CacheMisses,
 		Coalesced:          st.Coalesced,
+		SharedBatch:        st.SharedBatch,
 	}
 }
 
-// QueryResponse is the body of a successful POST /v1/query.
+// QueryResponse is the body of a successful POST /v1/query (and one element
+// of a /v2/query batch response).
 type QueryResponse struct {
 	Kind      string       `json:"kind"`
 	Algorithm string       `json:"algorithm,omitempty"`
-	K         int          `json:"k"`
+	K         int          `json:"k,omitempty"`
 	Ts        int64        `json:"ts"`
 	Te        int64        `json:"te"`
 	Results   []ResultJSON `json:"results"`
@@ -107,6 +112,15 @@ type IngestResponse struct {
 	Records int `json:"records"`
 }
 
+// IngestErrorResponse is the structured error envelope of a rejected ingest
+// batch: the standard "error" field plus the failing record's position.
+type IngestErrorResponse struct {
+	Error string `json:"error"`
+	Index int    `json:"index"`
+	OID   int64  `json:"oid"`
+	T     int64  `json:"t"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Engine struct {
@@ -121,6 +135,8 @@ type StatsResponse struct {
 		UptimeSeconds   float64 `json:"uptime_seconds"`
 		Queries         int64   `json:"queries"`
 		QueryErrors     int64   `json:"query_errors"`
+		CanceledQueries int64   `json:"canceled_queries"`
+		BatchRequests   int64   `json:"batch_requests"`
 		IngestRequests  int64   `json:"ingest_requests"`
 		RecordsIngested int64   `json:"records_ingested"`
 		Goroutines      int     `json:"goroutines"`
@@ -149,6 +165,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // decodeBody strictly decodes the request body into v, bounding its size.
+// Unknown fields fail loudly (DisallowUnknownFields) so a typo'd option can
+// never silently select a default.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -169,6 +187,33 @@ var algorithms = map[string]tkplq.Algorithm{
 	"bf":    tkplq.BestFirst,
 }
 
+var kinds = map[string]tkplq.QueryKind{
+	"topk":     tkplq.KindTopK,
+	"density":  tkplq.KindDensity,
+	"flow":     tkplq.KindFlow,
+	"presence": tkplq.KindPresence,
+}
+
+// writeQueryError maps an evaluation error to the JSON envelope: 503 for a
+// spent request budget or a vanished client, 400 for validation failures.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	s.queryErrors.Add(1)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+		errorJSON(w, http.StatusServiceUnavailable, "request timed out")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the write is best-effort but the counter and
+		// log line still record that the evaluation was cut short.
+		s.canceled.Add(1)
+		errorJSON(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleQuery is the v1 endpoint: a thin adapter that converts the v1
+// request shape to a tkplq.Query and evaluates it under the request context.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -176,102 +221,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "bad query request: %v", err)
 		return
 	}
-	if req.Kind == "" {
-		req.Kind = "topk"
-	}
-	if req.Algorithm == "" {
-		req.Algorithm = "bf"
-	}
-	if req.K == 0 {
-		req.K = 10
-	}
-	algo, ok := algorithms[req.Algorithm]
-	if !ok {
-		s.queryErrors.Add(1)
-		errorJSON(w, http.StatusBadRequest, "unknown algorithm %q (want naive, nl or bf)", req.Algorithm)
-		return
-	}
-
-	// Validate ids here for every kind: the engine rejects bad TopK/density
-	// query sets itself, but Flow has no error return and would panic on an
-	// out-of-range id.
-	numSLocs := s.sys.Space().NumSLocations()
-	q := make([]tkplq.SLocID, 0, len(req.SLocs))
-	for _, id := range req.SLocs {
-		if id < 0 || id >= numSLocs {
-			s.queryErrors.Add(1)
-			errorJSON(w, http.StatusBadRequest, "unknown S-location %d (space has %d)", id, numSLocs)
-			return
-		}
-		q = append(q, tkplq.SLocID(id))
-	}
-	if len(q) == 0 {
-		q = s.sys.AllSLocations()
-	}
-	ts, te := tkplq.Time(req.Ts), tkplq.Time(req.Te)
-	if te == 0 {
-		if _, hi, ok := s.sys.Table().TimeSpan(); ok {
-			te = hi
-		}
-	}
-	if te < ts {
-		s.queryErrors.Add(1)
-		errorJSON(w, http.StatusBadRequest, "empty window: te %d < ts %d", te, ts)
-		return
-	}
-
-	var (
-		res     []tkplq.Result
-		stats   tkplq.Stats
-		err     error
-		started = time.Now()
-	)
+	// v1 keeps its original kind surface; "presence" (and anything else
+	// v2-only) must not leak in through the shared adapter.
 	switch req.Kind {
-	case "topk":
-		res, stats, err = s.sys.TopK(q, req.K, ts, te, algo)
-	case "density":
-		req.Algorithm = "" // density always runs the shared nested-loop pass
-		res, stats, err = s.sys.TopKDensity(q, req.K, ts, te)
-	case "flow":
-		if len(req.SLocs) != 1 {
-			s.queryErrors.Add(1)
-			errorJSON(w, http.StatusBadRequest, "flow requires exactly one S-location in slocs, got %d", len(req.SLocs))
-			return
-		}
-		req.Algorithm = ""
-		var flow float64
-		flow, stats = s.sys.Flow(q[0], ts, te)
-		res = []tkplq.Result{{SLoc: q[0], Flow: flow}}
+	case "", "topk", "density", "flow":
 	default:
 		s.queryErrors.Add(1)
 		errorJSON(w, http.StatusBadRequest, "unknown query kind %q (want topk, density or flow)", req.Kind)
 		return
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	out, err := s.evalOne(ctx, QueryV2{QueryRequest: req})
 	if err != nil {
-		s.queryErrors.Add(1)
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		s.writeQueryError(w, err)
 		return
 	}
 	s.queries.Add(1)
-
-	space := s.sys.Space()
-	out := QueryResponse{
-		Kind:      req.Kind,
-		Algorithm: req.Algorithm,
-		K:         req.K,
-		Ts:        int64(ts),
-		Te:        int64(te),
-		Results:   make([]ResultJSON, 0, len(res)),
-		Stats:     statsJSON(stats),
-		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
-	}
-	for _, re := range res {
-		out.Results = append(out.Results, ResultJSON{
-			SLoc: int(re.SLoc),
-			Name: space.SLocation(re.SLoc).Name,
-			Flow: re.Flow,
-		})
-	}
 	writeJSON(w, out)
 }
 
@@ -291,7 +257,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		samples := make(tkplq.SampleSet, 0, len(rj.Samples))
 		for _, sj := range rj.Samples {
 			if sj.PLoc < 0 || sj.PLoc >= numPLocs {
-				errorJSON(w, http.StatusBadRequest, "record %d: unknown P-location %d", i, sj.PLoc)
+				writeJSON400Ingest(w, &tkplq.IngestError{
+					Index: i, OID: tkplq.ObjectID(rj.OID), T: tkplq.Time(rj.T),
+					Err: fmt.Errorf("unknown P-location %d", sj.PLoc),
+				})
 				return
 			}
 			samples = append(samples, tkplq.Sample{Loc: tkplq.PLocID(sj.PLoc), Prob: sj.Prob})
@@ -303,12 +272,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err := s.sys.Ingest(recs); err != nil {
+		var ie *tkplq.IngestError
+		if errors.As(err, &ie) {
+			writeJSON400Ingest(w, ie)
+			return
+		}
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.ingestRequests.Add(1)
 	s.recordsIngested.Add(int64(len(recs)))
 	writeJSON(w, IngestResponse{Ingested: len(recs), Records: s.sys.Table().Len()})
+}
+
+// writeJSON400Ingest writes the structured rejection envelope for one
+// *tkplq.IngestError.
+func writeJSON400Ingest(w http.ResponseWriter, ie *tkplq.IngestError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(IngestErrorResponse{
+		Error: ie.Error(),
+		Index: ie.Index,
+		OID:   int64(ie.OID),
+		T:     int64(ie.T),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -323,6 +310,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Server.UptimeSeconds = time.Since(s.started).Seconds()
 	out.Server.Queries = s.queries.Load()
 	out.Server.QueryErrors = s.queryErrors.Load()
+	out.Server.CanceledQueries = s.canceled.Load()
+	out.Server.BatchRequests = s.batches.Load()
 	out.Server.IngestRequests = s.ingestRequests.Load()
 	out.Server.RecordsIngested = s.recordsIngested.Load()
 	out.Server.Goroutines = runtime.NumGoroutine()

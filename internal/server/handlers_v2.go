@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tkplq"
+)
+
+// QueryV2 is one query of POST /v2/query: the v1 shape plus per-query
+// options and the presence kind. The endpoint accepts either a single
+// QueryV2 object (answered with one QueryResponse) or a JSON array of them
+// (answered with an array, evaluated as one shared-work batch via
+// System.DoBatch — queries over the same window perform the per-object data
+// reduction once).
+type QueryV2 struct {
+	QueryRequest
+	// OID is the object of a "presence" query.
+	OID int64 `json:"oid"`
+	// Workers overrides the engine worker pool for this query (0 = engine
+	// default). Results are bit-identical at every pool size.
+	Workers int `json:"workers"`
+	// NoCache bypasses the presence cache for this query.
+	NoCache bool `json:"no_cache"`
+	// NoCoalesce opts this query out of request coalescing.
+	NoCoalesce bool `json:"no_coalesce"`
+}
+
+// toQuery converts one wire query to a tkplq.Query, applying the v1-
+// compatible defaults (kind topk, algorithm bf, k 10, te = end of data,
+// empty slocs = all S-locations).
+func (s *Server) toQuery(req QueryV2) (tkplq.Query, QueryV2, error) {
+	if req.Kind == "" {
+		req.Kind = "topk"
+	}
+	kind, ok := kinds[req.Kind]
+	if !ok {
+		return tkplq.Query{}, req, fmt.Errorf("unknown query kind %q (want topk, density, flow or presence)", req.Kind)
+	}
+	switch kind {
+	case tkplq.KindTopK:
+		if req.Algorithm == "" {
+			req.Algorithm = "bf"
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+	case tkplq.KindDensity:
+		req.Algorithm = "" // density always runs the shared nested-loop pass
+		if req.K == 0 {
+			req.K = 10
+		}
+	default:
+		req.Algorithm = ""
+		req.K = 0
+	}
+	var algo tkplq.Algorithm
+	if req.Algorithm != "" {
+		if algo, ok = algorithms[req.Algorithm]; !ok {
+			return tkplq.Query{}, req, fmt.Errorf("unknown algorithm %q (want naive, nl or bf)", req.Algorithm)
+		}
+	}
+
+	// Validate ids here for every kind so the error names the wire field.
+	numSLocs := s.sys.Space().NumSLocations()
+	q := make([]tkplq.SLocID, 0, len(req.SLocs))
+	for _, id := range req.SLocs {
+		if id < 0 || id >= numSLocs {
+			return tkplq.Query{}, req, fmt.Errorf("unknown S-location %d (space has %d)", id, numSLocs)
+		}
+		q = append(q, tkplq.SLocID(id))
+	}
+	if kind == tkplq.KindFlow || kind == tkplq.KindPresence {
+		if len(req.SLocs) != 1 {
+			return tkplq.Query{}, req, fmt.Errorf("%s requires exactly one S-location in slocs, got %d", req.Kind, len(req.SLocs))
+		}
+	} else if len(q) == 0 {
+		q = s.sys.AllSLocations()
+	}
+	ts, te := tkplq.Time(req.Ts), tkplq.Time(req.Te)
+	if te == 0 {
+		if _, hi, ok := s.sys.Table().TimeSpan(); ok {
+			te = hi
+		}
+	}
+	if te < ts {
+		return tkplq.Query{}, req, fmt.Errorf("empty window: te %d < ts %d", te, ts)
+	}
+	req.Te = int64(te)
+	return tkplq.Query{
+		Kind:              kind,
+		Algorithm:         algo,
+		K:                 req.K,
+		Ts:                ts,
+		Te:                te,
+		SLocs:             q,
+		OID:               tkplq.ObjectID(req.OID),
+		Workers:           req.Workers,
+		DisableCache:      req.NoCache,
+		DisableCoalescing: req.NoCoalesce,
+	}, req, nil
+}
+
+// renderResponse converts one engine response to the wire shape.
+func (s *Server) renderResponse(req QueryV2, resp *tkplq.Response, elapsed time.Duration) QueryResponse {
+	space := s.sys.Space()
+	out := QueryResponse{
+		Kind:      req.Kind,
+		Algorithm: req.Algorithm,
+		K:         req.K,
+		Ts:        req.Ts,
+		Te:        req.Te,
+		Results:   make([]ResultJSON, 0, len(resp.Results)),
+		Stats:     statsJSON(resp.Stats),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, re := range resp.Results {
+		out.Results = append(out.Results, ResultJSON{
+			SLoc: int(re.SLoc),
+			Name: space.SLocation(re.SLoc).Name,
+			Flow: re.Flow,
+		})
+	}
+	return out
+}
+
+// evalOne converts, evaluates and renders a single query under ctx.
+func (s *Server) evalOne(ctx context.Context, req QueryV2) (QueryResponse, error) {
+	q, req, err := s.toQuery(req)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	started := time.Now()
+	resp, err := s.sys.Do(ctx, q)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	return s.renderResponse(req, resp, time.Since(started)), nil
+}
+
+// handleQueryV2 serves POST /v2/query: a single query object or an array of
+// queries evaluated as one shared-work batch.
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.queryErrors.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			errorJSON(w, http.StatusBadRequest, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		errorJSON(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) == 0 || trimmed[0] != '[' {
+		var req QueryV2
+		if err := strictUnmarshal(body, &req); err != nil {
+			s.queryErrors.Add(1)
+			errorJSON(w, http.StatusBadRequest, "bad query request: %v", err)
+			return
+		}
+		out, err := s.evalOne(ctx, req)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		s.queries.Add(1)
+		writeJSON(w, out)
+		return
+	}
+
+	var reqs []QueryV2
+	if err := strictUnmarshal(body, &reqs); err != nil {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if len(reqs) == 0 {
+		s.queryErrors.Add(1)
+		errorJSON(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	queries := make([]tkplq.Query, len(reqs))
+	for i := range reqs {
+		q, req, err := s.toQuery(reqs[i])
+		if err != nil {
+			s.queryErrors.Add(1)
+			errorJSON(w, http.StatusBadRequest, "batch query %d: %v", i, err)
+			return
+		}
+		queries[i], reqs[i] = q, req
+	}
+	started := time.Now()
+	resps, err := s.sys.DoBatch(ctx, queries)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	elapsed := time.Since(started)
+	out := make([]QueryResponse, len(resps))
+	for i, resp := range resps {
+		out[i] = s.renderResponse(reqs[i], resp, elapsed)
+	}
+	s.queries.Add(int64(len(reqs)))
+	s.batches.Add(1)
+	writeJSON(w, out)
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

@@ -3,15 +3,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/query   — TkPLQ / density / flow over a time window
+//	POST /v1/query   — one TkPLQ / density / flow query over a time window
+//	POST /v2/query   — context-aware query API: one query object, or an
+//	                   array of queries evaluated as a shared-work batch
 //	POST /v1/ingest  — batched uncertain positioning records into the live table
 //	GET  /v1/stats   — engine cache + coalescer counters, server counters, table shape
 //	GET  /healthz    — liveness
 //
-// Requests are bounded (per-request timeout, body size cap) and shutdown is
-// graceful. Concurrent identical /v1/query requests share one evaluation via
-// the engine's query-level request coalescing; the per-response stats carry
-// `coalesced` so clients (and the smoke tests) can observe the dedupe.
+// Every request is evaluated under its own context: the per-request budget
+// (Config.RequestTimeout) and the client connection are the cancellation
+// sources, so a timed-out or disconnected request stops the engine's shard
+// workers instead of burning the pool to completion. Every error — including
+// 404, 405 and the 503 timeout — is a JSON `{"error": ...}` envelope.
+// Concurrent identical queries share one evaluation via the engine's
+// query-level request coalescing; the per-response stats carry `coalesced`
+// so clients (and the smoke tests) can observe the dedupe.
 package server
 
 import (
@@ -34,7 +40,9 @@ type Config struct {
 	// Addr is the listen address; ":8080" when empty. Use "127.0.0.1:0" to
 	// bind an ephemeral port (Server.Addr reports the bound address).
 	Addr string
-	// RequestTimeout bounds each request's handling time; 30s when zero.
+	// RequestTimeout bounds each request's evaluation via its context; 30s
+	// when zero. An expired budget cancels the engine evaluation and yields
+	// a 503 JSON error envelope.
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request body size; 8 MiB when zero.
 	MaxBodyBytes int64
@@ -60,6 +68,8 @@ type Server struct {
 
 	queries         atomic.Int64
 	queryErrors     atomic.Int64
+	canceled        atomic.Int64
+	batches         atomic.Int64
 	ingestRequests  atomic.Int64
 	recordsIngested atomic.Int64
 }
@@ -84,27 +94,52 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{sys: cfg.System, cfg: cfg, started: time.Now()}
 
+	// Explicit method checks (rather than Go 1.22 method patterns) so a
+	// wrong-method request gets the JSON error envelope, not the mux's bare
+	// text 405.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	// The timeout handler bounds slow evaluations end-to-end: it replies 503
-	// with a JSON body once the budget is spent.
-	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, `{"error":"request timed out"}`)
+	mux.HandleFunc("/v1/query", s.method(http.MethodPost, s.handleQuery))
+	mux.HandleFunc("/v2/query", s.method(http.MethodPost, s.handleQueryV2))
+	mux.HandleFunc("/v1/ingest", s.method(http.MethodPost, s.handleIngest))
+	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
+	mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		errorJSON(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
+	s.handler = mux
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
-		// WriteTimeout backstops the timeout handler (it must outlast it so
-		// the 503 body can still be written).
+		// WriteTimeout backstops the per-request context budget (it must
+		// outlast it so the 503 envelope can still be written).
 		WriteTimeout: cfg.RequestTimeout + 10*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
 	return s, nil
 }
 
-// Handler returns the server's root handler (timeouts included), for tests
-// and embedding.
+// method wraps a handler with a method check that answers in the JSON error
+// envelope.
+func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			errorJSON(w, http.StatusMethodNotAllowed, "method %s not allowed (want %s)", r.Method, want)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// requestContext derives the evaluation context for one request: the
+// client's connection context (canceled when the client disconnects)
+// bounded by the per-request budget. This is the cancellation source that
+// actually stops engine evaluation — there is no http.TimeoutHandler layer.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// Handler returns the server's root handler, for tests and embedding.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start binds the configured address. After Start, Addr reports the bound

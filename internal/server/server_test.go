@@ -220,6 +220,7 @@ func TestQueryValidation(t *testing.T) {
 	}{
 		{"bad algorithm", QueryRequest{Algorithm: "quantum"}},
 		{"bad kind", QueryRequest{Kind: "heatmap"}},
+		{"v2-only presence kind", QueryRequest{Kind: "presence", SLocs: []int{0}}},
 		{"inverted window", QueryRequest{Ts: 100, Te: 50}},
 		{"flow without slocs", QueryRequest{Kind: "flow"}},
 		{"flow with two slocs", QueryRequest{Kind: "flow", SLocs: []int{0, 1}}},
@@ -452,6 +453,245 @@ func TestRequestTimeout(t *testing.T) {
 	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
 		t.Errorf("timeout body %q is not the JSON error payload", body)
 	}
+}
+
+// TestQueryV2SingleForm: the v2 endpoint answers a single query object with
+// the same payload shape as v1, bit-identical to the library path.
+func TestQueryV2SingleForm(t *testing.T) {
+	sys := newSynSystem(t)
+	_, ts := newTestServer(t, sys, Config{})
+
+	want, _, err := sys.TopK(sys.AllSLocations(), 5, 0, 1800, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v2/query", map[string]any{
+		"kind": "topk", "algorithm": "bf", "k": 5, "ts": 0, "te": 1800,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 single status = %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(out.Results), len(want))
+	}
+	for i, r := range out.Results {
+		if r.SLoc != int(want[i].SLoc) || math.Float64bits(r.Flow) != math.Float64bits(want[i].Flow) {
+			t.Errorf("result %d = %+v, want {%d %v}", i, r, want[i].SLoc, want[i].Flow)
+		}
+	}
+
+	// The presence kind is v2-only.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v2/query", map[string]any{
+		"kind": "presence", "slocs": []int{0}, "oid": 1, "ts": 0, "te": 1800,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 presence status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	wantP := sys.Presence(0, 1, 0, 1800)
+	if len(out.Results) != 1 || math.Float64bits(out.Results[0].Flow) != math.Float64bits(wantP) {
+		t.Errorf("presence = %+v, want single entry %v", out.Results, wantP)
+	}
+}
+
+// TestQueryV2BatchSharesWork: the array form evaluates same-window queries
+// as one shared group — responses are bit-identical to sequential library
+// calls and report the group size in stats.shared_batch.
+func TestQueryV2BatchSharesWork(t *testing.T) {
+	sys := newSynSystem(t)
+	_, ts := newTestServer(t, sys, Config{})
+
+	wantBF, _, err := sys.TopK(sys.AllSLocations(), 3, 0, 1800, tkplq.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlow, _ := sys.Flow(0, 0, 1800)
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v2/query", []map[string]any{
+		{"kind": "topk", "algorithm": "bf", "k": 3, "ts": 0, "te": 1800},
+		{"kind": "topk", "algorithm": "nl", "k": 5, "ts": 0, "te": 1800},
+		{"kind": "flow", "slocs": []int{0}, "ts": 0, "te": 1800},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 batch status = %d: %s", resp.StatusCode, body)
+	}
+	var outs []QueryResponse
+	if err := json.Unmarshal(body, &outs); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("batch returned %d responses, want 3", len(outs))
+	}
+	for i, out := range outs {
+		if out.Stats.SharedBatch != 3 {
+			t.Errorf("response %d: shared_batch = %d, want 3", i, out.Stats.SharedBatch)
+		}
+	}
+	for i, r := range outs[0].Results {
+		if r.SLoc != int(wantBF[i].SLoc) || math.Float64bits(r.Flow) != math.Float64bits(wantBF[i].Flow) {
+			t.Errorf("batch topk result %d = %+v, want {%d %v}", i, r, wantBF[i].SLoc, wantBF[i].Flow)
+		}
+	}
+	if math.Float64bits(outs[2].Results[0].Flow) != math.Float64bits(wantFlow) {
+		t.Errorf("batch flow = %v, want %v", outs[2].Results[0].Flow, wantFlow)
+	}
+
+	// A bad query anywhere fails the whole batch, naming its index.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v2/query", []map[string]any{
+		{"kind": "topk", "k": 3},
+		{"kind": "flow"}, // flow needs exactly one S-location
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch status = %d (%s), want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "batch query 1") {
+		t.Errorf("bad batch body %q does not name the offending index", body)
+	}
+}
+
+// TestErrorEnvelopes: every error path — unknown endpoint, wrong method,
+// typo'd field, structured ingest rejection — answers with the JSON
+// {"error": ...} envelope, never bare text or HTML.
+func TestErrorEnvelopes(t *testing.T) {
+	sys, ids := newPaperSystem(t)
+	_, ts := newTestServer(t, sys, Config{})
+
+	assertEnvelope := func(label string, resp *http.Response, body []byte, wantCode int) {
+		t.Helper()
+		if resp.StatusCode != wantCode {
+			t.Errorf("%s: status = %d, want %d", label, resp.StatusCode, wantCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", label, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error envelope", label, body)
+		}
+	}
+
+	get := func(path string) (*http.Response, []byte) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := get("/nope")
+	assertEnvelope("404", resp, body, http.StatusNotFound)
+	resp, body = get("/v1/query")
+	assertEnvelope("405", resp, body, http.StatusMethodNotAllowed)
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("405 Allow = %q, want POST", allow)
+	}
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/query", map[string]any{"kay": 5})
+	assertEnvelope("unknown field", resp, body, http.StatusBadRequest)
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v2/query", map[string]any{"kay": 5})
+	assertEnvelope("v2 unknown field", resp, body, http.StatusBadRequest)
+
+	// Structured ingest rejection: the envelope carries the failing record's
+	// index and object.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/ingest", IngestRequest{Records: []RecordJSON{
+		{OID: 7, T: 1, Samples: []SampleJSON{{PLoc: int(ids.PLocs[0]), Prob: 1.0}}},
+		{OID: 8, T: -2, Samples: []SampleJSON{{PLoc: int(ids.PLocs[0]), Prob: 1.0}}},
+	}})
+	assertEnvelope("ingest", resp, body, http.StatusBadRequest)
+	var ie IngestErrorResponse
+	if err := json.Unmarshal(body, &ie); err != nil {
+		t.Fatal(err)
+	}
+	if ie.Index != 1 || ie.OID != 8 || ie.T != -2 {
+		t.Errorf("ingest rejection = %+v, want index 1 / oid 8 / t -2", ie)
+	}
+
+	// A duplicate (object, timestamp) pair inside one batch is rejected too.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/ingest", IngestRequest{Records: []RecordJSON{
+		{OID: 7, T: 5, Samples: []SampleJSON{{PLoc: int(ids.PLocs[0]), Prob: 1.0}}},
+		{OID: 7, T: 5, Samples: []SampleJSON{{PLoc: int(ids.PLocs[1]), Prob: 1.0}}},
+	}})
+	assertEnvelope("duplicate timestamp", resp, body, http.StatusBadRequest)
+	if err := json.Unmarshal(body, &ie); err != nil {
+		t.Fatal(err)
+	}
+	if ie.Index != 1 || ie.OID != 7 {
+		t.Errorf("duplicate rejection = %+v, want index 1 / oid 7", ie)
+	}
+	if got := sys.Table().Len(); got != 0 {
+		t.Errorf("table has %d records after rejected batches, want 0", got)
+	}
+}
+
+// TestClientDisconnectCancelsEvaluation: when the client abandons a request
+// mid-evaluation, the request context cancels the engine work — observable
+// as the server's canceled_queries counter advancing.
+func TestClientDisconnectCancelsEvaluation(t *testing.T) {
+	sys := newSynSystem(t)
+	_, ts := newTestServer(t, sys, Config{})
+
+	reqBody, err := json.Marshal(QueryRequest{Kind: "topk", Algorithm: "naive", K: 5, Ts: 0, Te: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceledCount := func() int64 {
+		resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Server.CanceledQueries
+	}
+
+	// The evaluation must be in flight when the client walks away, so the
+	// cancel delay is a race against the query's runtime; retry with an
+	// increasing head start until the counter proves a disconnect canceled
+	// an evaluation.
+	for attempt := 1; attempt <= 20; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(reqBody))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp, err := ts.Client().Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		time.Sleep(time.Duration(attempt) * time.Millisecond)
+		cancel()
+		<-done
+		// The handler observes the cancellation asynchronously; give the
+		// counter a moment before the next attempt.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if canceledCount() >= 1 {
+				return // the disconnect reached the engine
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	t.Fatalf("canceled_queries still %d after all attempts; disconnects never canceled an evaluation", canceledCount())
 }
 
 func TestGracefulShutdown(t *testing.T) {

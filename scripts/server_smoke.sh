@@ -63,6 +63,29 @@ echo "${QUERY}" | jq -e '.results | all(.sloc >= 0 and .name != "" and (.flow | 
 echo "${QUERY}" | jq -e '[.results[].flow] | . == (sort | reverse)' >/dev/null
 echo "${QUERY}" | jq -e '.stats.objects_total > 0' >/dev/null
 
+echo "== /v2/query (single object form)"
+Q2=$(curl -fsS -X POST "http://${ADDR}/v2/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"flow","slocs":[0]}')
+echo "${Q2}" | jq .
+echo "${Q2}" | jq -e '.results | length == 1' >/dev/null
+
+echo "== /v2/query (shared-work batch form)"
+BATCH=$(curl -fsS -X POST "http://${ADDR}/v2/query" \
+    -H 'Content-Type: application/json' \
+    -d '[{"kind":"topk","algorithm":"bf","k":3},{"kind":"topk","algorithm":"nl","k":5},{"kind":"density","k":3}]')
+echo "${BATCH}" | jq .
+[ "$(echo "${BATCH}" | jq 'length')" = "3" ]
+# All three share one window, so each response reports the shared pass.
+echo "${BATCH}" | jq -e 'all(.stats.shared_batch == 3)' >/dev/null
+
+echo "== error envelope (unknown endpoint + typo'd field are JSON)"
+NOTFOUND=$(curl -sS "http://${ADDR}/nope")
+[ "$(echo "${NOTFOUND}" | jq -r .error | wc -c)" -gt 1 ]
+TYPO=$(curl -sS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' -d '{"kay":5}')
+[ "$(echo "${TYPO}" | jq -r .error | wc -c)" -gt 1 ]
+
 echo "== /v1/ingest"
 INGEST=$(curl -fsS -X POST "http://${ADDR}/v1/ingest" \
     -H 'Content-Type: application/json' \

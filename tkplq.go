@@ -1,6 +1,8 @@
 package tkplq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"tkplq/internal/core"
@@ -43,55 +45,134 @@ func (s *System) Space() *Space { return s.space }
 // Table returns the system's positioning table.
 func (s *System) Table() *Table { return s.table }
 
+// Do evaluates one query — the single entry point behind every query kind
+// (TkPLQ, density, flow, presence). The context bounds the evaluation end to
+// end: on cancellation or deadline the shard worker pool stops between
+// objects, a coalesced follower detaches from its flight without disturbing
+// the other callers, and Do returns ctx.Err(). Query carries per-query
+// overrides (worker-pool size, cache bypass, coalescing bypass) that apply
+// to this call only.
+func (s *System) Do(ctx context.Context, q Query) (*Response, error) {
+	return s.engine.Do(ctx, s.table, q)
+}
+
+// DoBatch evaluates a set of queries, amortizing shared work: queries over
+// the same time window perform the per-object data reduction (Algorithm 1)
+// and presence summarization (Equation 1) once for the whole group before
+// fanning out the cheap per-query ranking. Rankings and flows are
+// bit-identical to issuing each query through Do sequentially, at every
+// worker count; Stats.SharedBatch on each response reports the group size.
+// The whole batch is validated up front and responses align with qs.
+func (s *System) DoBatch(ctx context.Context, qs []Query) ([]*Response, error) {
+	return s.engine.DoBatch(ctx, s.table, qs)
+}
+
 // Flow computes the indoor flow of one S-location over [ts, te]
-// (paper Definition 1 / Algorithm 2).
+// (paper Definition 1 / Algorithm 2). It is a context-free wrapper over Do;
+// an invalid S-location yields 0.
 func (s *System) Flow(q SLocID, ts, te Time) (float64, Stats) {
-	return s.engine.Flow(s.table, q, ts, te)
+	resp, err := s.Do(context.Background(), Query{Kind: KindFlow, SLocs: []SLocID{q}, Ts: ts, Te: te})
+	if err != nil {
+		return 0, Stats{}
+	}
+	return resp.Flow, resp.Stats
 }
 
 // Presence computes one object's presence in an S-location over [ts, te]
-// (paper Equation 1).
+// (paper Equation 1). It is a context-free wrapper over Do.
 func (s *System) Presence(q SLocID, oid ObjectID, ts, te Time) float64 {
-	return s.engine.Presence(s.table, q, oid, ts, te)
+	resp, err := s.Do(context.Background(), Query{Kind: KindPresence, SLocs: []SLocID{q}, OID: oid, Ts: ts, Te: te})
+	if err != nil {
+		return 0
+	}
+	return resp.Flow
 }
 
 // TopK answers the Top-k Popular Location Query with the chosen algorithm
 // (paper Problem 1; §4). All algorithms return the same ranking — they
-// differ in the work they avoid, visible in Stats.
+// differ in the work they avoid, visible in Stats. It is a context-free
+// wrapper over Do.
 func (s *System) TopK(q []SLocID, k int, ts, te Time, algo Algorithm) ([]Result, Stats, error) {
-	return s.engine.TopK(s.table, q, k, ts, te, algo)
+	return unpack(s.Do(context.Background(), Query{Kind: KindTopK, Algorithm: algo, K: k, Ts: ts, Te: te, SLocs: q}))
 }
 
 // TopKDensity ranks S-locations by flow per square meter (the paper's
 // size-aware future-work variant, §7). Result.Flow carries objects/m².
+// It is a context-free wrapper over Do.
 func (s *System) TopKDensity(q []SLocID, k int, ts, te Time) ([]Result, Stats, error) {
-	return s.engine.TopKDensity(s.table, q, k, ts, te)
+	return unpack(s.Do(context.Background(), Query{Kind: KindDensity, K: k, Ts: ts, Te: te, SLocs: q}))
 }
+
+// unpack adapts a Do response to the legacy (results, stats, error) shape.
+func unpack(resp *Response, err error) ([]Result, Stats, error) {
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resp.Results, resp.Stats, nil
+}
+
+// IngestError reports the first record of an Ingest batch that failed
+// validation, with enough structure for callers (e.g. the HTTP serving
+// layer) to point at the offending record instead of parsing an error
+// string.
+type IngestError struct {
+	// Index is the record's position in the rejected batch.
+	Index int
+	// OID and T identify the record.
+	OID ObjectID
+	T   Time
+	// Err is the underlying validation failure.
+	Err error
+}
+
+// Error implements error.
+func (e *IngestError) Error() string {
+	return fmt.Sprintf("tkplq: ingest record %d (oid %d, t %d): %v", e.Index, e.OID, e.T, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *IngestError) Unwrap() error { return e.Err }
 
 // Ingest validates and appends a batch of positioning records to the
 // system's live table and invalidates the engine's cached presence summaries
 // for the affected objects. The whole batch is validated before anything is
-// appended, so a bad record leaves the table untouched. Ingest is safe to
-// call concurrently with queries: the table is internally synchronized, and
-// query-level coalescing keys on the table's record count, so queries racing
-// an ingest never share a stale evaluation.
+// appended, so a bad record leaves the table untouched; the returned error
+// is a *IngestError identifying the first offending record. Structural
+// checks (negative timestamps, duplicate (object, timestamp) pairs within
+// the batch — which would make the object's positioning sequence ambiguous)
+// run over the whole batch before any sample-set validation. Ingest is safe
+// to call concurrently with queries: the table is internally synchronized,
+// and query-level coalescing keys on the table's record count, so queries
+// racing an ingest never share a stale evaluation.
 func (s *System) Ingest(recs []Record) error {
+	type slot struct {
+		oid ObjectID
+		t   Time
+	}
+	seen := make(map[slot]int, len(recs))
+	for i, rec := range recs {
+		if rec.T < 0 {
+			return &IngestError{Index: i, OID: rec.OID, T: rec.T, Err: errors.New("negative timestamp")}
+		}
+		if j, dup := seen[slot{rec.OID, rec.T}]; dup {
+			return &IngestError{Index: i, OID: rec.OID, T: rec.T,
+				Err: fmt.Errorf("duplicate timestamp for object (record %d of this batch reports the same instant)", j)}
+		}
+		seen[slot{rec.OID, rec.T}] = i
+	}
 	for i, rec := range recs {
 		if err := rec.Samples.Validate(); err != nil {
-			return fmt.Errorf("tkplq: record %d (oid %d, t %d): %w", i, rec.OID, rec.T, err)
-		}
-		if rec.T < 0 {
-			return fmt.Errorf("tkplq: record %d (oid %d): negative timestamp %d", i, rec.OID, rec.T)
+			return &IngestError{Index: i, OID: rec.OID, T: rec.T, Err: err}
 		}
 	}
 	for _, rec := range recs {
 		s.table.Append(rec)
 	}
 	// Invalidate each touched object once, after all appends.
-	seen := make(map[ObjectID]bool, len(recs))
+	invalidated := make(map[ObjectID]bool, len(recs))
 	for _, rec := range recs {
-		if !seen[rec.OID] {
-			seen[rec.OID] = true
+		if !invalidated[rec.OID] {
+			invalidated[rec.OID] = true
 			s.engine.InvalidateObject(rec.OID)
 		}
 	}

@@ -100,6 +100,16 @@ func NewTable() *Table { return iupt.NewTable() }
 
 // Query machinery.
 type (
+	// Query is one self-describing query for System.Do / System.DoBatch:
+	// kind (topk | density | flow | presence), algorithm, k, time window,
+	// S-location set, and per-query overrides (Workers, DisableCache,
+	// DisableCoalescing).
+	Query = core.Query
+	// Response is the answer to one Query: ranked Results, the scalar Flow
+	// convenience value (flow/presence kinds), and Stats.
+	Response = core.Response
+	// QueryKind selects what a Query computes.
+	QueryKind = core.QueryKind
 	// Options configures the query engine. Options.Workers bounds the
 	// sharded evaluation pipeline's worker pool (0 = GOMAXPROCS, 1 =
 	// single-threaded); results are bit-identical at every pool size.
@@ -124,6 +134,18 @@ type (
 	// CacheStats is a snapshot of the engine's presence-cache and request-
 	// coalescer state.
 	CacheStats = core.CacheStats
+)
+
+// Query kinds for Query.Kind.
+const (
+	// KindTopK is the Top-k Popular Location Query (the zero value).
+	KindTopK = core.KindTopK
+	// KindDensity ranks by flow per square meter.
+	KindDensity = core.KindDensity
+	// KindFlow computes one S-location's indoor flow.
+	KindFlow = core.KindFlow
+	// KindPresence computes one object's presence in one S-location.
+	KindPresence = core.KindPresence
 )
 
 // Engine and algorithm selectors.
