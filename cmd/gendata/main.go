@@ -2,6 +2,13 @@
 // building, ground-truth trajectories, and the derived Indoor Uncertain
 // Positioning Table (IUPT), written as CSV or the compact binary format.
 //
+// Both output formats are specified byte by byte in docs/FORMATS.md. The
+// binary format is identical to the snapshot format of tkplqd's durable
+// data directory, so a generated file can seed one directly:
+//
+//	gendata -format bin -out data/snapshot-00000001.bin
+//	tkplqd -data-dir ./data ...
+//
 // Usage:
 //
 //	gendata [-dataset syn|rd] [-objects N] [-duration SECONDS]

@@ -1,11 +1,12 @@
 // Command tkplqd is the TkPLQ serving daemon: it loads (or generates) an
 // indoor mobility dataset and serves continuous queries over HTTP.
 //
-//	POST /v1/query   {"kind":"topk","algorithm":"bf","k":5,"ts":0,"te":0,"slocs":[]}
-//	POST /v2/query   same shape plus per-query options (workers, no_cache,
-//	                 no_coalesce, oid for kind "presence"); send a JSON array
-//	                 to evaluate a shared-work batch in one request
-//	POST /v1/ingest  {"records":[{"oid":1,"t":120,"samples":[{"ploc":4,"prob":0.6},...]}]}
+//	POST /v1/query    {"kind":"topk","algorithm":"bf","k":5,"ts":0,"te":0,"slocs":[]}
+//	POST /v2/query    same shape plus per-query options (workers, no_cache,
+//	                  no_coalesce, oid for kind "presence"); send a JSON array
+//	                  to evaluate a shared-work batch in one request
+//	POST /v1/ingest   {"records":[{"oid":1,"t":120,"samples":[{"ploc":4,"prob":0.6},...]}]}
+//	POST /v1/snapshot compact the WAL into a binary snapshot (needs -data-dir)
 //	GET  /v1/stats
 //	GET  /healthz
 //
@@ -17,11 +18,25 @@
 // per-object presence cache. The daemon shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests.
 //
+// With -data-dir the live table is durable: every accepted ingest batch is
+// written ahead to a CRC-framed log before it is applied, periodic binary
+// snapshots bound the log's length, and on restart the daemon recovers
+// snapshot + log replay into a table that answers bit-identically to the
+// never-restarted one — kill -9 mid-ingest loses at most an unacknowledged
+// batch. On the first start the data directory is seeded with a bootstrap
+// snapshot of the initial dataset (-iupt file or generated); on later
+// starts the recovered state wins and -iupt/-objects/-duration only shape
+// the indoor space, which must stay the same (-dataset, and the same
+// gendata space for ingested P-location ids). See docs/OPERATIONS.md for
+// the full operations guide and docs/FORMATS.md for the on-disk formats.
+//
 // Usage:
 //
 //	tkplqd [-addr HOST:PORT] [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
 //	       [-objects N] [-duration SECONDS] [-seed N] [-workers N]
 //	       [-request-timeout DUR] [-shutdown-timeout DUR]
+//	       [-data-dir DIR] [-fsync always|interval] [-fsync-interval DUR]
+//	       [-snapshot-every N] [-snapshot-interval DUR]
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"tkplq/internal/iupt"
 	"tkplq/internal/server"
 	"tkplq/internal/sim"
+	"tkplq/internal/wal"
 )
 
 func main() {
@@ -64,20 +80,81 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers         = fs.Int("workers", 0, "engine worker pool (0 = GOMAXPROCS, 1 = single-threaded)")
 		requestTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown drain budget")
+		dataDir         = fs.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
+		fsyncPolicy     = fs.String("fsync", "always", "WAL fsync policy: always (durable per batch) or interval (batched)")
+		fsyncInterval   = fs.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence for -fsync interval")
+		snapshotEvery   = fs.Int("snapshot-every", 100000, "auto-snapshot after N records ingested since the last snapshot (0 = off); bounds log growth and restart replay")
+		snapshotIvl     = fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	sys, err := buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
-	if err != nil {
-		return err
+	var store *tkplq.WAL
+	var sys *tkplq.System
+	if *dataDir != "" {
+		policy, err := parseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		var recovered *tkplq.Table
+		store, recovered, err = tkplq.OpenWAL(tkplq.WALOptions{
+			Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if recovered.Len() > 0 {
+			// The durable state is the source of truth; the flags only
+			// rebuild the (deterministic) indoor space around it.
+			if err := recovered.Validate(); err != nil {
+				return fmt.Errorf("%s: recovered table: %w", *dataDir, err)
+			}
+			b, err := buildSpace(*dataset)
+			if err != nil {
+				return err
+			}
+			sys, err = tkplq.NewSystem(b.Space, recovered, tkplq.Options{Workers: *workers})
+			if err != nil {
+				return err
+			}
+			sys.SetPersister(store)
+			ws := store.Stats()
+			fmt.Fprintf(out, "tkplqd: recovered %d records from %s (snapshot seq %d, %d frames replayed, %d torn bytes dropped)\n",
+				ws.RecoveredRecords, *dataDir, ws.SnapshotSeq, ws.ReplayedFrames, ws.TornBytes)
+			if ws.CorruptFrames > 0 {
+				fmt.Fprintf(out, "tkplqd: WARNING: %d complete WAL frames failed their CRC and were dropped — bit rot if the log was fsynced; check the disk\n",
+					ws.CorruptFrames)
+			}
+		} else {
+			sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
+			if err != nil {
+				return err
+			}
+			sys.SetPersister(store)
+			// Bootstrap snapshot: persist the initial dataset so later
+			// restarts recover it without regenerating or re-reading -iupt.
+			if err := sys.Snapshot(); err != nil {
+				return fmt.Errorf("bootstrap snapshot: %w", err)
+			}
+			fmt.Fprintf(out, "tkplqd: initialized %s with a bootstrap snapshot (%d records)\n",
+				*dataDir, sys.Table().Len())
+		}
+	} else {
+		var err error
+		sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
+		if err != nil {
+			return err
+		}
 	}
 
 	srv, err := server.New(server.Config{
 		System:         sys,
 		Addr:           *addr,
 		RequestTimeout: *requestTimeout,
+		Store:          store,
+		SnapshotEvery:  *snapshotEvery,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},
@@ -92,6 +169,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "tkplqd: listening on %s (%d records, %d objects, %d S-locations)\n",
 		srv.Addr(), st.Records, st.Objects, sys.Space().NumSLocations())
 
+	if store != nil && *snapshotIvl > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if store.RecordsSinceSnapshot() == 0 {
+						continue // nothing new to compact
+					}
+					if err := sys.Snapshot(); err != nil {
+						fmt.Fprintf(out, "tkplqd: periodic snapshot: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve() }()
 	select {
@@ -102,26 +199,50 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		return <-errCh
+		if err := <-errCh; err != nil {
+			return err
+		}
+		if store != nil {
+			// Final fsync: everything acknowledged is on disk before exit.
+			if err := store.Close(); err != nil {
+				return fmt.Errorf("closing wal: %w", err)
+			}
+		}
+		return nil
 	case err := <-errCh:
 		return err
 	}
 }
 
-// buildSystem regenerates the deterministic indoor space for the dataset kind
-// and either loads the IUPT from a gendata file or generates it on the fly
-// (spaces are cheap; the IUPT is the heavy artifact).
-func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int) (*tkplq.System, error) {
-	var b *sim.Building
-	var err error
+// parseFsyncPolicy maps the -fsync flag to a WAL sync policy.
+func parseFsyncPolicy(s string) (tkplq.SyncPolicy, error) {
+	switch s {
+	case "always":
+		return tkplq.SyncAlways, nil
+	case "interval":
+		return tkplq.SyncInterval, nil
+	default:
+		return 0, fmt.Errorf("unknown -fsync policy %q (want always or interval)", s)
+	}
+}
+
+// buildSpace regenerates the deterministic indoor space for the dataset
+// kind (spaces are cheap; the IUPT is the heavy artifact).
+func buildSpace(dataset string) (*sim.Building, error) {
 	switch dataset {
 	case "syn":
-		b, err = sim.Generate(sim.DefaultBuildingConfig())
+		return sim.Generate(sim.DefaultBuildingConfig())
 	case "rd":
-		b, err = sim.RealDataFloor()
+		return sim.RealDataFloor()
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want syn or rd)", dataset)
 	}
+}
+
+// buildSystem regenerates the indoor space and either loads the IUPT from a
+// gendata file or generates it on the fly.
+func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int) (*tkplq.System, error) {
+	b, err := buildSpace(dataset)
 	if err != nil {
 		return nil, err
 	}

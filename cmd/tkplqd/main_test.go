@@ -122,6 +122,124 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// startDaemon boots run() in a goroutine and waits for the announce line,
+// returning the base URL, the output buffer, and a stop function that
+// cancels the context and waits for a clean exit.
+func startDaemon(t *testing.T, args []string) (string, *syncBuffer, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, &out) }()
+
+	var addr string
+	deadline := time.Now().Add(60 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			cancel()
+			t.Fatalf("daemon exited before listening: %v (output: %s)", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address (output: %s)", out.String())
+		}
+	}
+	stop := func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited with %v (output: %s)", err, out.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down after cancellation")
+		}
+	}
+	return "http://" + addr, &out, stop
+}
+
+// TestDaemonDurableRestart boots the daemon with -data-dir, ingests over
+// HTTP, restarts it against the same directory, and checks that the second
+// incarnation recovers the records and answers the same query identically.
+func TestDaemonDurableRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-objects", "6", "-duration", "600", "-seed", "3",
+		"-data-dir", dataDir, "-snapshot-every", "2",
+	}
+
+	base, out, stop := startDaemon(t, args)
+	if !strings.Contains(out.String(), "bootstrap snapshot") {
+		t.Fatalf("first boot did not announce the bootstrap snapshot: %s", out.String())
+	}
+	ingest := `{"records":[{"oid":9001,"t":700,"samples":[{"ploc":0,"prob":1.0}]},` +
+		`{"oid":9001,"t":703,"samples":[{"ploc":1,"prob":0.5},{"ploc":2,"prob":0.5}]}]}`
+	iresp, err := http.Post(base+"/v1/ingest", "application/json", strings.NewReader(ingest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", iresp.StatusCode)
+	}
+	query := func(base string) ([]byte, int) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/query", "application/json",
+			strings.NewReader(`{"kind":"topk","algorithm":"bf","k":5,"te":800}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Results []struct {
+				SLoc int     `json:"sloc"`
+				Flow float64 `json:"flow"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hresp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hresp.Body.Close()
+		var health struct {
+			Records int `json:"records"`
+		}
+		if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		return b, health.Records
+	}
+	before, recordsBefore := query(base)
+	stop()
+
+	base2, out2, stop2 := startDaemon(t, args)
+	defer stop2()
+	if !strings.Contains(out2.String(), "recovered") {
+		t.Fatalf("second boot did not announce recovery: %s", out2.String())
+	}
+	after, recordsAfter := query(base2)
+	if recordsAfter != recordsBefore {
+		t.Fatalf("restart changed record count: %d vs %d", recordsAfter, recordsBefore)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restart changed the answer:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
 // TestBuildSystemFromFile round-trips a table through the gendata CSV format
 // into the daemon's loader.
 func TestBuildSystemFromFile(t *testing.T) {

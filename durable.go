@@ -1,0 +1,100 @@
+package tkplq
+
+import (
+	"errors"
+
+	"tkplq/internal/wal"
+)
+
+// Durability. A System is in-memory by default: records appended via Ingest
+// die with the process. Attaching a Persister (normally a WAL store from
+// OpenWAL) makes ingest durable — every accepted batch is written ahead to
+// the log before it is applied to the live table, and Snapshot compacts the
+// log into a binary snapshot of the whole table. See docs/OPERATIONS.md for
+// running the tkplqd daemon durably and docs/FORMATS.md for the on-disk
+// byte layouts.
+
+type (
+	// WAL is a durable write-ahead-log + snapshot store over one data
+	// directory. Obtain one with OpenWAL; it implements Persister and
+	// Snapshotter.
+	WAL = wal.Store
+	// WALOptions parametrizes OpenWAL: the data directory, the fsync
+	// policy (SyncAlways / SyncInterval) and the SyncInterval cadence.
+	WALOptions = wal.Options
+	// WALStats is a snapshot of a WAL store's counters: appended frames /
+	// records / bytes, fsyncs, snapshots, records since the last snapshot,
+	// and what recovery found (recovered records, replayed frames, torn
+	// bytes dropped).
+	WALStats = wal.Stats
+	// SyncPolicy selects when appended WAL frames are fsynced.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies for WALOptions.Policy.
+const (
+	// SyncAlways fsyncs after every appended batch (the default): an
+	// acknowledged ingest survives a machine crash.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval batches fsyncs on a background timer (WALOptions.
+	// SyncEvery): higher ingest throughput, bounded loss window on a
+	// machine crash, no loss on a process crash.
+	SyncInterval = wal.SyncInterval
+)
+
+// OpenWAL opens (or initializes) a durable data directory and recovers its
+// contents: the newest binary snapshot plus a frame-by-frame replay of the
+// write-ahead log, tolerating a torn final frame from a crash mid-append.
+// It returns the store and the recovered table; recovery is deterministic,
+// so a System built over the recovered table answers queries bit-identically
+// to one that never restarted. Wire the store into a System with
+// SetPersister, then ingest through System.Ingest as usual.
+func OpenWAL(opts WALOptions) (*WAL, *Table, error) {
+	return wal.Open(opts)
+}
+
+// Persister is the durability hook behind System.Ingest: when attached via
+// SetPersister, every validated batch is passed to AppendBatch before it is
+// applied to the live table (write-ahead order), under the System's ingest
+// serialization lock. An AppendBatch error aborts the ingest with the table
+// untouched. *WAL implements Persister.
+type Persister interface {
+	AppendBatch(recs []Record) error
+}
+
+// Snapshotter is implemented by persisters that can compact their log into
+// a full-table snapshot; System.Snapshot feeds it the table's canonical
+// time-sorted record slice. *WAL implements Snapshotter.
+type Snapshotter interface {
+	Snapshot(recs []Record) error
+}
+
+// ErrNoSnapshotter is returned by System.Snapshot when no snapshot-capable
+// persister is attached.
+var ErrNoSnapshotter = errors.New("tkplq: no snapshot-capable persister attached")
+
+// SetPersister attaches the durability hook consulted by Ingest and
+// Snapshot (nil detaches it). Attach the persister before serving traffic:
+// SetPersister is synchronized with in-flight Ingest calls, but batches
+// ingested before the persister is attached are not retroactively logged.
+func (s *System) SetPersister(p Persister) {
+	s.ingestMu.Lock()
+	s.persist = p
+	s.ingestMu.Unlock()
+}
+
+// Snapshot compacts the attached persister's log into a snapshot of the
+// whole live table. It holds the ingest lock for the duration — concurrent
+// Ingest calls wait, queries are unaffected — so the snapshot's cut is
+// exact: it contains precisely the batches appended before it, and the
+// rotated log contains precisely the batches after. Returns
+// ErrNoSnapshotter when the attached persister (if any) cannot snapshot.
+func (s *System) Snapshot() error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	snap, ok := s.persist.(Snapshotter)
+	if !ok {
+		return ErrNoSnapshotter
+	}
+	return snap.Snapshot(s.table.SortedRecords())
+}

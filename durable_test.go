@@ -1,0 +1,258 @@
+package tkplq_test
+
+// Crash/restart determinism: a daemon's table recovered from snapshot + WAL
+// replay must answer queries bit-identically to the table that never
+// restarted — the contract behind tkplqd -data-dir. The test simulates a
+// kill -9 (the store is abandoned, never Closed), tears the final WAL frame
+// the way a mid-append crash would, recovers, and compares rankings AND
+// flows with == on every float64, concurrently under the race detector.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tkplq"
+)
+
+// copyDataDir clones a data directory into a fresh temp dir, as the
+// filesystem a restarted process would recover (the advisory LOCK file is
+// skipped — a real crash releases the flock with the process).
+func copyDataDir(t *testing.T, dir string) string {
+	t.Helper()
+	out := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "LOCK" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(out, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// durableTestBuilding regenerates the deterministic small synthetic world
+// shared by all systems in this test; identical seeds yield identical
+// buildings and tables.
+func durableTestBuilding(t *testing.T) (*tkplq.Building, *tkplq.Table) {
+	t.Helper()
+	b, err := tkplq.GenerateBuilding(tkplq.DefaultBuildingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs, err := tkplq.SimulateMovement(b, tkplq.MovementConfig{
+		Objects: 6, Duration: 600, MaxSpeed: 1.0,
+		MinDwell: 60, MaxDwell: 240,
+		MinLifespan: 300, MaxLifespan: 600,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := tkplq.GenerateIUPT(b, trajs, tkplq.PositioningConfig{
+		MaxPeriod: 3, MSS: 4, ErrorRadius: 5, Gamma: 0.2, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, table
+}
+
+// ingestBatches builds ten valid 3-record batches with distinct objects and
+// fresh timestamps past the generated span.
+func ingestBatches(numPLocs int) [][]tkplq.Record {
+	batches := make([][]tkplq.Record, 10)
+	for i := range batches {
+		recs := make([]tkplq.Record, 3)
+		for j := range recs {
+			p1 := tkplq.PLocID((i*3 + j) % numPLocs)
+			p2 := tkplq.PLocID((i*3 + j + 1) % numPLocs)
+			recs[j] = tkplq.Record{
+				OID: tkplq.ObjectID(100 + i),
+				T:   tkplq.Time(610 + int64(i)*5 + int64(j)),
+				Samples: tkplq.SampleSet{
+					{Loc: p1, Prob: 0.6},
+					{Loc: p2, Prob: 0.4},
+				},
+			}
+		}
+		batches[i] = recs
+	}
+	return batches
+}
+
+// answerSet evaluates the comparison query battery: all three TkPLQ
+// algorithms, density, and one flow — everything the server surfaces.
+func answerSet(t *testing.T, sys *tkplq.System) []*tkplq.Response {
+	t.Helper()
+	queries := []tkplq.Query{
+		{Kind: tkplq.KindTopK, Algorithm: tkplq.BestFirst, K: 5, Ts: 0, Te: 700, SLocs: sys.AllSLocations()},
+		{Kind: tkplq.KindTopK, Algorithm: tkplq.NestedLoop, K: 5, Ts: 0, Te: 700, SLocs: sys.AllSLocations()},
+		{Kind: tkplq.KindTopK, Algorithm: tkplq.Naive, K: 5, Ts: 0, Te: 700, SLocs: sys.AllSLocations()},
+		{Kind: tkplq.KindDensity, K: 5, Ts: 0, Te: 700, SLocs: sys.AllSLocations()},
+		{Kind: tkplq.KindFlow, Ts: 0, Te: 700, SLocs: sys.AllSLocations()[:1]},
+	}
+	out := make([]*tkplq.Response, len(queries))
+	for i, q := range queries {
+		resp, err := sys.Do(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = resp
+	}
+	return out
+}
+
+// assertIdentical compares two answer sets bit-for-bit: same rankings, same
+// float64 flows (==, no tolerance).
+func assertIdentical(t *testing.T, label string, got, want []*tkplq.Response) {
+	t.Helper()
+	for i := range want {
+		if got[i].Flow != want[i].Flow {
+			t.Errorf("%s: query %d scalar flow %v != %v", label, i, got[i].Flow, want[i].Flow)
+		}
+		if len(got[i].Results) != len(want[i].Results) {
+			t.Fatalf("%s: query %d returned %d results, want %d", label, i, len(got[i].Results), len(want[i].Results))
+		}
+		for j := range want[i].Results {
+			if got[i].Results[j] != want[i].Results[j] {
+				t.Errorf("%s: query %d rank %d: %+v != %+v", label, i, j, got[i].Results[j], want[i].Results[j])
+			}
+		}
+	}
+}
+
+func TestCrashRestartDeterminism(t *testing.T) {
+	// Reference: one system that never restarts. Capture the battery after
+	// nine batches and again after all ten.
+	refB, refTable := durableTestBuilding(t)
+	ref, err := tkplq.NewSystem(refB.Space, refTable, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := ingestBatches(refB.Space.NumPLocations())
+	for _, b := range batches[:9] {
+		if err := ref.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want9 := answerSet(t, ref)
+	if err := ref.Ingest(batches[9]); err != nil {
+		t.Fatal(err)
+	}
+	want10 := answerSet(t, ref)
+
+	// Durable run: bootstrap snapshot, five batches, mid-run snapshot, five
+	// more batches — then die without Close (kill -9) and tear the final
+	// frame as a crash mid-append would.
+	dir := t.TempDir()
+	durB, durTable := durableTestBuilding(t)
+	dur, err := tkplq.NewSystem(durB.Space, durTable, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Snapshot(); err != tkplq.ErrNoSnapshotter {
+		t.Fatalf("Snapshot without persister = %v, want ErrNoSnapshotter", err)
+	}
+	store, recovered, err := tkplq.OpenWAL(tkplq.WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Len() != 0 {
+		t.Fatalf("fresh dir recovered %d records", recovered.Len())
+	}
+	dur.SetPersister(store)
+	if err := dur.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:5] {
+		if err := dur.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dur.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[5:] {
+		if err := dur.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close. The dying process's flock evaporates with it; here
+	// the "restarted process" recovers a byte-for-byte copy of the
+	// directory (the crashed store still holds the original's lock). Tear
+	// the final frame (batch 9) by chopping bytes off the active segment.
+	dir2 := copyDataDir(t, dir)
+	segs, err := filepath.Glob(filepath.Join(dir2, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one active segment, got %v (%v)", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover. The torn batch 9 is gone; everything else must answer
+	// bit-identically to the uninterrupted reference at nine batches.
+	store2, table2, err := tkplq.OpenWAL(tkplq.WALOptions{Dir: dir2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := store2.Stats(); ws.TornBytes == 0 || ws.SnapshotSeq != 2 {
+		t.Fatalf("recovery stats = %+v, want torn bytes and snapshot seq 2", ws)
+	}
+	recB, _ := durableTestBuilding(t)
+	rec, err := tkplq.NewSystem(recB.Space, table2, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetPersister(store2)
+
+	// Concurrent queries against the recovered system, under -race.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			assertIdentical(t, "recovered (torn tail)", answerSet(t, rec), want9)
+		}()
+	}
+	wg.Wait()
+
+	// Re-ingest the lost batch; now the recovered system must match the
+	// ten-batch reference exactly.
+	if err := rec.Ingest(batches[9]); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "recovered + reingested", answerSet(t, rec), want10)
+
+	// One more full cycle, this time a graceful restart.
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store3, table3, err := tkplq.OpenWAL(tkplq.WALOptions{Dir: dir2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	rec2B, _ := durableTestBuilding(t)
+	rec2, err := tkplq.NewSystem(rec2B.Space, table3, tkplq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "second restart", answerSet(t, rec2), want10)
+}

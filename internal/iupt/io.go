@@ -105,7 +105,17 @@ const (
 
 // WriteBinary writes the table in the compact binary format.
 func (t *Table) WriteBinary(w io.Writer) error {
-	recs := t.sortedRecords()
+	return WriteRecordsBinary(w, t.sortedRecords())
+}
+
+// WriteRecordsBinary writes a record slice in the compact binary format —
+// the same bytes Table.WriteBinary produces for a table holding recs. It is
+// the encoder behind both cmd/gendata's -format bin output and the WAL
+// store's snapshot files (internal/wal), which are therefore mutually
+// loadable; the byte layout is specified in docs/FORMATS.md. recs should be
+// in the table's canonical time-sorted order (Table.SortedRecords) so a
+// reloaded table is bit-identical under queries.
+func WriteRecordsBinary(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err

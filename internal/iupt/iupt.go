@@ -3,6 +3,18 @@
 // samples (loc, prob) over P-locations with probabilities summing to one.
 // The table is indexed on its time attribute with the 1-D R-tree (paper
 // §3.3) and yields per-object positioning sequences for a query interval.
+//
+// A Table is safe for concurrent use: appends and queries interleave
+// freely, the lazy time sort and index rebuilds are copy-on-write, and
+// SortedRecords hands out immutable snapshots — the properties the engine's
+// live Monitor and the WAL store's Snapshot (internal/wal) build on.
+//
+// io.go serializes tables in two formats, specified byte by byte in
+// docs/FORMATS.md: a human-editable CSV (WriteCSV/ReadCSV) and a compact
+// little-endian binary layout (WriteBinary/WriteRecordsBinary/ReadBinary)
+// that stores probabilities as raw IEEE-754 bits for exact round-trips.
+// The binary format doubles as the WAL store's snapshot format and
+// cmd/gendata's -format bin output, which are therefore interchangeable.
 package iupt
 
 import (
@@ -269,6 +281,16 @@ func (t *Table) sortedRecords() []Record {
 	defer t.mu.Unlock()
 	t.ensureSortedLocked()
 	return t.records
+}
+
+// SortedRecords returns a time-ordered snapshot of the records: the
+// canonical order queries evaluate against (stable, so same-timestamp
+// records keep their arrival order). The returned slice is shared with the
+// table and must not be modified; later appends and re-sorts never mutate
+// its backing array, so it remains a consistent snapshot — the property the
+// WAL store's Snapshot relies on.
+func (t *Table) SortedRecords() []Record {
+	return t.sortedRecords()
 }
 
 // snapshot returns a consistent (records, index) pair for query evaluation.

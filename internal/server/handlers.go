@@ -121,6 +121,33 @@ type IngestErrorResponse struct {
 	T     int64  `json:"t"`
 }
 
+// SnapshotResponse is the body of a successful POST /v1/snapshot.
+type SnapshotResponse struct {
+	// SnapshotSeq is the committed snapshot's sequence number.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Records is the number of records the snapshot holds.
+	Records int `json:"records"`
+	// ElapsedMS is the snapshot write + log rotation time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// WALStatsJSON is the `wal` section of GET /v1/stats, present when the
+// daemon runs with a data directory.
+type WALStatsJSON struct {
+	SnapshotSeq        uint64 `json:"snapshot_seq"`
+	Frames             int64  `json:"frames"`
+	Records            int64  `json:"records"`
+	Bytes              int64  `json:"bytes"`
+	Fsyncs             int64  `json:"fsyncs"`
+	Snapshots          int64  `json:"snapshots"`
+	RecordsSinceSnap   int64  `json:"records_since_snapshot"`
+	RecoveredRecords   int64  `json:"recovered_records"`
+	ReplayedFrames     int64  `json:"replayed_frames"`
+	TornBytesDropped   int64  `json:"torn_bytes_dropped"`
+	CorruptFrames      int64  `json:"corrupt_frames"`
+	SnapshotsRequested int64  `json:"snapshots_requested"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Engine struct {
@@ -149,6 +176,8 @@ type StatsResponse struct {
 		SLocations int `json:"slocations"`
 		Partitions int `json:"partitions"`
 	} `json:"space"`
+	// WAL is present only when the server fronts a durable store.
+	WAL *WALStatsJSON `json:"wal,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the status code.
@@ -282,7 +311,56 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.ingestRequests.Add(1)
 	s.recordsIngested.Add(int64(len(recs)))
+	s.maybeAutoSnapshot()
 	writeJSON(w, IngestResponse{Ingested: len(recs), Records: s.sys.Table().Len()})
+}
+
+// maybeAutoSnapshot compacts the WAL in the background once SnapshotEvery
+// records have accumulated since the last snapshot. At most one automatic
+// snapshot runs at a time; a failure is logged and retried by the next
+// ingest that crosses the threshold.
+func (s *Server) maybeAutoSnapshot() {
+	if s.cfg.Store == nil || s.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	// Lock-free probe: this runs on every ingest and must not serialize
+	// behind the store mutex AppendBatch holds across its fsync.
+	if s.cfg.Store.RecordsSinceSnapshot() < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.snapshotting.Store(false)
+		if err := s.sys.Snapshot(); err != nil {
+			s.cfg.Logf("server: auto-snapshot: %v", err)
+			return
+		}
+		s.snapshots.Add(1)
+		s.cfg.Logf("server: auto-snapshot committed (seq %d)", s.cfg.Store.Stats().SnapshotSeq)
+	}()
+}
+
+// handleSnapshot serves POST /v1/snapshot: an on-demand WAL compaction.
+// Without a durable store the endpoint answers 501.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		errorJSON(w, http.StatusNotImplemented, "persistence not configured (start tkplqd with -data-dir)")
+		return
+	}
+	started := time.Now()
+	if err := s.sys.Snapshot(); err != nil {
+		errorJSON(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	s.snapshots.Add(1)
+	st := s.cfg.Store.Stats()
+	writeJSON(w, SnapshotResponse{
+		SnapshotSeq: st.SnapshotSeq,
+		Records:     s.sys.Table().Len(),
+		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
+	})
 }
 
 // writeJSON400Ingest writes the structured rejection envelope for one
@@ -319,6 +397,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Table.Objects = len(s.sys.Table().Objects())
 	out.Space.SLocations = s.sys.Space().NumSLocations()
 	out.Space.Partitions = s.sys.Space().NumPartitions()
+	if s.cfg.Store != nil {
+		ws := s.cfg.Store.Stats()
+		out.WAL = &WALStatsJSON{
+			SnapshotSeq:        ws.SnapshotSeq,
+			Frames:             ws.Frames,
+			Records:            ws.Records,
+			Bytes:              ws.Bytes,
+			Fsyncs:             ws.Fsyncs,
+			Snapshots:          ws.Snapshots,
+			RecordsSinceSnap:   ws.SinceSnapshot,
+			RecoveredRecords:   ws.RecoveredRecords,
+			ReplayedFrames:     ws.ReplayedFrames,
+			TornBytesDropped:   ws.TornBytes,
+			CorruptFrames:      ws.CorruptFrames,
+			SnapshotsRequested: s.snapshots.Load(),
+		}
+	}
 	writeJSON(w, out)
 }
 

@@ -7,7 +7,8 @@
 //	POST /v2/query   — context-aware query API: one query object, or an
 //	                   array of queries evaluated as a shared-work batch
 //	POST /v1/ingest  — batched uncertain positioning records into the live table
-//	GET  /v1/stats   — engine cache + coalescer counters, server counters, table shape
+//	POST /v1/snapshot — compact the WAL into a binary table snapshot on demand
+//	GET  /v1/stats   — engine cache + coalescer + wal counters, server counters, table shape
 //	GET  /healthz    — liveness
 //
 // Every request is evaluated under its own context: the per-request budget
@@ -18,6 +19,13 @@
 // Concurrent identical queries share one evaluation via the engine's
 // query-level request coalescing; the per-response stats carry `coalesced`
 // so clients (and the smoke tests) can observe the dedupe.
+//
+// When the daemon runs with a data directory (Config.Store), ingest is
+// durable: System.Ingest writes every accepted batch ahead to the WAL, the
+// /v1/stats payload grows a `wal` section, POST /v1/snapshot compacts the
+// log on demand, and Config.SnapshotEvery triggers an automatic compaction
+// once that many records have accumulated since the last snapshot. See
+// docs/OPERATIONS.md.
 package server
 
 import (
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"tkplq"
+	"tkplq/internal/wal"
 )
 
 // Config parametrizes a Server.
@@ -48,6 +57,15 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf receives server log lines; log.Printf when nil.
 	Logf func(format string, args ...any)
+	// Store is the durable WAL store attached to System (nil = in-memory
+	// serving). The server never writes it directly — System.Ingest and
+	// System.Snapshot do — but uses it to report wal counters in /v1/stats,
+	// to answer POST /v1/snapshot, and to drive SnapshotEvery.
+	Store *wal.Store
+	// SnapshotEvery triggers an automatic snapshot once this many records
+	// have been appended since the last one (0 = on-demand snapshots only).
+	// Requires Store.
+	SnapshotEvery int
 }
 
 // DefaultRequestTimeout bounds request handling when Config.RequestTimeout
@@ -72,6 +90,8 @@ type Server struct {
 	batches         atomic.Int64
 	ingestRequests  atomic.Int64
 	recordsIngested atomic.Int64
+	snapshots       atomic.Int64
+	snapshotting    atomic.Bool // one auto-snapshot in flight at a time
 }
 
 // New builds a Server around the system. It does not listen yet; call Start
@@ -101,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/query", s.method(http.MethodPost, s.handleQuery))
 	mux.HandleFunc("/v2/query", s.method(http.MethodPost, s.handleQueryV2))
 	mux.HandleFunc("/v1/ingest", s.method(http.MethodPost, s.handleIngest))
+	mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
 	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

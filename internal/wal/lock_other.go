@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix platforms run without the advisory directory lock; the
+// single-writer requirement is then on the operator (docs/OPERATIONS.md).
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

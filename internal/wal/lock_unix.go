@@ -1,0 +1,39 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory lock guarding a data directory. It is never
+// deleted; the flock itself (not the file's existence) carries the lock, so
+// a crashed process releases it automatically.
+const lockFileName = "LOCK"
+
+// lockDir takes an exclusive, non-blocking flock on the directory's lock
+// file. A second store opening the same directory fails loudly instead of
+// interleaving frames with the first.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the lock (also released implicitly on process exit).
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

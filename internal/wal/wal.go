@@ -1,0 +1,755 @@
+// Package wal implements the durability layer behind the live IUPT: an
+// append-only, CRC-framed, fsync-batched write-ahead log paired with
+// periodic binary snapshots of the table.
+//
+// A Store owns one data directory containing at most one snapshot and one
+// active log segment, both named by a monotonically increasing snapshot
+// sequence number:
+//
+//	data/
+//	  snapshot-00000003.bin   // binary IUPT snapshot (cmd/gendata format)
+//	  wal-00000003.log        // batches accepted after snapshot 3
+//
+// Every accepted ingest batch is appended atomically as one CRC32C-framed
+// record before it is applied to the in-memory table (write-ahead order).
+// Snapshot writes the whole table to a temp file, fsyncs, renames it into
+// place, rotates the log to a fresh segment and deletes the now-redundant
+// older files — so the log is truncated at every snapshot and recovery cost
+// is bounded by the snapshot cadence.
+//
+// Open recovers the directory deterministically: it loads the newest
+// snapshot, replays the surviving segment frame by frame, and tolerates a
+// torn final frame (a crash mid-append) by truncating the segment back to
+// the last complete batch. Because the snapshot stores records in the
+// table's canonical time-sorted order and replay re-applies batches in
+// append order, a recovered table answers queries bit-identically to the
+// table that never restarted.
+//
+// The on-disk byte layouts are specified in docs/FORMATS.md.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// SyncPolicy selects when appended frames are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the segment after every appended batch: an
+	// acknowledged ingest survives an immediate machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval batches fsyncs on a background timer (Options.SyncEvery):
+	// much higher ingest throughput, at the cost of losing at most the last
+	// interval's batches on a machine crash. A process crash (kill -9) loses
+	// nothing either way — the OS still holds the written pages.
+	SyncInterval
+)
+
+// DefaultSyncEvery is the fsync cadence when Options.SyncEvery is zero and
+// the policy is SyncInterval.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// Options parametrizes Open.
+type Options struct {
+	// Dir is the data directory; created if missing. Required.
+	Dir string
+	// Policy selects the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// SyncEvery is the background fsync cadence for SyncInterval
+	// (DefaultSyncEvery when zero).
+	SyncEvery time.Duration
+}
+
+// Stats is a snapshot of a Store's lifetime counters. Recovered* and
+// Replayed*/Torn* describe the Open that created the store; the rest count
+// work performed since.
+type Stats struct {
+	// SnapshotSeq is the sequence number of the newest committed snapshot
+	// (0 = none yet).
+	SnapshotSeq uint64
+	// Frames, Records and Bytes count appended batches, their records and
+	// their on-disk frame bytes.
+	Frames  int64
+	Records int64
+	Bytes   int64
+	// Fsyncs counts segment fsyncs (per append under SyncAlways, per timer
+	// tick with pending writes under SyncInterval, plus one on Close).
+	Fsyncs int64
+	// Snapshots counts snapshots committed by this store.
+	Snapshots int64
+	// SinceSnapshot counts records appended since the last snapshot (or
+	// Open), the signal behind automatic snapshot cadence.
+	SinceSnapshot int64
+	// RecoveredRecords is the table size produced by Open (snapshot records
+	// plus replayed WAL records).
+	RecoveredRecords int64
+	// ReplayedFrames counts complete WAL frames applied during Open.
+	ReplayedFrames int64
+	// TornBytes counts trailing bytes dropped (and truncated away) during
+	// Open: an incomplete final frame, or everything from the first
+	// invalid frame on.
+	TornBytes int64
+	// CorruptFrames counts complete frames that failed their CRC during
+	// Open. Replay stops and truncates there like a torn write (a machine
+	// crash under SyncInterval can lose an unfsynced page out of order),
+	// but a nonzero count on a log whose frames were all fsynced means bit
+	// rot — alert on it.
+	CorruptFrames int64
+}
+
+const (
+	segMagic   = "TKWL"
+	segVersion = uint16(1)
+	segHdrLen  = 6 // magic + version
+
+	frameHdrLen = 8       // payload length (uint32) + CRC32C (uint32)
+	maxFrameLen = 1 << 26 // 64 MiB sanity bound on one batch
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errShortSegment marks a segment file shorter than its own header — the
+// signature of a crash during segment creation, tolerated (dropped and
+// recreated) when it is the final segment.
+var errShortSegment = errors.New("segment shorter than its header")
+
+var (
+	snapshotRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
+	segmentRE  = regexp.MustCompile(`^wal-(\d{8})\.log$`)
+)
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.bin", seq) }
+func segmentName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// Store is a durable write-ahead log + snapshot store over one data
+// directory. It is safe for concurrent use, but callers that pair it with a
+// live table (tkplq.System does) must serialize AppendBatch with the table
+// apply and Snapshot with both — otherwise the log order can diverge from
+// the table order and recovery would replay a different history.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	seg    *os.File
+	lock   *os.File // flock'd lock file guarding the directory
+	seq    uint64   // current snapshot/segment sequence
+	dirty  bool     // segment has writes not yet fsynced
+	closed bool
+	failed error // poisoned: rotation failed past the snapshot commit point
+	stats  Stats
+
+	// sinceSnap mirrors stats.SinceSnapshot as an atomic so hot paths (the
+	// server probes it per ingest) can read it without taking mu.
+	sinceSnap atomic.Int64
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+// Open opens (or initializes) the data directory and recovers its contents
+// into a fresh table: newest snapshot first, then the surviving log segment
+// frame by frame. A torn final frame — the signature of a crash mid-append —
+// is dropped and truncated away (Stats.TornBytes); a corrupt frame anywhere
+// else is an error. Stale files from interrupted snapshots (older segments,
+// older snapshots, *.tmp leftovers) are removed.
+func Open(opts Options) (*Store, *iupt.Table, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	// One store per directory: a second process opening the same data dir
+	// would interleave frames and clobber the other's snapshots. The flock
+	// is released automatically when the process dies, so a kill -9 never
+	// wedges the directory.
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			unlockDir(lock)
+		}
+	}()
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	snapshots := map[uint64]string{}
+	segments := map[uint64]string{}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case filepath.Ext(name) == ".tmp":
+			// Leftover of an interrupted snapshot write; never committed.
+			_ = os.Remove(filepath.Join(opts.Dir, name))
+		case snapshotRE.MatchString(name):
+			seq := parseSeq(snapshotRE.FindStringSubmatch(name)[1])
+			snapshots[seq] = filepath.Join(opts.Dir, name)
+		case segmentRE.MatchString(name):
+			seq := parseSeq(segmentRE.FindStringSubmatch(name)[1])
+			segments[seq] = filepath.Join(opts.Dir, name)
+		}
+	}
+
+	s := &Store{dir: opts.Dir, opts: opts, lock: lock}
+
+	// Load the newest snapshot; anything older is redundant by construction
+	// (snapshot N contains everything up to its cut).
+	table := iupt.NewTable()
+	var snapSeq uint64
+	if len(snapshots) > 0 {
+		snapSeq = maxSeq(snapshots)
+		table, err = readSnapshot(snapshots[snapSeq])
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: snapshot %s: %w", snapshots[snapSeq], err)
+		}
+		for seq, path := range snapshots {
+			if seq < snapSeq {
+				_ = os.Remove(path)
+			}
+		}
+	}
+	// Segments older than the snapshot are fully contained in it: a crash
+	// between snapshot commit and cleanup leaves them behind. Drop them.
+	for seq, path := range segments {
+		if seq < snapSeq {
+			_ = os.Remove(path)
+			delete(segments, seq)
+		}
+	}
+
+	// Replay surviving segments in sequence order. Normally exactly one
+	// (seq == snapSeq) exists; tolerate a torn tail only in the last.
+	var segSeqs []uint64
+	for seq := range segments {
+		segSeqs = append(segSeqs, seq)
+	}
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	s.seq = snapSeq
+	for i, seq := range segSeqs {
+		last := i == len(segSeqs)-1
+		frames, records, validOff, torn, corrupt, err := replaySegment(segments[seq], table, last)
+		s.stats.CorruptFrames += corrupt
+		if errors.Is(err, errShortSegment) && last {
+			// A crash tore the segment's own creation: it holds no frames.
+			// Drop it; the active-segment path below recreates it cleanly.
+			s.stats.TornBytes += torn
+			_ = os.Remove(segments[seq])
+			delete(segments, seq)
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: segment %s: %w", segments[seq], err)
+		}
+		s.stats.ReplayedFrames += frames
+		_ = records
+		if torn > 0 {
+			s.stats.TornBytes += torn
+			if err := os.Truncate(segments[seq], validOff); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating torn segment %s: %w", segments[seq], err)
+			}
+		}
+		if seq > s.seq {
+			s.seq = seq
+		}
+	}
+	s.stats.RecoveredRecords = int64(table.Len())
+	s.stats.SnapshotSeq = snapSeq
+
+	// Open (or create) the active segment for appending.
+	segPath := filepath.Join(opts.Dir, segmentName(s.seq))
+	if _, ok := segments[s.seq]; ok {
+		s.seg, err = os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+	} else {
+		if s.seg, err = createSegment(segPath); err != nil {
+			return nil, nil, err
+		}
+		if err := syncDir(opts.Dir); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if opts.Policy == SyncInterval {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.syncLoop()
+	}
+	ok = true
+	return s, table, nil
+}
+
+// parseSeq converts a zero-padded decimal capture; the regexp guarantees it
+// parses.
+func parseSeq(s string) uint64 {
+	n, _ := strconv.ParseUint(s, 10, 64)
+	return n
+}
+
+func maxSeq(m map[uint64]string) uint64 {
+	var max uint64
+	for seq := range m {
+		if seq > max {
+			max = seq
+		}
+	}
+	return max
+}
+
+// readSnapshot loads one binary IUPT snapshot.
+func readSnapshot(path string) (*iupt.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return iupt.ReadBinary(f)
+}
+
+// createSegment creates an empty log segment with its header, fsynced.
+func createSegment(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, 0, segHdrLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// AppendBatch durably appends one ingest batch as a single atomic frame.
+// Under SyncAlways the frame is fsynced before AppendBatch returns; under
+// SyncInterval it is fsynced by the background timer. An empty batch is a
+// no-op; a batch whose encoded payload exceeds the 64 MiB frame bound is
+// rejected up front (replay enforces the same bound, so an oversized frame
+// could never be recovered — split huge bulk loads into smaller batches).
+// AppendBatch satisfies tkplq.Persister.
+func (s *Store) AppendBatch(recs []iupt.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payload, err := encodeBatch(recs)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("wal: batch encodes to %d bytes, exceeding the %d-byte frame bound — split the batch", len(payload), maxFrameLen)
+	}
+	frame := make([]byte, 0, frameHdrLen+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	if _, err := s.seg.Write(frame); err != nil {
+		// The frame may be partially on disk; appending more after it would
+		// bury acknowledged batches behind garbage that replay stops at.
+		s.failed = fmt.Errorf("wal: append wrote a partial frame: %w", err)
+		return s.failed
+	}
+	s.stats.Frames++
+	s.stats.Records += int64(len(recs))
+	s.stats.SinceSnapshot += int64(len(recs))
+	s.sinceSnap.Add(int64(len(recs)))
+	s.stats.Bytes += int64(len(frame))
+	if s.opts.Policy == SyncAlways {
+		if err := s.seg.Sync(); err != nil {
+			// A failed fsync marks the dirty pages clean in the kernel; a
+			// later "successful" Sync would vouch for a frame that never
+			// reached disk. Same rule as syncLoop: poison.
+			s.failed = fmt.Errorf("wal: fsync failed: %w", err)
+			return s.failed
+		}
+		s.stats.Fsyncs++
+	} else {
+		s.dirty = true
+	}
+	return nil
+}
+
+// Snapshot atomically replaces the store's on-disk state with a binary
+// snapshot of recs — the table's full, time-sorted record slice — then
+// rotates the log to a fresh segment and deletes the superseded files. The
+// caller must guarantee that recs reflects exactly the batches appended so
+// far (tkplq.System.Snapshot holds its ingest lock across the read and this
+// call). Snapshot satisfies tkplq.Snapshotter.
+func (s *Store) Snapshot(recs []iupt.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	newSeq := s.seq + 1
+
+	// Write the snapshot to a temp file and rename it into place: readers
+	// (and recovery) only ever see a complete snapshot or none.
+	tmp := filepath.Join(s.dir, snapshotName(newSeq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := iupt.WriteRecordsBinary(f, recs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	final := filepath.Join(s.dir, snapshotName(newSeq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	// The rename IS the commit point: a restart will recover snapshot
+	// newSeq and discard older segments, so any failure from here on must
+	// poison the store — appending more acknowledged batches to the old
+	// segment would lose them on that restart.
+	if err := syncDir(s.dir); err != nil {
+		s.failed = fmt.Errorf("wal: rotation failed after snapshot %d committed: %w", newSeq, err)
+		return s.failed
+	}
+
+	// The snapshot is committed: rotate the log. A crash anywhere past this
+	// point recovers from snapshot newSeq; the leftovers below are cleaned
+	// up by the next Open. A rotation FAILURE past this point must poison
+	// the store: recovery would delete the old segment (seq < newSeq), so
+	// continuing to append to it would silently lose acknowledged batches.
+	seg, err := createSegment(filepath.Join(s.dir, segmentName(newSeq)))
+	if err != nil {
+		s.failed = fmt.Errorf("wal: rotation failed after snapshot %d committed: %w", newSeq, err)
+		return s.failed
+	}
+	old := s.seg
+	oldSeq := s.seq
+	s.seg = seg
+	s.seq = newSeq
+	s.dirty = false
+	s.stats.Snapshots++
+	s.stats.SnapshotSeq = newSeq
+	s.stats.SinceSnapshot = 0
+	s.sinceSnap.Store(0)
+	// Cleanup is best-effort: leftovers are subsumed by snapshot newSeq and
+	// removed by the next Open.
+	_ = old.Close()
+	_ = os.Remove(filepath.Join(s.dir, segmentName(oldSeq)))
+	_ = os.Remove(filepath.Join(s.dir, snapshotName(oldSeq)))
+	if err := syncDir(s.dir); err != nil {
+		// The new segment's dirent may not be durable: a machine crash
+		// could recover snapshot newSeq without the segment, losing frames
+		// appended meanwhile. Refuse further appends.
+		s.failed = fmt.Errorf("wal: rotation failed after snapshot %d committed: %w", newSeq, err)
+		return s.failed
+	}
+	return nil
+}
+
+// usableLocked reports why the store cannot accept writes (closed, or
+// poisoned by a failed rotation). Callers must hold s.mu.
+func (s *Store) usableLocked() error {
+	if s.closed {
+		return errors.New("wal: store is closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("wal: store is failed (restart to recover): %w", s.failed)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// RecordsSinceSnapshot reports the records appended since the last
+// snapshot without taking the store lock — cheap enough to probe on every
+// ingest (the server's SnapshotEvery trigger does).
+func (s *Store) RecordsSinceSnapshot() int64 { return s.sinceSnap.Load() }
+
+// syncLoop is the SyncInterval background fsync timer.
+func (s *Store) syncLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.failed == nil && s.dirty {
+				if err := s.seg.Sync(); err != nil {
+					// A failed fsync marks the dirty pages clean in the
+					// kernel: a later "successful" Sync would report
+					// durability for frames that never hit disk. Poison the
+					// store so ingest fails loudly instead of silently
+					// widening the loss window.
+					s.failed = fmt.Errorf("wal: background fsync failed: %w", err)
+				} else {
+					s.dirty = false
+					s.stats.Fsyncs++
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close fsyncs and closes the active segment. Close is idempotent; after
+// Close, AppendBatch and Snapshot fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop := s.stop
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-s.done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if serr := s.seg.Sync(); serr != nil {
+		err = serr
+	} else {
+		s.stats.Fsyncs++
+	}
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	unlockDir(s.lock)
+	return err
+}
+
+// encodeBatch renders one batch as a frame payload: record count, then each
+// record as (oid int32, t int64, sample count uint16, samples as
+// (loc int32, prob float64)) — the per-record layout of the binary IUPT
+// format (docs/FORMATS.md).
+func encodeBatch(recs []iupt.Record) ([]byte, error) {
+	buf := make([]byte, 0, 4+len(recs)*24)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for i := range recs {
+		rec := &recs[i]
+		if len(rec.Samples) > math.MaxUint16 {
+			return nil, fmt.Errorf("wal: record %d has %d samples, exceeding format limit", i, len(rec.Samples))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(rec.OID)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.T))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Samples)))
+		for _, smp := range rec.Samples {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(smp.Loc)))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(smp.Prob))
+		}
+	}
+	return buf, nil
+}
+
+// decodeBatch parses a CRC-verified frame payload back into records.
+func decodeBatch(payload []byte) ([]iupt.Record, error) {
+	off := 0
+	u16 := func() (uint16, bool) {
+		if off+2 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint16(payload[off:])
+		off += 2
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v, true
+	}
+	count, ok := u32()
+	if !ok {
+		return nil, errors.New("wal: short payload")
+	}
+	// A record needs at least 14 payload bytes; clamp the pre-allocation so
+	// a corrupt count in a CRC-consistent frame cannot request gigabytes.
+	capHint := int64(count)
+	if max := int64(len(payload)) / 14; capHint > max {
+		capHint = max
+	}
+	recs := make([]iupt.Record, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		oid, ok1 := u32()
+		t, ok2 := u64()
+		n, ok3 := u16()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("wal: payload truncated in record %d", i)
+		}
+		samples := make(iupt.SampleSet, n)
+		for j := range samples {
+			loc, ok1 := u32()
+			prob, ok2 := u64()
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("wal: payload truncated in record %d sample %d", i, j)
+			}
+			samples[j].Loc = indoor.PLocID(int32(loc))
+			samples[j].Prob = math.Float64frombits(prob)
+		}
+		recs = append(recs, iupt.Record{
+			OID:     iupt.ObjectID(int32(oid)),
+			T:       iupt.Time(int64(t)),
+			Samples: samples,
+		})
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("wal: %d trailing payload bytes", len(payload)-off)
+	}
+	return recs, nil
+}
+
+// replaySegment applies every complete frame of one segment to the table,
+// stopping at the first invalid one. In the final segment (tolerateTorn)
+// an invalid frame ends replay cleanly at the last complete batch and
+// reports the valid offset for truncation: an *incomplete* tail — header
+// or payload running past EOF, or a garbage length field — is a torn
+// write from a crash mid-append; a frame that is fully present but fails
+// its CRC is additionally counted in corruptFrames, because a single-write
+// append can only shorten the file — a mangled complete frame means
+// either bit rot or an unfsynced page lost out of order by a machine
+// crash under SyncInterval (whose documented loss window covers it).
+// Recovery proceeds — a serving daemon must boot after the crash cases
+// the fsync policy admits — but the count is surfaced in Stats and the
+// daemon log so silent bit rot is still visible. In a non-final segment
+// any invalid frame is a hard error, as is a CRC-valid frame that fails
+// to decode.
+func replaySegment(path string, table *iupt.Table, tolerateTorn bool) (frames, records, validOff, tornBytes, corruptFrames int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	if len(data) < segHdrLen {
+		// The 6-byte header is written (and fsynced) at creation with a
+		// single write; a shorter file is the creation itself torn by a
+		// crash — the file holds no frames. Tolerable in the final segment.
+		return 0, 0, 0, int64(len(data)), 0, errShortSegment
+	}
+	if string(data[:4]) != segMagic {
+		return 0, 0, 0, 0, 0, fmt.Errorf("bad segment header")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != segVersion {
+		return 0, 0, 0, 0, 0, fmt.Errorf("unsupported segment version %d", v)
+	}
+	off := int64(segHdrLen)
+	for {
+		rest := int64(len(data)) - off
+		if rest == 0 {
+			break
+		}
+		torn := false
+		if rest < frameHdrLen {
+			torn = true
+		} else {
+			plen := int64(binary.LittleEndian.Uint32(data[off:]))
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			switch {
+			case plen > maxFrameLen:
+				torn = true // garbage length: a partially-written header
+			case off+frameHdrLen+plen > int64(len(data)):
+				torn = true // payload runs past EOF: a partially-written frame
+			case crc32.Checksum(data[off+frameHdrLen:off+frameHdrLen+plen], crcTable) != crc:
+				torn = true // complete frame, mangled bytes: see doc comment
+				corruptFrames++
+			default:
+				payload := data[off+frameHdrLen : off+frameHdrLen+plen]
+				recs, derr := decodeBatch(payload)
+				if derr != nil {
+					return frames, records, off, 0, corruptFrames, fmt.Errorf("frame at offset %d: %w", off, derr)
+				}
+				for _, rec := range recs {
+					table.Append(rec)
+				}
+				frames++
+				records += int64(len(recs))
+				off += frameHdrLen + plen
+			}
+		}
+		if torn {
+			if !tolerateTorn {
+				return frames, records, off, rest, corruptFrames, fmt.Errorf("invalid frame at offset %d in non-final segment", off)
+			}
+			return frames, records, off, rest, corruptFrames, nil
+		}
+	}
+	return frames, records, off, 0, 0, nil
+}

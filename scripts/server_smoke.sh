@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end server smoke: gendata generates a dataset, tkplqd serves it,
 # and the HTTP API must answer /healthz, /v1/query and /v1/stats with
-# well-formed payloads. Run from the repo root (CI runs `make smoke`).
+# well-formed payloads. The durability section then restarts the daemon
+# with a data directory, ingests, snapshots, kills it with SIGKILL
+# mid-flight and asserts the restarted daemon recovers every record and
+# answers the same query identically. Run from the repo root (CI runs
+# `make smoke`).
 set -euo pipefail
 
 PORT=$(( (RANDOM % 20000) + 20000 ))
@@ -11,12 +15,29 @@ DAEMON_PID=""
 
 cleanup() {
     if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
-        kill "${DAEMON_PID}" 2>/dev/null || true
+        kill -9 "${DAEMON_PID}" 2>/dev/null || true
         wait "${DAEMON_PID}" 2>/dev/null || true
     fi
     rm -rf "${WORKDIR}"
 }
 trap cleanup EXIT
+
+# wait_healthy blocks until the daemon answers /healthz (or dies / times out).
+wait_healthy() {
+    local log=$1
+    for i in $(seq 1 100); do
+        if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+            echo "tkplqd exited early:"; cat "${log}"; exit 1
+        fi
+        if [ "$i" -eq 100 ]; then
+            echo "tkplqd never became healthy:"; cat "${log}"; exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 echo "== building gendata + tkplqd"
 go build -o "${WORKDIR}/gendata" ./cmd/gendata
@@ -30,19 +51,7 @@ echo "== starting tkplqd on ${ADDR}"
 "${WORKDIR}/tkplqd" -addr "${ADDR}" -dataset syn -iupt "${WORKDIR}/smoke.csv" \
     > "${WORKDIR}/tkplqd.log" 2>&1 &
 DAEMON_PID=$!
-
-for i in $(seq 1 100); do
-    if curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
-        echo "tkplqd exited early:"; cat "${WORKDIR}/tkplqd.log"; exit 1
-    fi
-    if [ "$i" -eq 100 ]; then
-        echo "tkplqd never became healthy:"; cat "${WORKDIR}/tkplqd.log"; exit 1
-    fi
-    sleep 0.1
-done
+wait_healthy "${WORKDIR}/tkplqd.log"
 
 echo "== /healthz"
 HEALTH=$(curl -fsS "http://${ADDR}/healthz")
@@ -85,6 +94,9 @@ NOTFOUND=$(curl -sS "http://${ADDR}/nope")
 TYPO=$(curl -sS -X POST "http://${ADDR}/v1/query" \
     -H 'Content-Type: application/json' -d '{"kay":5}')
 [ "$(echo "${TYPO}" | jq -r .error | wc -c)" -gt 1 ]
+# An in-memory daemon must refuse snapshots with the envelope, not a crash.
+NOSNAP=$(curl -sS -X POST "http://${ADDR}/v1/snapshot")
+[ "$(echo "${NOSNAP}" | jq -r .error | wc -c)" -gt 1 ]
 
 echo "== /v1/ingest"
 INGEST=$(curl -fsS -X POST "http://${ADDR}/v1/ingest" \
@@ -97,8 +109,63 @@ echo "== /v1/stats"
 STATS=$(curl -fsS "http://${ADDR}/v1/stats")
 echo "${STATS}" | jq .
 echo "${STATS}" | jq -e '.server.queries >= 1 and .server.records_ingested >= 1 and .engine.flights >= 1' >/dev/null
+# No data dir, no wal section.
+echo "${STATS}" | jq -e 'has("wal") | not' >/dev/null
 
 echo "== graceful shutdown"
+kill "${DAEMON_PID}"
+wait "${DAEMON_PID}"
+DAEMON_PID=""
+
+echo "== durability: start with -data-dir"
+DATA_DIR="${WORKDIR}/data"
+DURABLE_ARGS=(-addr "${ADDR}" -dataset syn -iupt "${WORKDIR}/smoke.csv"
+    -data-dir "${DATA_DIR}" -fsync always)
+"${WORKDIR}/tkplqd" "${DURABLE_ARGS[@]}" > "${WORKDIR}/tkplqd-durable.log" 2>&1 &
+DAEMON_PID=$!
+wait_healthy "${WORKDIR}/tkplqd-durable.log"
+grep -q "bootstrap snapshot" "${WORKDIR}/tkplqd-durable.log"
+
+echo "== durability: ingest + on-demand snapshot + more ingest"
+curl -fsS -X POST "http://${ADDR}/v1/ingest" -H 'Content-Type: application/json' \
+    -d '{"records":[{"oid":9001,"t":60,"samples":[{"ploc":0,"prob":1.0}]},{"oid":9001,"t":90,"samples":[{"ploc":1,"prob":0.5},{"ploc":2,"prob":0.5}]}]}' >/dev/null
+SNAP=$(curl -fsS -X POST "http://${ADDR}/v1/snapshot")
+echo "${SNAP}"
+[ "$(echo "${SNAP}" | jq -r .snapshot_seq)" -ge 2 ]
+curl -fsS -X POST "http://${ADDR}/v1/ingest" -H 'Content-Type: application/json' \
+    -d '{"records":[{"oid":9002,"t":120,"samples":[{"ploc":3,"prob":1.0}]}]}' >/dev/null
+WSTATS=$(curl -fsS "http://${ADDR}/v1/stats")
+echo "${WSTATS}" | jq .wal
+echo "${WSTATS}" | jq -e '.wal.records_since_snapshot == 1 and .wal.fsyncs >= 1' >/dev/null
+
+BEFORE_RESULTS=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}' | jq -c .results)
+BEFORE_RECORDS=$(curl -fsS "http://${ADDR}/healthz" | jq -r .records)
+
+echo "== durability: kill -9, restart against the same data dir"
+kill -9 "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2>/dev/null || true
+DAEMON_PID=""
+"${WORKDIR}/tkplqd" "${DURABLE_ARGS[@]}" > "${WORKDIR}/tkplqd-restart.log" 2>&1 &
+DAEMON_PID=$!
+wait_healthy "${WORKDIR}/tkplqd-restart.log"
+grep -q "recovered" "${WORKDIR}/tkplqd-restart.log"
+
+AFTER_RESULTS=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}' | jq -c .results)
+AFTER_RECORDS=$(curl -fsS "http://${ADDR}/healthz" | jq -r .records)
+if [ "${BEFORE_RESULTS}" != "${AFTER_RESULTS}" ]; then
+    echo "restart changed the answer:"
+    echo "before: ${BEFORE_RESULTS}"
+    echo "after:  ${AFTER_RESULTS}"
+    exit 1
+fi
+[ "${BEFORE_RECORDS}" = "${AFTER_RECORDS}" ]
+echo "recovered ${AFTER_RECORDS} records; rankings identical across kill -9"
+
+echo "== graceful shutdown (durable)"
 kill "${DAEMON_PID}"
 wait "${DAEMON_PID}"
 DAEMON_PID=""

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"tkplq/internal/core"
 	"tkplq/internal/eval"
@@ -20,6 +21,12 @@ type System struct {
 	space  *indoor.Space
 	table  *iupt.Table
 	engine *core.Engine
+
+	// ingestMu serializes Ingest (and Snapshot) so the persister's log
+	// order always matches the table's apply order — the property that
+	// makes WAL recovery bit-identical to the uninterrupted table.
+	ingestMu sync.Mutex
+	persist  Persister
 }
 
 // NewSystem builds a query system over the space and table. The zero
@@ -144,6 +151,13 @@ func (e *IngestError) Unwrap() error { return e.Err }
 // to call concurrently with queries: the table is internally synchronized,
 // and query-level coalescing keys on the table's record count, so queries
 // racing an ingest never share a stale evaluation.
+//
+// With a Persister attached (SetPersister), the validated batch is written
+// ahead to the persister before it is applied, under the ingest
+// serialization lock; a persistence error aborts the ingest with the table
+// untouched. A batch whose write-ahead frame was durably logged is applied
+// on recovery even if the caller never saw the acknowledgment — durable
+// ingest is accepted-or-unacknowledged, never lost-after-ack.
 func (s *System) Ingest(recs []Record) error {
 	type slot struct {
 		oid ObjectID
@@ -163,6 +177,13 @@ func (s *System) Ingest(recs []Record) error {
 	for i, rec := range recs {
 		if err := rec.Samples.Validate(); err != nil {
 			return &IngestError{Index: i, OID: rec.OID, T: rec.T, Err: err}
+		}
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.persist != nil {
+		if err := s.persist.AppendBatch(recs); err != nil {
+			return fmt.Errorf("tkplq: persisting ingest batch: %w", err)
 		}
 	}
 	for _, rec := range recs {
