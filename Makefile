@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json lint fmt vet staticcheck vuln smoke apicheck ci
+.PHONY: all build test race bench bench-json benchdiff lint fmt vet staticcheck vuln smoke apicheck ci
 
 all: build
 
@@ -32,6 +32,17 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 3x ./... > bench.txt
 	$(GO) run ./cmd/benchjson -out bench.json < bench.txt
 	@echo "wrote bench.json (raw output in bench.txt)"
+
+# Benchmark regression gate: compare two bench-json artifacts and fail on
+# any per-benchmark ns/op or allocs/op regression above BENCH_THRESHOLD
+# (a fraction; 0.20 = 20%). Typical loop:
+#   git stash && make bench-json && cp bench.json bench-old.json && git stash pop
+#   make bench-json && make benchdiff
+BENCH_OLD ?= bench-old.json
+BENCH_NEW ?= bench.json
+BENCH_THRESHOLD ?= 0.20
+benchdiff:
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
 lint: fmt vet staticcheck vuln
 

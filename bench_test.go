@@ -40,6 +40,7 @@ func sharedConfig() *experiments.Config {
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	exp, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
@@ -126,6 +127,7 @@ func microData(b *testing.B) *benchData {
 }
 
 func BenchmarkFlowSingleLocation(b *testing.B) {
+	b.ReportAllocs()
 	d := microData(b)
 	eng := core.NewEngine(d.building.Space, core.Options{})
 	b.ResetTimer()
@@ -135,6 +137,7 @@ func BenchmarkFlowSingleLocation(b *testing.B) {
 }
 
 func BenchmarkReduceData(b *testing.B) {
+	b.ReportAllocs()
 	d := microData(b)
 	eng := core.NewEngine(d.building.Space, core.Options{})
 	seqs := d.table.SequencesInRange(0, d.span)
@@ -151,6 +154,7 @@ func BenchmarkReduceData(b *testing.B) {
 }
 
 func BenchmarkSummarizeDP(b *testing.B) {
+	b.ReportAllocs()
 	d := microData(b)
 	eng := core.NewEngine(d.building.Space, core.Options{Engine: core.EngineDP})
 	red := longestReduction(eng, d)
@@ -161,6 +165,7 @@ func BenchmarkSummarizeDP(b *testing.B) {
 }
 
 func BenchmarkSummarizeEnum(b *testing.B) {
+	b.ReportAllocs()
 	d := microData(b)
 	eng := core.NewEngine(d.building.Space, core.Options{Engine: core.EngineEnum})
 	red := longestReduction(eng, d)
@@ -192,6 +197,7 @@ func BenchmarkTopKAlgorithms(b *testing.B) {
 		{"BestFirst", core.AlgoBestFirst},
 	} {
 		b.Run(algo.name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := core.NewEngine(d.building.Space, core.Options{})
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eng.TopK(d.table, d.slocs, 3, 0, d.span, algo.a); err != nil {
@@ -258,6 +264,7 @@ func BenchmarkTopKWorkers(b *testing.B) {
 	} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers=%d", algo.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				eng := core.NewEngine(d.building.Space, core.Options{
 					Workers: workers, DisableCache: true,
 				})
@@ -280,6 +287,7 @@ func BenchmarkTopKPresenceCache(b *testing.B) {
 			name = "warm"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := core.NewEngine(d.building.Space, core.Options{DisableCache: !cached})
 			if cached {
 				// Populate the cache outside the timed region.
@@ -301,6 +309,7 @@ func BenchmarkTopKPresenceCache(b *testing.B) {
 // overlapping-window evaluation, where the presence cache reuses every
 // object whose records are shared between consecutive windows.
 func BenchmarkMonitorSlidingWindow(b *testing.B) {
+	b.ReportAllocs()
 	d := parallelData(b)
 	eng := core.NewEngine(d.building.Space, core.Options{})
 	mon, err := eng.NewMonitor(d.slocs, 5, 1800)
@@ -322,6 +331,7 @@ func BenchmarkMonitorSlidingWindow(b *testing.B) {
 }
 
 func BenchmarkEndToEndPipeline(b *testing.B) {
+	b.ReportAllocs()
 	// Generation + query, the full public-API path.
 	for i := 0; i < b.N; i++ {
 		building, err := tkplq.RealDataBuilding()
@@ -375,6 +385,7 @@ func BenchmarkBatchQuery(b *testing.B) {
 		return sys
 	}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		sys := newSys()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -386,6 +397,7 @@ func BenchmarkBatchQuery(b *testing.B) {
 		}
 	})
 	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
 		sys := newSys()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -409,6 +421,7 @@ func BenchmarkQueryStampede(b *testing.B) {
 			name = "coalesced"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := core.NewEngine(d.building.Space, core.Options{
 				DisableCache:      true, // isolate the coalescer's effect
 				DisableCoalescing: !coalesce,

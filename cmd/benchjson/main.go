@@ -5,13 +5,22 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 3x ./... | benchjson [-sha SHA] [-out FILE]
+//	benchjson -diff [-threshold 0.20] old.json new.json
 //
 // The parser understands the standard benchmark line shape —
 //
 //	BenchmarkName[-GOMAXPROCS]  <iterations>  <value> <unit>  [<value> <unit>...]
 //
 // — plus the goos/goarch/pkg/cpu header lines, and ignores everything else
-// (PASS/ok lines, test log noise).
+// (PASS/ok lines, test log noise). Alongside the raw unit → value metric
+// map, each benchmark carries the three trajectory metrics as first-class
+// fields: ns_per_op, and (with -benchmem or b.ReportAllocs) allocs_per_op
+// and bytes_per_op.
+//
+// The -diff mode compares two previously written reports benchmark by
+// benchmark, prints the ns/op and allocs/op deltas, and exits nonzero when
+// any benchmark regressed by more than the -threshold fraction — the
+// `make benchdiff` regression gate.
 package main
 
 import (
@@ -20,7 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,8 +47,15 @@ type Benchmark struct {
 	Name string `json:"name"`
 	// Runs is the iteration count (b.N).
 	Runs int64 `json:"runs"`
+	// NsPerOp, AllocsPerOp and BytesPerOp mirror the corresponding Metrics
+	// entries as stable first-class fields, so trajectory tooling does not
+	// need to key into the unit map. AllocsPerOp and BytesPerOp are -1 when
+	// the benchmark did not report allocations.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// Metrics maps unit → value, e.g. {"ns/op": 1234.5, "B/op": 456,
-	// "allocs/op": 7}.
+	// "allocs/op": 7}, including any custom b.ReportMetric units.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -51,10 +70,28 @@ type Report struct {
 
 func main() {
 	var (
-		sha = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the report")
-		out = flag.String("out", "", "output file (default: stdout)")
+		sha       = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the report")
+		out       = flag.String("out", "", "output file (default: stdout)")
+		diff      = flag.Bool("diff", false, "compare two report files (old.json new.json) instead of parsing stdin")
+		threshold = flag.Float64("threshold", 0.20, "with -diff: max tolerated regression fraction for ns/op and allocs/op")
 	)
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -136,5 +173,165 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 		b.Metrics[fields[i+1]] = v
 	}
+	b.NsPerOp = b.Metrics["ns/op"]
+	b.AllocsPerOp, b.BytesPerOp = -1, -1
+	if v, ok := b.Metrics["allocs/op"]; ok {
+		b.AllocsPerOp = v
+	}
+	if v, ok := b.Metrics["B/op"]; ok {
+		b.BytesPerOp = v
+	}
 	return b, true
+}
+
+// gomaxprocsSuffix matches the trailing -GOMAXPROCS that go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// key identifies a benchmark across reports: same package, same name with
+// the -GOMAXPROCS suffix stripped — reports taken on machines with
+// different core counts (CI runner vs laptop) still line up.
+func (b *Benchmark) key() string {
+	return b.Pkg + " " + gomaxprocsSuffix.ReplaceAllString(b.Name, "")
+}
+
+// loadReport reads a JSON report previously produced by benchjson. For
+// reports written before the first-class fields existed, the fields are
+// rehydrated from the Metrics map (authoritative in every benchjson-written
+// report: a zero there is a genuine zero, absence means not reported). A
+// report with no Metrics map at all is trusted as-is — its first-class
+// fields are taken literally.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		if b.Metrics == nil {
+			continue
+		}
+		if b.NsPerOp == 0 {
+			b.NsPerOp = b.Metrics["ns/op"]
+		}
+		if b.AllocsPerOp == 0 {
+			if v, ok := b.Metrics["allocs/op"]; ok {
+				b.AllocsPerOp = v
+			} else {
+				b.AllocsPerOp = -1
+			}
+		}
+		if b.BytesPerOp == 0 {
+			if v, ok := b.Metrics["B/op"]; ok {
+				b.BytesPerOp = v
+			} else {
+				b.BytesPerOp = -1
+			}
+		}
+	}
+	return &r, nil
+}
+
+// runDiff prints per-benchmark ns/op and allocs/op deltas between two report
+// files and reports whether any benchmark regressed beyond the threshold
+// fraction (0.20 = a 20% slowdown or allocation increase fails).
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]*Benchmark, len(oldRep.Benchmarks))
+	for i := range oldRep.Benchmarks {
+		b := &oldRep.Benchmarks[i]
+		oldBy[b.key()] = b
+	}
+
+	fmt.Fprintf(w, "%-60s %14s %14s %8s   %11s %11s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	var failures []string
+	matched := 0
+	for i := range newRep.Benchmarks {
+		nb := &newRep.Benchmarks[i]
+		ob, ok := oldBy[nb.key()]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %44s\n", nb.Name, "(new benchmark)")
+			continue
+		}
+		matched++
+		delete(oldBy, nb.key())
+		nsDelta := delta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := math.NaN()
+		if ob.AllocsPerOp >= 0 && nb.AllocsPerOp >= 0 {
+			allocDelta = delta(ob.AllocsPerOp, nb.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8s   %11s %11s %8s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct(nsDelta),
+			allocs(ob.AllocsPerOp), allocs(nb.AllocsPerOp), pct(allocDelta))
+		if nsDelta > threshold {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %s", nb.Name, pct(nsDelta)))
+		}
+		if !math.IsNaN(allocDelta) && allocDelta > threshold {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %s", nb.Name, pct(allocDelta)))
+		}
+	}
+	removed := make([]string, 0, len(oldBy))
+	for key := range oldBy {
+		removed = append(removed, key)
+	}
+	sort.Strings(removed)
+	for _, key := range removed {
+		fmt.Fprintf(w, "%-60s %44s\n", strings.TrimPrefix(key, oldBy[key].Pkg+" "), "(removed)")
+	}
+	fmt.Fprintf(w, "\n%d benchmarks compared, threshold %s\n", matched, pct(threshold))
+	if matched == 0 && len(newRep.Benchmarks) > 0 {
+		// A zero-overlap diff would vacuously pass; that is a comparison
+		// error (wrong files), not a clean bill of health.
+		return true, fmt.Errorf("no benchmark appears in both reports — comparing unrelated files?")
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(w, "REGRESSIONS over threshold:\n")
+		for _, f := range failures {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		return true, nil
+	}
+	fmt.Fprintln(w, "no regressions over threshold")
+	return false, nil
+}
+
+// delta is the relative change new vs old. A zero baseline is a reachable
+// state for allocs/op, and any growth from it is an unbounded regression —
+// +Inf, which always exceeds the threshold. 0 → 0 is no change.
+func delta(o, n float64) float64 {
+	if o == 0 {
+		if n > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (n - o) / o
+}
+
+// pct renders a fraction as a signed percentage; NaN as n/a.
+func pct(f float64) string {
+	if math.IsNaN(f) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+// allocs renders an allocs/op value; -1 (not reported) as n/a.
+func allocs(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +70,134 @@ func TestParseEmptyAndNoise(t *testing.T) {
 	}
 	if report.Benchmarks == nil {
 		t.Error("benchmarks must encode as [] not null")
+	}
+}
+
+func TestParseFirstClassFields(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noAllocs := report.Benchmarks[0]
+	if noAllocs.NsPerOp != 41235467 || noAllocs.AllocsPerOp != -1 || noAllocs.BytesPerOp != -1 {
+		t.Errorf("no-alloc fields = %+v", noAllocs)
+	}
+	withAllocs := report.Benchmarks[1]
+	if withAllocs.NsPerOp != 39021881 || withAllocs.AllocsPerOp != 17 || withAllocs.BytesPerOp != 1204 {
+		t.Errorf("alloc fields = %+v", withAllocs)
+	}
+}
+
+// writeReport marshals a report into a temp file for the diff tests.
+func writeReport(t *testing.T, r *Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocsPerOp float64) Benchmark {
+	// Mirrors what parse produces: the first-class fields alongside the
+	// raw metric map (which real reports always carry for reported units).
+	return Benchmark{
+		Pkg: "tkplq", Name: name, Runs: 3,
+		NsPerOp: ns, AllocsPerOp: allocsPerOp, BytesPerOp: -1,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocsPerOp},
+	}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	oldPath := writeReport(t, &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 1000, 10),
+		bench("BenchmarkGone", 5, 1),
+	}})
+	newPath := writeReport(t, &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 1100, 10), // +10% < 20% threshold
+		bench("BenchmarkNew", 7, 2),
+	}})
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("10%% delta flagged as regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkA", "(new benchmark)", "(removed)", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	oldPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 10)}})
+	newPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1500, 10)}})
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("+50%% ns/op not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSIONS") {
+		t.Errorf("missing REGRESSIONS section:\n%s", buf.String())
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	oldPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 10)}})
+	newPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 20)}})
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("2x allocs/op not flagged:\n%s", buf.String())
+	}
+}
+
+func TestDiffLegacyReportWithoutFields(t *testing.T) {
+	// A report written before the first-class fields existed: only Metrics.
+	legacy := &Report{Benchmarks: []Benchmark{{
+		Pkg: "tkplq", Name: "BenchmarkA", Runs: 3,
+		Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 10},
+	}}}
+	oldPath := writeReport(t, legacy)
+	newPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 900, 10)}})
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("improvement flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "-10.0%") {
+		t.Errorf("legacy ns/op not rehydrated from Metrics:\n%s", buf.String())
+	}
+}
+
+func TestDiffZeroBaselineRegression(t *testing.T) {
+	// allocs/op 0 is a reachable baseline (the zero-allocation hot path);
+	// growth from it must be flagged, not divided away.
+	oldPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 0)}})
+	newPath := writeReport(t, &Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 500)}})
+	var buf strings.Builder
+	regressed, err := runDiff(&buf, oldPath, newPath, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("0 -> 500 allocs/op not flagged:\n%s", buf.String())
 	}
 }

@@ -36,14 +36,23 @@
 //	       [-objects N] [-duration SECONDS] [-seed N] [-workers N]
 //	       [-request-timeout DUR] [-shutdown-timeout DUR]
 //	       [-data-dir DIR] [-fsync always|interval] [-fsync-interval DUR]
-//	       [-snapshot-every N] [-snapshot-interval DUR]
+//	       [-snapshot-every N] [-snapshot-interval DUR] [-pprof HOST:PORT]
+//
+// -pprof serves net/http/pprof (CPU, heap, goroutine, trace profiles) on a
+// *separate* listener, off by default so profiling endpoints are never
+// exposed on the query port by accident; bind it to localhost. See
+// docs/OPERATIONS.md § Profiling for the walkthrough.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -85,6 +94,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fsyncInterval   = fs.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence for -fsync interval")
 		snapshotEvery   = fs.Int("snapshot-every", 100000, "auto-snapshot after N records ingested since the last snapshot (0 = off); bounds log growth and restart replay")
 		snapshotIvl     = fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = off)")
+		pprofAddr       = fs.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,6 +157,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	if *pprofAddr != "" {
+		stopProf, err := servePprof(*pprofAddr, out)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
 	}
 
 	srv, err := server.New(server.Config{
@@ -212,6 +230,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case err := <-errCh:
 		return err
 	}
+}
+
+// servePprof serves the net/http/pprof handlers on their own listener, kept
+// off the query mux so profiling is opt-in and bindable to localhost only.
+// The returned stop function closes the listener.
+func servePprof(addr string, out io.Writer) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	psrv := &http.Server{Handler: mux}
+	go func() {
+		if err := psrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(out, "tkplqd: pprof server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(out, "tkplqd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { psrv.Close() }, nil
 }
 
 // parseFsyncPolicy maps the -fsync flag to a WAL sync policy.

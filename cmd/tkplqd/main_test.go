@@ -296,3 +296,44 @@ func TestBuildSystemFromFile(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestDaemonPprof boots the daemon with -pprof on a second ephemeral
+// listener and checks the profiling index and a heap profile are served
+// there, while the query port stays pprof-free.
+func TestDaemonPprof(t *testing.T) {
+	base, out, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0",
+		"-objects", "4", "-duration", "300", "-seed", "3",
+	})
+	defer stop()
+
+	m := regexp.MustCompile(`pprof on (\S+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("daemon did not announce the pprof listener: %s", out.String())
+	}
+	resp, err := http.Get(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+	hresp, err := http.Get(m[1] + "heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile = %d", hresp.StatusCode)
+	}
+	// The query listener must not expose profiling handlers.
+	qresp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode == http.StatusOK {
+		t.Fatal("query listener serves /debug/pprof/; it must stay on the separate -pprof listener")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
@@ -214,11 +215,17 @@ type Engine struct {
 	opts  Options
 	cache *summaryCache // nil when Options.DisableCache is set
 	coal  *coalescer    // nil when Options.DisableCoalescing is set
+
+	// scratch pools per-worker summarizeScratch arenas so the reduce →
+	// summarize hot path reuses its working memory across objects. A shared
+	// pointer, so per-query engine views (query.go) copy the Engine shallowly
+	// and still feed the same pool.
+	scratch *sync.Pool
 }
 
 // NewEngine returns an engine for the space with the given options.
 func NewEngine(space *indoor.Space, opts Options) *Engine {
-	e := &Engine{space: space, opts: opts}
+	e := &Engine{space: space, opts: opts, scratch: &sync.Pool{}}
 	if !opts.DisableCache {
 		e.cache = newSummaryCache(opts.CacheCapacity)
 	}

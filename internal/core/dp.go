@@ -21,11 +21,38 @@ import (
 // with non-zero pass probability. Results match the enumeration engine
 // exactly up to floating-point summation order (tests assert 1e-9).
 //
+// The implementation is a *single* dense forward pass: tracked cells are
+// interned into rows 1..C of a (C+1)×m column-major matrix (row 0 is the
+// undamped f pass for ValidMass), the valid transitions of every step are
+// compiled once into a flat list carrying the damped row indices, and each
+// step updates the whole matrix with one sequential sweep over that list.
+// All state lives in the pooled summarizeScratch, so steady-state
+// summarization allocates only the returned ObjectSummary.
+//
 // Long sequences with pruned transitions decay the path mass exponentially;
-// whenever the running mass drops below rescaleThreshold the pass rescales f
-// (and later every g at the same steps, preserving ratios bit-for-bit) and
-// accumulates the factor in LogScale.
+// whenever the running f mass drops below rescaleThreshold the pass rescales
+// the whole matrix (f and every G row at the same step by the same factor,
+// preserving ratios) and accumulates the factor in LogScale.
 func (e *Engine) summarizeDP(seq []iupt.SampleSet) *ObjectSummary {
+	scr := e.getScratch()
+	defer e.putScratch(scr)
+	return e.summarizeDPScratch(seq, scr)
+}
+
+// denseTransition is one compiled valid sample pair of a step: column
+// indices a (previous set) and b (current set), the current sample's
+// probability p, the per-cell pass probability pr = 1/|M_IL[a,b]|, and the
+// dense matrix rows damped by this transition (scratch.transRows[rowOff :
+// rowOff+rowN], one row per M_IL cell).
+type denseTransition struct {
+	a, b   int32
+	rowOff int32
+	rowN   int32
+	p      float64
+	pr     float64
+}
+
+func (e *Engine) summarizeDPScratch(seq []iupt.SampleSet, scr *summarizeScratch) *ObjectSummary {
 	sum := &ObjectSummary{PassMass: make(map[indoor.CellID]float64)}
 	if len(seq) == 0 {
 		return sum
@@ -43,110 +70,118 @@ func (e *Engine) summarizeDP(seq []iupt.SampleSet) *ObjectSummary {
 		return sum
 	}
 
-	// Precompute valid transitions per step and collect tracked cells.
-	type transition struct {
-		a, b  int // sample indices in consecutive sets
-		cells []indoor.CellID
-		pr    float64 // 1/len(cells)
-	}
-	trans := make([][]transition, len(seq)-1)
-	trackedSet := make(map[indoor.CellID]bool)
-	var tracked []indoor.CellID
+	// Compile the valid transitions of every step into the flat scratch
+	// lists, interning each M_IL cell into a dense matrix row on first
+	// sight. Tracked-cell order (= row order) is first-appearance order.
+	scr.tracked = scr.tracked[:0]
+	scr.trans = scr.trans[:0]
+	scr.transRows = scr.transRows[:0]
+	scr.stepOff = append(scr.stepOff[:0], 0)
+	scr.cellRow.Reset(e.space.NumCells())
+	mMax := len(seq[0])
 	for i := 1; i < len(seq); i++ {
 		prev, cur := seq[i-1], seq[i]
-		ts := make([]transition, 0, len(prev)*len(cur))
+		if len(cur) > mMax {
+			mMax = len(cur)
+		}
+		found := false
 		for ai, as := range prev {
 			for bi, bs := range cur {
 				cells, pr, ok := e.pairPass(as.Loc, bs.Loc)
 				if !ok {
 					continue
 				}
-				ts = append(ts, transition{a: ai, b: bi, cells: cells, pr: pr})
+				rowOff := int32(len(scr.transRows))
 				for _, c := range cells {
-					if !trackedSet[c] {
-						trackedSet[c] = true
-						tracked = append(tracked, c)
+					row, ok := scr.cellRow.Get(int32(c))
+					if !ok {
+						scr.tracked = append(scr.tracked, c)
+						row = int32(len(scr.tracked)) // rows are 1-based
+						scr.cellRow.Set(int32(c), row)
 					}
+					scr.transRows = append(scr.transRows, row)
 				}
+				scr.trans = append(scr.trans, denseTransition{
+					a: int32(ai), b: int32(bi),
+					rowOff: rowOff, rowN: int32(len(scr.transRows)) - rowOff,
+					p: bs.Prob, pr: pr,
+				})
+				found = true
 			}
 		}
-		if len(ts) == 0 {
+		if !found {
 			return sum // no valid path exists at all
 		}
-		trans[i-1] = ts
+		scr.stepOff = append(scr.stepOff, int32(len(scr.trans)))
 	}
 
-	// Forward pass for ValidMass, recording the rescale factor applied
-	// after each step (1 = none) so the per-cell passes can replay it.
-	scales := make([]float64, len(seq))
-	f := make([]float64, len(seq[0]))
-	for j, s := range seq[0] {
-		f[j] = s.Prob
+	// One forward pass over the whole matrix. Row 0 carries the undamped f
+	// values; row 1+t carries the G pass damped at tracked cell t. Columns
+	// are the sample indices of the current set, stored as contiguous
+	// (C+1)-blocks so each transition reads one block and writes another.
+	rows := len(scr.tracked) + 1
+	need := mMax * rows
+	if cap(scr.cur) < need {
+		scr.cur = make([]float64, need)
+		scr.next = make([]float64, need)
 	}
-	scales[0] = 1
-	logScale := 0.0
-	for i := 1; i < len(seq); i++ {
-		nf := make([]float64, len(seq[i]))
-		for _, t := range trans[i-1] {
-			nf[t.b] += f[t.a] * seq[i][t.b].Prob
+	cur, next := scr.cur[:need], scr.next[:need]
+	for j, s := range seq[0] {
+		blk := cur[j*rows : (j+1)*rows]
+		for r := range blk {
+			blk[r] = s.Prob
 		}
+	}
+	logScale := 0.0
+	m := len(seq[0])
+	for i := 1; i < len(seq); i++ {
+		m = len(seq[i])
+		nx := next[:m*rows]
+		clear(nx)
+		for ti := scr.stepOff[i-1]; ti < scr.stepOff[i]; ti++ {
+			t := &scr.trans[ti]
+			src := cur[int(t.a)*rows : (int(t.a)+1)*rows]
+			dst := nx[int(t.b)*rows : (int(t.b)+1)*rows]
+			p := t.p
+			for r, v := range src {
+				dst[r] += v * p
+			}
+			// Damped rows contribute src·(1-pr)·p; correct them by
+			// subtracting the src·pr·p over-credit of the sweep above.
+			ppr := p * t.pr
+			for _, r := range scr.transRows[t.rowOff : t.rowOff+t.rowN] {
+				dst[r] -= src[r] * ppr
+			}
+		}
+		// Rescale decision replays the classic f pass exactly: sum row 0 in
+		// ascending sample order, rescale everything when it decays.
 		total := 0.0
-		for _, v := range nf {
-			total += v
+		for j := 0; j < m; j++ {
+			total += nx[j*rows]
 		}
 		if total <= 0 {
 			return sum // mass fully pruned: no valid path
 		}
 		if total < rescaleThreshold {
 			inv := 1 / total
-			for j := range nf {
-				nf[j] *= inv
+			for idx := range nx {
+				nx[idx] *= inv
 			}
-			scales[i] = total
 			logScale += math.Log(total)
-		} else {
-			scales[i] = 1
 		}
-		f = nf
+		cur, next = next, cur
 	}
-	for _, v := range f {
-		sum.ValidMass += v
+	for j := 0; j < m; j++ {
+		sum.ValidMass += cur[j*rows]
 	}
 	sum.LogScale = logScale
 	if sum.ValidMass == 0 {
 		return sum
 	}
-
-	// One damped forward pass per tracked cell for G(c), replaying the
-	// exact rescale factors of the f pass so ratios are preserved.
-	for _, c := range tracked {
-		g := make([]float64, len(seq[0]))
-		for j, s := range seq[0] {
-			g[j] = s.Prob
-		}
-		for i := 1; i < len(seq); i++ {
-			ng := make([]float64, len(seq[i]))
-			for _, t := range trans[i-1] {
-				w := 1.0
-				for _, tc := range t.cells {
-					if tc == c {
-						w = 1 - t.pr
-						break
-					}
-				}
-				ng[t.b] += g[t.a] * w * seq[i][t.b].Prob
-			}
-			if scales[i] != 1 {
-				inv := 1 / scales[i]
-				for j := range ng {
-					ng[j] *= inv
-				}
-			}
-			g = ng
-		}
+	for t, c := range scr.tracked {
 		gc := 0.0
-		for _, v := range g {
-			gc += v
+		for j := 0; j < m; j++ {
+			gc += cur[j*rows+t+1]
 		}
 		if mass := sum.ValidMass - gc; mass > sum.ValidMass*1e-15 {
 			sum.PassMass[c] = mass

@@ -85,8 +85,11 @@ type outcome struct {
 // computeOne reduces (and, when needSummary, summarizes) one object, going
 // through the engine cache when enabled. have, if non-nil, is a reduction
 // already computed for this object and query window, reused on cache miss.
-// computeOne only reads oracle state and is safe to call concurrently.
-func (o *presenceOracle) computeOne(oid iupt.ObjectID, needSummary bool, have *Reduction) outcome {
+// scr is the caller's scratch arena — shard workers hold one across all
+// their objects, so steady-state evaluation recycles its working memory.
+// computeOne only reads oracle state and is safe to call concurrently (with
+// per-caller scr).
+func (o *presenceOracle) computeOne(oid iupt.ObjectID, needSummary bool, have *Reduction, scr *summarizeScratch) outcome {
 	seq := o.seqs[oid]
 	useCache := o.cacheEnabled() && len(seq) > 0
 	var key cacheKey
@@ -99,7 +102,7 @@ func (o *presenceOracle) computeOne(oid iupt.ObjectID, needSummary bool, have *R
 		}
 	}
 	if red == nil {
-		red, _ = o.eng.ReduceData(seq, nil)
+		red, _ = o.eng.reduceDataScratch(seq, nil, scr)
 	}
 	if o.prunedBy(red) {
 		if useCache && sum == nil {
@@ -116,7 +119,7 @@ func (o *presenceOracle) computeOne(oid iupt.ObjectID, needSummary bool, have *R
 	if sum != nil {
 		return outcome{red: red, sum: sum, fellBack: fellBack, sumHit: true}
 	}
-	sum, fellBack = o.eng.Summarize(red.Seq)
+	sum, fellBack = o.eng.summarizeScratch(red.Seq, scr)
 	if useCache {
 		o.eng.cache.store(key, &cacheEntry{seq: seq, red: red, sum: sum, fellBack: fellBack})
 	}
@@ -158,7 +161,9 @@ func (o *presenceOracle) reduction(oid iupt.ObjectID) (*Reduction, bool) {
 	if red, ok := o.reductions[oid]; ok {
 		return red, red != nil
 	}
-	oc := o.computeOne(oid, false, nil)
+	scr := o.eng.getScratch()
+	oc := o.computeOne(oid, false, nil, scr)
+	o.eng.putScratch(scr)
 	if oc.pruned {
 		o.reductions[oid] = nil
 		return nil, false
@@ -173,7 +178,9 @@ func (o *presenceOracle) summary(oid iupt.ObjectID) *ObjectSummary {
 	if s, ok := o.summaries[oid]; ok {
 		return s
 	}
-	oc := o.computeOne(oid, true, o.reductions[oid])
+	scr := o.eng.getScratch()
+	oc := o.computeOne(oid, true, o.reductions[oid], scr)
+	o.eng.putScratch(scr)
 	o.applySummary(oid, oc)
 	return oc.sum
 }
@@ -236,6 +243,10 @@ func (o *presenceOracle) ensure(ctx context.Context, oids []iupt.ObjectID, needS
 		wg.Add(1)
 		go func(shard []iupt.ObjectID, base int) {
 			defer wg.Done()
+			// One scratch arena per shard worker: every object of the shard
+			// reuses its buffers, so the pool is touched once per shard.
+			scr := o.eng.getScratch()
+			defer o.eng.putScratch(scr)
 			for i, oid := range shard {
 				if ctx.Err() != nil {
 					return
@@ -244,7 +255,7 @@ func (o *presenceOracle) ensure(ctx context.Context, oids []iupt.ObjectID, needS
 				if red, ok := o.reductions[oid]; ok && red != nil {
 					have = red
 				}
-				outcomes[base+i] = o.computeOne(oid, needSummary, have)
+				outcomes[base+i] = o.computeOne(oid, needSummary, have, scr)
 			}
 		}(shard, start)
 		start += len(shard)

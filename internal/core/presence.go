@@ -80,9 +80,17 @@ func (s *ObjectSummary) Presence(cell indoor.CellID, mode PresenceMode) float64 
 // impossible steps are unaffected, so this never changes the paper's worked
 // examples.
 func (e *Engine) Summarize(seq []iupt.SampleSet) (sum *ObjectSummary, fellBack bool) {
-	segs := e.splitSegments(seq)
+	scr := e.getScratch()
+	defer e.putScratch(scr)
+	return e.summarizeScratch(seq, scr)
+}
+
+// summarizeScratch is Summarize with an explicit scratch arena, the form the
+// oracle's shard workers call so one arena serves a whole shard of objects.
+func (e *Engine) summarizeScratch(seq []iupt.SampleSet, scr *summarizeScratch) (sum *ObjectSummary, fellBack bool) {
+	segs := e.splitSegments(seq, scr)
 	if len(segs) == 1 {
-		s, fb := e.summarizeOne(segs[0])
+		s, fb := e.summarizeOne(segs[0], scr)
 		s.Segments = 1
 		return s, fb
 	}
@@ -93,7 +101,7 @@ func (e *Engine) Summarize(seq []iupt.SampleSet) (sum *ObjectSummary, fellBack b
 	}
 	noPass := make(map[indoor.CellID]float64)
 	for _, seg := range segs {
-		s, fb := e.summarizeOne(seg)
+		s, fb := e.summarizeOne(seg, scr)
 		fellBack = fellBack || fb
 		combined.Paths += s.Paths
 		for c := range s.PassMass {
@@ -115,16 +123,16 @@ func (e *Engine) Summarize(seq []iupt.SampleSet) (sum *ObjectSummary, fellBack b
 
 // summarizeOne evaluates a single consistent segment with the configured
 // engine.
-func (e *Engine) summarizeOne(seq []iupt.SampleSet) (*ObjectSummary, bool) {
+func (e *Engine) summarizeOne(seq []iupt.SampleSet, scr *summarizeScratch) (*ObjectSummary, bool) {
 	if e.opts.Engine == EngineEnum {
 		s, err := e.summarizeEnum(seq)
 		if err == nil {
 			return s, false
 		}
 		// ErrPathBudget is the only error summarizeEnum produces.
-		return e.summarizeDP(seq), true
+		return e.summarizeDPScratch(seq, scr), true
 	}
-	return e.summarizeDP(seq), false
+	return e.summarizeDPScratch(seq, scr), false
 }
 
 // splitSegments cuts the sequence wherever the valid-path mass would die: a
@@ -136,18 +144,30 @@ func (e *Engine) summarizeOne(seq []iupt.SampleSet) (*ObjectSummary, bool) {
 // segment the engines are guaranteed a non-empty valid path set. With
 // StrictPaths the whole sequence is one segment, reproducing the paper's
 // semantics exactly.
-func (e *Engine) splitSegments(seq []iupt.SampleSet) [][]iupt.SampleSet {
+func (e *Engine) splitSegments(seq []iupt.SampleSet, scr *summarizeScratch) [][]iupt.SampleSet {
 	if e.opts.StrictPaths || len(seq) <= 1 {
 		return [][]iupt.SampleSet{seq}
 	}
+	mMax := 0
+	for _, x := range seq {
+		if len(x) > mMax {
+			mMax = len(x)
+		}
+	}
+	if cap(scr.reach) < mMax {
+		scr.reach = make([]bool, mMax)
+		scr.nextReach = make([]bool, mMax)
+	}
 	var segs [][]iupt.SampleSet
 	start := 0
-	reach := make([]bool, len(seq[0]))
+	reach, nextBuf := scr.reach[:mMax], scr.nextReach[:mMax]
+	reach = reach[:len(seq[0])]
 	for i := range reach {
 		reach[i] = true
 	}
 	for i := 1; i < len(seq); i++ {
-		next := make([]bool, len(seq[i]))
+		next := nextBuf[:len(seq[i])]
+		clear(next)
 		any := false
 		for bi, b := range seq[i] {
 			for ai, a := range seq[i-1] {
@@ -165,7 +185,7 @@ func (e *Engine) splitSegments(seq []iupt.SampleSet) [][]iupt.SampleSet {
 				next[bi] = true
 			}
 		}
-		reach = next
+		reach, nextBuf = next, reach[:cap(reach)]
 	}
 	segs = append(segs, seq[start:])
 	return segs

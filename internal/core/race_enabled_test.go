@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race, which both
+// inflates allocation counts and makes sync.Pool deliberately lossy — the
+// allocation-budget tests skip themselves under it.
+func init() { raceEnabled = true }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"tkplq/internal/indoor"
 	"tkplq/internal/iupt"
@@ -43,35 +43,65 @@ func (r *Reduction) HasAnyOf(query map[indoor.SLocID]bool) bool {
 // Option flags can disable the merges or the whole reduction; PSLs are
 // always computed because the search algorithms need them.
 func (e *Engine) ReduceData(seq iupt.Sequence, query map[indoor.SLocID]bool) (*Reduction, bool) {
+	scr := e.getScratch()
+	defer e.putScratch(scr)
+	return e.reduceDataScratch(seq, query, scr)
+}
+
+// reduceDataScratch is ReduceData with an explicit scratch arena: all
+// intermediate state (seen-sets, the pending inter-merge run and its
+// intra-merged sets) lives in scr, and the retained output — the reduced
+// sample sets, Cells and PSLs — is freshly allocated at exact size, with the
+// output sets carved from a per-call sampleArena.
+func (e *Engine) reduceDataScratch(seq iupt.Sequence, query map[indoor.SLocID]bool, scr *summarizeScratch) (*Reduction, bool) {
 	red := &Reduction{}
-	cellSeen := make(map[indoor.CellID]bool)
+	scr.cellSeen.Reset(e.space.NumCells())
+	scr.cells = scr.cells[:0]
+	scr.run = scr.run[:0]
+	scr.runBuf = scr.runBuf[:0]
+	var arena sampleArena
+	for _, ts := range seq {
+		arena.slabCap += len(ts.Samples)
+	}
 
 	intra := !e.opts.DisableReduction && !e.opts.DisableIntraMerge
 	inter := !e.opts.DisableReduction && !e.opts.DisableInterMerge
 
-	var run []iupt.SampleSet // Xmerge: the pending inter-merge run
+	// Xmerge, the pending inter-merge run, holds scratch-backed (intra) or
+	// table-backed (no intra) sets; flushRun copies the merged result into
+	// the output arena, so nothing retained aliases scratch or the table.
 	flushRun := func() {
-		if len(run) == 0 {
+		if len(scr.run) == 0 {
 			return
 		}
-		red.Seq = append(red.Seq, interMerge(run))
-		run = run[:0]
+		red.Seq = append(red.Seq, e.interMerge(scr.run, &arena, scr))
+		scr.run = scr.run[:0]
 	}
 
 	for _, ts := range seq {
 		x := ts.Samples
 		if intra {
-			x = e.intraMerge(x)
-		} else {
-			x = x.Clone()
+			x = e.intraMergeScratch(x, scr)
+			if !inter {
+				// The merged set is final output: copy it out of scratch at
+				// exact size and recycle the scratch buffer.
+				out := arena.alloc(len(x))
+				copy(out, x)
+				x = out
+				scr.runBuf = scr.runBuf[:0]
+			}
+		} else if !inter {
+			out := arena.alloc(len(x))
+			copy(out, x)
+			x = out
 		}
 		// PSL accumulation (Algorithm 1 lines 6-7): every cell incident to
 		// a reported P-location, mapped through C2S.
 		for _, s := range x {
 			for _, c := range e.space.PLocCells(s.Loc) {
-				if !cellSeen[c] {
-					cellSeen[c] = true
-					red.Cells = append(red.Cells, c)
+				if !scr.cellSeen.Has(int32(c)) {
+					scr.cellSeen.Set(int32(c), 0)
+					scr.cells = append(scr.cells, c)
 				}
 			}
 		}
@@ -79,24 +109,36 @@ func (e *Engine) ReduceData(seq iupt.Sequence, query map[indoor.SLocID]bool) (*R
 			red.Seq = append(red.Seq, x)
 			continue
 		}
-		if len(run) > 0 && !samePLocSet(run[len(run)-1], x) {
+		if len(scr.run) > 0 && !samePLocSet(scr.run[len(scr.run)-1], x) {
 			flushRun()
+			if intra {
+				// The flushed run's scratch sets are dead; keep only x, the
+				// new run's first set, compacted to the buffer's front so
+				// the buffer never grows past one run plus one set.
+				n := len(x)
+				copy(scr.runBuf, x)
+				scr.runBuf = scr.runBuf[:n]
+				x = scr.runBuf[:n:n]
+			}
 		}
-		run = append(run, x)
+		scr.run = append(scr.run, x)
 	}
 	flushRun()
 
-	sort.Slice(red.Cells, func(i, j int) bool { return red.Cells[i] < red.Cells[j] })
-	seen := make(map[indoor.SLocID]bool)
+	slices.Sort(scr.cells)
+	red.Cells = append(make([]indoor.CellID, 0, len(scr.cells)), scr.cells...)
+	scr.slocSeen.Reset(e.space.NumSLocations())
+	scr.psls = scr.psls[:0]
 	for _, c := range red.Cells {
 		for _, s := range e.space.SLocsOfCell(c) {
-			if !seen[s] {
-				seen[s] = true
-				red.PSLs = append(red.PSLs, s)
+			if !scr.slocSeen.Has(int32(s)) {
+				scr.slocSeen.Set(int32(s), 0)
+				scr.psls = append(scr.psls, s)
 			}
 		}
 	}
-	sort.Slice(red.PSLs, func(i, j int) bool { return red.PSLs[i] < red.PSLs[j] })
+	slices.Sort(scr.psls)
+	red.PSLs = append(make([]indoor.SLocID, 0, len(scr.psls)), scr.psls...)
 
 	if query != nil && !e.opts.DisableReduction && !red.HasAnyOf(query) {
 		return nil, false
@@ -108,49 +150,57 @@ func (e *Engine) ReduceData(seq iupt.Sequence, query map[indoor.SLocID]bool) (*R
 // Cells(p), §3.1.2) into one sample at the class representative — the
 // smallest member id — with the summed probability (Algorithm 1 lines
 // 14-21). The output preserves first-appearance order of representatives.
+// It is retained for the tests; the reduction pipeline uses the scratch- and
+// arena-backed variants below.
 func (e *Engine) intraMerge(x iupt.SampleSet) iupt.SampleSet {
-	out := make(iupt.SampleSet, 0, len(x))
-	pos := make(map[indoor.PLocID]int, len(x))
+	scr := e.getScratch()
+	defer e.putScratch(scr)
+	return e.intraMergeInto(x, make(iupt.SampleSet, 0, len(x)), scr)
+}
+
+// intraMergeScratch intra-merges into scr.runBuf, returning a scratch-backed
+// set that is only valid until the pending run is flushed.
+func (e *Engine) intraMergeScratch(x iupt.SampleSet, scr *summarizeScratch) iupt.SampleSet {
+	base := len(scr.runBuf)
+	scr.runBuf = e.intraMergeInto(x, scr.runBuf, scr)
+	return scr.runBuf[base:]
+}
+
+// intraMergeInto appends the intra-merge of x to out and returns the
+// extended slice. scr provides the P-location → output-position index.
+func (e *Engine) intraMergeInto(x iupt.SampleSet, out iupt.SampleSet, scr *summarizeScratch) iupt.SampleSet {
+	base := len(out)
+	scr.plocPos.Reset(e.space.NumPLocations())
 	for _, s := range x {
 		rep := e.space.ClassRep(s.Loc)
-		if i, ok := pos[rep]; ok {
-			out[i].Prob += s.Prob
+		if i, ok := scr.plocPos.Get(int32(rep)); ok {
+			out[base+int(i)].Prob += s.Prob
 			continue
 		}
-		pos[rep] = len(out)
+		scr.plocPos.Set(int32(rep), int32(len(out)-base))
 		out = append(out, iupt.Sample{Loc: rep, Prob: s.Prob})
 	}
 	return out
 }
 
 // samePLocSet reports whether two sample sets cover the identical set of
-// P-locations (order-insensitive).
+// P-locations (order-insensitive). Sample sets are duplicate-free, so equal
+// length plus one-sided containment suffices.
 func samePLocSet(a, b iupt.SampleSet) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	if len(a) <= 4 {
-		// Quadratic scan beats map allocation at the sizes mss allows.
-		for _, sa := range a {
-			found := false
-			for _, sb := range b {
-				if sa.Loc == sb.Loc {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return false
+	// Quadratic scan: mss keeps sample sets small (≤ 8 in every dataset),
+	// where this beats building any index.
+	for _, sa := range a {
+		found := false
+		for _, sb := range b {
+			if sa.Loc == sb.Loc {
+				found = true
+				break
 			}
 		}
-		return true
-	}
-	locs := make(map[indoor.PLocID]bool, len(a))
-	for _, s := range a {
-		locs[s.Loc] = true
-	}
-	for _, s := range b {
-		if !locs[s.Loc] {
+		if !found {
 			return false
 		}
 	}
@@ -158,26 +208,34 @@ func samePLocSet(a, b iupt.SampleSet) bool {
 }
 
 // interMerge merges a run of consecutive sample sets with identical
-// P-location sets into one set whose per-location probability is the mean
-// across the run (Algorithm 1 lines 22-30).
-func interMerge(run []iupt.SampleSet) iupt.SampleSet {
-	if len(run) == 1 {
-		return run[0]
-	}
+// P-location sets into one arena-allocated set whose per-location
+// probability is the mean across the run (Algorithm 1 lines 22-30). One pass
+// over the run suffices: the first set's P-locations index the output via
+// the scratch position marks, and every later sample accumulates into its
+// slot. Per-location accumulation order is run order, exactly as the nested
+// rescan produced.
+func (e *Engine) interMerge(run []iupt.SampleSet, arena *sampleArena, scr *summarizeScratch) iupt.SampleSet {
 	first := run[0]
-	out := make(iupt.SampleSet, len(first))
-	inv := 1.0 / float64(len(run))
+	out := arena.alloc(len(first))
+	if len(run) == 1 {
+		copy(out, first)
+		return out
+	}
+	scr.plocPos.Reset(e.space.NumPLocations())
 	for i, s := range first {
-		sum := 0.0
-		for _, x := range run {
-			for _, xs := range x {
-				if xs.Loc == s.Loc {
-					sum += xs.Prob
-					break
-				}
+		out[i] = iupt.Sample{Loc: s.Loc}
+		scr.plocPos.Set(int32(s.Loc), int32(i))
+	}
+	for _, x := range run {
+		for _, xs := range x {
+			if i, ok := scr.plocPos.Get(int32(xs.Loc)); ok {
+				out[i].Prob += xs.Prob
 			}
 		}
-		out[i] = iupt.Sample{Loc: s.Loc, Prob: sum * inv}
+	}
+	inv := 1.0 / float64(len(run))
+	for i := range out {
+		out[i].Prob *= inv
 	}
 	return out
 }

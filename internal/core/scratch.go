@@ -1,0 +1,105 @@
+package core
+
+import (
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// summarizeScratch is the reusable per-worker scratch arena of the reduce →
+// summarize hot path. One instance serves one goroutine at a time; the
+// engine keeps a sync.Pool of them so steady-state evaluation of a warmed-up
+// engine performs near-zero allocations per object. Everything in here is
+// transient working memory — outputs that outlive a call (Reduction,
+// ObjectSummary) are always freshly allocated, exactly sized, and never
+// alias scratch storage.
+type summarizeScratch struct {
+	// Dense DP state (dp.go): the (C+1)×m value matrix in column-major
+	// blocks, and the per-step transition lists compiled into flat rows.
+	cur, next []float64
+	trans     []denseTransition
+	transRows []int32 // damped row indices, referenced by denseTransition
+	stepOff   []int32 // trans[stepOff[i-1]:stepOff[i]] = step i's transitions
+
+	// Tracked-cell interning (dp.go): cell id -> dense row, plus the reverse
+	// list in first-appearance order.
+	cellRow *indoor.IDMarks
+	tracked []indoor.CellID
+
+	// Data reduction state (reduce.go): epoch-stamped seen-sets over the
+	// space's dense cell/S-location/P-location id ranges, the collected
+	// cell/PSL lists before their exact-size copies, the pending inter-merge
+	// run and the backing store for its intra-merged sample sets.
+	cellSeen *indoor.IDMarks
+	slocSeen *indoor.IDMarks
+	plocPos  *indoor.IDMarks
+	cells    []indoor.CellID
+	psls     []indoor.SLocID
+	run      []iupt.SampleSet
+	runBuf   []iupt.Sample
+
+	// Segment splitting state (presence.go).
+	reach, nextReach []bool
+}
+
+func newSummarizeScratch() *summarizeScratch {
+	return &summarizeScratch{
+		cellRow:  &indoor.IDMarks{},
+		cellSeen: &indoor.IDMarks{},
+		slocSeen: &indoor.IDMarks{},
+		plocPos:  &indoor.IDMarks{},
+	}
+}
+
+// getScratch hands out a scratch arena from the engine's pool. Callers must
+// return it with putScratch; per-shard workers hold one across all their
+// objects, so pool traffic is per shard, not per object. A nil pool (an
+// Engine built without NewEngine, as some tests do) degrades to plain
+// allocation.
+func (e *Engine) getScratch() *summarizeScratch {
+	if e.scratch != nil {
+		if s, ok := e.scratch.Get().(*summarizeScratch); ok {
+			return s
+		}
+	}
+	return newSummarizeScratch()
+}
+
+func (e *Engine) putScratch(s *summarizeScratch) {
+	if e.scratch != nil {
+		e.scratch.Put(s)
+	}
+}
+
+// sampleArena allocates the sample sets retained in a Reduction's output
+// sequence from shared slabs, so building an n-set reduction costs O(n/256)
+// allocations instead of n. An arena is per-reduction (its slabs are
+// retained by the output, which may live in the engine cache) — only the
+// allocation count is amortized, never the memory's lifetime. slabCap
+// bounds the slab size; callers set it to the total sample count of the
+// input sequence (an upper bound on the output, since merges only shrink),
+// so small cached reductions never pin a mostly-empty 256-sample slab.
+type sampleArena struct {
+	slab    []iupt.Sample
+	slabCap int
+}
+
+// arenaSlabSize is the maximum slab length; sets larger than this get a
+// dedicated exact-size slab.
+const arenaSlabSize = 256
+
+// alloc returns a zeroed length-n sample slice carved from the current
+// slab. The capacity is clipped to n, so an append to a returned set copies
+// out instead of overwriting its slab neighbor — same aliasing contract as
+// an exact-size make.
+func (a *sampleArena) alloc(n int) iupt.SampleSet {
+	if len(a.slab)+n > cap(a.slab) {
+		size := min(arenaSlabSize, a.slabCap)
+		if n > size {
+			size = n
+		}
+		a.slab = make([]iupt.Sample, 0, size)
+	}
+	out := a.slab[len(a.slab) : len(a.slab)+n : len(a.slab)+n]
+	a.slab = a.slab[:len(a.slab)+n]
+	return out
+}

@@ -1,0 +1,81 @@
+package indoor
+
+// Dense-id guarantee.
+//
+// Builder assigns every identifier sequentially from zero — PartitionID,
+// DoorID, PLocID, SLocID by AddX call order, CellID by derivation order — so
+// in a built Space every id is a valid index into [0, NumX()). The query
+// engine's hot path relies on this: per-object scratch state (tracked-cell
+// interning in the dense DP, seen-sets in the data reduction) is kept in
+// flat arrays indexed by id instead of maps, reset in O(1) by bumping an
+// epoch. DenseIDs exposes the guarantee programmatically; IDMarks is the
+// epoch-stamped index the engine builds on.
+
+// DenseIDs reports the sizes of the space's dense id ranges: every CellID is
+// in [0, Cells), every PLocID in [0, PLocs), every SLocID in [0, SLocs) and
+// every PartitionID in [0, Partitions). Scratch structures sized from these
+// bounds can index by id directly.
+type DenseIDs struct {
+	Partitions int
+	PLocs      int
+	SLocs      int
+	Cells      int
+}
+
+// DenseIDs returns the dense id ranges of the space.
+func (s *Space) DenseIDs() DenseIDs {
+	return DenseIDs{
+		Partitions: len(s.partitions),
+		PLocs:      len(s.plocs),
+		SLocs:      len(s.slocs),
+		Cells:      len(s.cells),
+	}
+}
+
+// IDMarks is an epoch-stamped membership-and-position index over a dense id
+// range [0, n). Set/Get/Has are O(1); Reset is O(1) amortized — it bumps the
+// epoch instead of clearing, so one allocation serves arbitrarily many
+// generations of use. The zero value is ready; Reset before each generation.
+//
+// IDMarks is not safe for concurrent use: it is scratch state, owned by one
+// goroutine at a time (the engine keeps one per pooled scratch arena).
+type IDMarks struct {
+	epoch uint32
+	slots []idSlot
+}
+
+type idSlot struct {
+	epoch uint32
+	pos   int32
+}
+
+// Reset invalidates all marks and (re)sizes the index for ids in [0, n).
+func (m *IDMarks) Reset(n int) {
+	if n > len(m.slots) {
+		m.slots = make([]idSlot, n)
+		m.epoch = 1
+		return
+	}
+	m.epoch++
+	if m.epoch == 0 { // uint32 wraparound: stale epochs could collide
+		clear(m.slots)
+		m.epoch = 1
+	}
+}
+
+// Set marks id as present with the given position value.
+func (m *IDMarks) Set(id int32, pos int32) {
+	m.slots[id] = idSlot{epoch: m.epoch, pos: pos}
+}
+
+// Get returns the position stored for id and whether id is marked in the
+// current generation.
+func (m *IDMarks) Get(id int32) (int32, bool) {
+	s := m.slots[id]
+	return s.pos, s.epoch == m.epoch
+}
+
+// Has reports whether id is marked in the current generation.
+func (m *IDMarks) Has(id int32) bool {
+	return m.slots[id].epoch == m.epoch
+}

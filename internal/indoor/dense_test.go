@@ -1,0 +1,76 @@
+package indoor
+
+import "testing"
+
+// TestDenseIDGuarantee asserts the dense-id invariant the engine's scratch
+// structures rely on: every id of a built space indexes its range.
+func TestDenseIDGuarantee(t *testing.T) {
+	fig := Figure1Space()
+	s := fig.Space
+	d := s.DenseIDs()
+	if d.Partitions != s.NumPartitions() || d.PLocs != s.NumPLocations() ||
+		d.SLocs != s.NumSLocations() || d.Cells != s.NumCells() {
+		t.Fatalf("DenseIDs %+v disagrees with NumX accessors", d)
+	}
+	for i := 0; i < d.Partitions; i++ {
+		if got := s.Partition(PartitionID(i)).ID; got != PartitionID(i) {
+			t.Errorf("partition %d stored as %d", i, got)
+		}
+	}
+	for i := 0; i < d.PLocs; i++ {
+		if got := s.PLocation(PLocID(i)).ID; got != PLocID(i) {
+			t.Errorf("ploc %d stored as %d", i, got)
+		}
+	}
+	for i := 0; i < d.SLocs; i++ {
+		if got := s.SLocation(SLocID(i)).ID; got != SLocID(i) {
+			t.Errorf("sloc %d stored as %d", i, got)
+		}
+	}
+	for i := 0; i < d.Cells; i++ {
+		if got := s.Cell(CellID(i)).ID; got != CellID(i) {
+			t.Errorf("cell %d stored as %d", i, got)
+		}
+	}
+}
+
+func TestIDMarks(t *testing.T) {
+	var m IDMarks
+	m.Reset(4)
+	if m.Has(0) || m.Has(3) {
+		t.Fatal("fresh marks must be empty")
+	}
+	m.Set(1, 42)
+	m.Set(3, 7)
+	if pos, ok := m.Get(1); !ok || pos != 42 {
+		t.Errorf("Get(1) = %d, %v", pos, ok)
+	}
+	if !m.Has(3) || m.Has(0) {
+		t.Error("membership wrong after Set")
+	}
+
+	// A reset invalidates everything in O(1).
+	m.Reset(4)
+	if m.Has(1) || m.Has(3) {
+		t.Error("Reset leaked marks from the previous generation")
+	}
+
+	// Growing keeps working.
+	m.Reset(10)
+	m.Set(9, 1)
+	if !m.Has(9) {
+		t.Error("mark lost after grow")
+	}
+
+	// Epoch wraparound must not resurrect stale marks.
+	m.Set(2, 5)
+	m.epoch = ^uint32(0) // next Reset wraps to 0 and must clear
+	m.Reset(10)
+	if m.Has(2) || m.Has(9) {
+		t.Error("wraparound resurrected stale marks")
+	}
+	m.Set(4, 4)
+	if !m.Has(4) {
+		t.Error("marks broken after wraparound reset")
+	}
+}

@@ -232,10 +232,38 @@ func (s *Space) MILConnected(pi, pj PLocID) bool {
 }
 
 // intersectSorted returns the intersection of two sorted CellID slices.
-// Inputs have at most two elements in practice, so this is O(1).
+// Inputs are plocCells lists of at most two elements, so the matching
+// elements of a are always contiguous and the result can alias a — the MIL
+// lookup on the engine's hot path is allocation-free. The general fallback
+// allocates only when longer inputs match non-contiguously (unreachable for
+// cell lists, kept for safety).
 func intersectSorted(a, b []CellID) []CellID {
-	var out []CellID
+	first, last, n := 0, -1, 0
 	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if n == 0 {
+				first = i
+			}
+			last = i
+			n++
+			i++
+			j++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	if last-first+1 == n {
+		return a[first : last+1]
+	}
+	out := make([]CellID, 0, n)
+	i, j = 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:

@@ -18,10 +18,11 @@
 package iupt
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"tkplq/internal/indoor"
@@ -108,7 +109,7 @@ func (x SampleSet) Normalize() {
 // order used when comparing πl(X) sets during inter-merge.
 func (x SampleSet) Sorted() SampleSet {
 	out := x.Clone()
-	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	slices.SortFunc(out, func(a, b Sample) int { return cmp.Compare(a.Loc, b.Loc) })
 	return out
 }
 
@@ -155,7 +156,7 @@ func (seq Sequence) PLocUniverse() []indoor.PLocID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -238,7 +239,7 @@ func (t *Table) Objects() []ObjectID {
 			out = append(out, recs[i].OID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -251,7 +252,7 @@ func (t *Table) ensureSortedLocked() {
 	}
 	recs := make([]Record, len(t.records))
 	copy(recs, t.records)
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].T < recs[j].T })
+	slices.SortStableFunc(recs, func(a, b Record) int { return cmp.Compare(a.T, b.T) })
 	t.records = recs
 	t.sorted = true
 }

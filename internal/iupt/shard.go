@@ -1,8 +1,9 @@
 package iupt
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -22,7 +23,7 @@ func SortedObjects(seqs map[ObjectID]Sequence) []ObjectID {
 	for oid := range seqs {
 		out = append(out, oid)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -78,7 +79,7 @@ func (t *Table) SequencesInRangeSharded(ctx context.Context, ts, te Time, worker
 	sortSeq := func(oid ObjectID) {
 		seq := out[oid] // concurrent map reads are safe; the sort mutates
 		// only the sequence's own backing array
-		sort.SliceStable(seq, func(i, j int) bool { return seq[i].T < seq[j].T })
+		slices.SortStableFunc(seq, func(a, b TimedSampleSet) int { return cmp.Compare(a.T, b.T) })
 	}
 	if workers > len(out) {
 		workers = len(out)

@@ -11,6 +11,7 @@ import (
 // numbers are the basis of docs/OPERATIONS.md's fsync tuning guidance and
 // land in CI's BENCH_<sha>.json artifact via cmd/benchjson.
 func benchAppend(b *testing.B, policy SyncPolicy) {
+	b.ReportAllocs()
 	s, _, err := Open(Options{Dir: b.TempDir(), Policy: policy, SyncEvery: 10 * time.Millisecond})
 	if err != nil {
 		b.Fatal(err)
@@ -33,6 +34,7 @@ func BenchmarkWALAppendFsyncInterval(b *testing.B) { benchAppend(b, SyncInterval
 // BenchmarkWALRecovery measures Open over a log of 1000 32-record batches —
 // the worst-case restart cost at a given snapshot cadence.
 func BenchmarkWALRecovery(b *testing.B) {
+	b.ReportAllocs()
 	dir := b.TempDir()
 	s, _, err := Open(Options{Dir: dir, Policy: SyncInterval})
 	if err != nil {
