@@ -330,6 +330,66 @@ func BenchmarkMonitorSlidingWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalUpdate measures the live-feed hot path: one ingested
+// record arrives inside the current window [now-1800, now] and the ranking
+// is brought up to date. The incremental path splices the record into the
+// retained per-object state and recomputes only the perturbed object; the
+// full path re-evaluates the whole window from scratch (cache disabled —
+// the cost a poll-style client pays per refresh without retained state).
+// The incremental sub-benchmark must stay an order of magnitude cheaper;
+// scripts/bench_regression.sh tracks both.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	d := parallelData(b)
+	const window = iupt.Time(1800)
+	now := d.span
+	feed := func(i int) iupt.Record {
+		rec := d.table.Record(i % d.table.Len())
+		rec.T = now
+		return rec
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := core.NewEngine(d.building.Space, core.Options{})
+		mon, err := eng.NewMonitor(d.slocs, 5, window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer mon.Close()
+		for i := 0; i < d.table.Len(); i++ {
+			if err := mon.Observe(d.table.Record(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := mon.Current(now); err != nil {
+			b.Fatal(err) // build the retained window state outside the timer
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mon.Observe(feed(i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := mon.Current(now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := core.NewEngine(d.building.Space, core.Options{DisableCache: true})
+		tb := iupt.NewTable()
+		for i := 0; i < d.table.Len(); i++ {
+			tb.Append(d.table.Record(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Append(feed(i))
+			if _, _, err := eng.TopK(tb, d.slocs, 5, now-window, now, core.AlgoBestFirst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkEndToEndPipeline(b *testing.B) {
 	b.ReportAllocs()
 	// Generation + query, the full public-API path.

@@ -7,6 +7,10 @@
 //	                  to evaluate a shared-work batch in one request
 //	POST /v1/ingest   {"records":[{"oid":1,"t":120,"samples":[{"ploc":4,"prob":0.6},...]}]}
 //	POST /v1/snapshot compact the WAL into a binary snapshot (needs -data-dir)
+//	GET  /v2/subscribe?window=900&k=5[&slocs=1,2][&algorithm=bf]
+//	                  Server-Sent Events stream of live ranking changes over
+//	                  the trailing window; identical subscriptions share one
+//	                  incrementally-maintained monitor
 //	GET  /v1/stats
 //	GET  /healthz
 //

@@ -1,10 +1,13 @@
 // Continuous: the online variant of the top-k popular location query that
 // the paper's §7 names as future work — positioning records stream in, and
-// a dashboard repeatedly asks "which locations are hottest right now?" over
-// a sliding window.
+// a dashboard wants to know "which locations are hottest right now?" over
+// a sliding window, without re-asking.
 //
-// This example replays a simulated morning through the Monitor, polling the
-// top-3 every 10 simulated minutes.
+// This example replays a simulated morning through System.Subscribe: records
+// are ingested in time order and the live feed pushes a fresh top-3 whenever
+// the ranking over the trailing 15 minutes changes. At the end it polls the
+// same system once through the deprecated Monitor.Current surface to show
+// both views agree bit-for-bit.
 //
 // Run with:
 //
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,46 +42,84 @@ func main() {
 		log.Fatal(err)
 	}
 	pcfg := tkplq.PositioningConfig{MaxPeriod: 3, MSS: 4, ErrorRadius: 2.1, Gamma: 0.2, Seed: 9}
-	table, err := tkplq.GenerateIUPT(building, people, pcfg)
+	feed, err := tkplq.GenerateIUPT(building, people, pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sys, err := tkplq.NewSystem(building.Space, table, tkplq.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Watch all 14 locations with a 15-minute sliding window.
-	mon, err := sys.NewMonitor(sys.AllSLocations(), 3, 15*60)
+	// The system starts empty; the generated table above is only the record
+	// source we replay from.
+	sys, err := tkplq.NewSystem(building.Space, tkplq.NewTable(), tkplq.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Replay the morning: feed records in time order, poll every 10 min.
-	fmt.Printf("streaming %d records; top-3 over a 15-minute window:\n\n", table.Len())
+	// Watch all 14 locations with a 15-minute sliding window. Identical
+	// subscriptions would share this one incremental monitor.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub, err := sys.Subscribe(ctx, tkplq.Query{
+		Kind:      tkplq.KindTopK,
+		Algorithm: tkplq.BestFirst,
+		K:         3,
+		Window:    15 * 60,
+		SLocs:     sys.AllSLocations(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Replay the morning in 10-minute batches. Each ingest perturbs only the
+	// touched objects; the feed pushes whenever the top-3 actually changes,
+	// conflating to the freshest ranking if we read slowly.
+	fmt.Printf("streaming %d records; top-3 over a 15-minute window:\n\n", feed.Len())
 	next := 0
+	var last tkplq.Update
 	for poll := tkplq.Time(600); poll <= 3600; poll += 600 {
-		for next < table.Len() && table.Record(next).T <= poll {
-			if err := mon.Observe(table.Record(next)); err != nil {
-				log.Fatal(err)
-			}
+		var batch []tkplq.Record
+		for next < feed.Len() && feed.Record(next).T <= poll {
+			batch = append(batch, feed.Record(next))
 			next++
 		}
-		res, stats, err := mon.Current(poll)
-		if err != nil {
+		if err := sys.Ingest(batch); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("t=%2dmin  ", poll/60)
-		for i, r := range res {
+		// Drain pushes until the feed has caught up with everything ingested.
+		for last.Records < next {
+			u, ok := <-sub.Updates()
+			if !ok {
+				log.Fatal("subscription closed unexpectedly")
+			}
+			last = u
+		}
+		fmt.Printf("t=%2dmin  ", last.Te/60)
+		for i, r := range last.Results {
 			if i > 0 {
 				fmt.Print("  |  ")
 			}
 			fmt.Printf("%d. %-3s %5.1f", i+1, building.Space.SLocation(r.SLoc).Name, r.Flow)
 		}
-		fmt.Printf("   (%d objects in window)\n", stats.ObjectsTotal)
+		fmt.Printf("   (%d objects in window)\n", last.Stats.ObjectsTotal)
 	}
-	fmt.Println("\neach poll reuses cached per-window state; Observe() invalidates it.")
-	// The Monitor rides the same engine as System.Do/DoBatch, so its sliding
-	// evaluations share the presence cache with any ad-hoc queries issued
-	// against the same system.
+
+	// The deprecated polling surface rides the same shared table and the same
+	// incremental engine, so it answers identically to the last push.
+	mon, err := sys.NewMonitor(sys.AllSLocations(), 3, 15*60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+	res, _, err := mon.Current(last.Te)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npolling view at t=%dmin agrees: ", last.Te/60)
+	for i, r := range res {
+		if i > 0 {
+			fmt.Print("  |  ")
+		}
+		fmt.Printf("%d. %-3s %5.1f", i+1, building.Space.SLocation(r.SLoc).Name, r.Flow)
+	}
+	fmt.Println()
 }

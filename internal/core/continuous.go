@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sync"
 
 	"tkplq/internal/indoor"
@@ -11,78 +13,196 @@ import (
 // Monitor answers the *online, continuous* variant of the top-k popular
 // location query that the paper's §7 leaves as future work: positioning
 // records stream in, and at any moment the k most popular S-locations over
-// a sliding window of the recent past can be requested.
+// a sliding window of the recent past can be requested (Current) or pushed
+// (Subscribe).
 //
-// The monitor maintains its own table of observed records and evaluates
-// window queries with the Best-First algorithm. Results are cached and
-// reused while no new record arrives and the window endpoint is unchanged;
-// across *different* windows, objects whose records are shared between the
-// old and new window are served from the engine's presence cache, so a
-// sliding evaluation only recomputes objects whose visible records changed.
-// Monitor is safe for concurrent use.
+// Evaluation is incremental. The monitor retains the per-object positioning
+// sequences and presence summaries of its current window; an ingested record
+// perturbs exactly one object's sequence (spliced in at its canonical
+// position — no table scan), and a window slide touches only the objects
+// whose records enter or leave the window (found by binary search on the
+// table's sorted snapshot, iupt.Table.RecordsInRange). Only the dirty
+// objects' reductions and summaries are recomputed, through the same
+// presence oracle — and engine cache — the one-shot queries use. The cheap
+// parts of an evaluation are repeated in full precisely because they must
+// be: per-location flows are re-accumulated over all retained summaries in
+// canonical ascending object order (float addition is non-associative, so
+// delta-updating a sum would break the determinism contract), and the
+// ranking is re-selected through a bounded top-k heap with the exact
+// rankTopK order. The result of every incremental evaluation is therefore
+// bit-identical to a from-scratch evaluation of the same window, at every
+// worker count, for all three algorithms.
+//
+// A Monitor either owns a private table (Engine.NewMonitor) or sits on a
+// shared one (Engine.OpenMonitor, Engine.Subscribe): appends to a shared
+// table are announced with Engine.NotifyAppend under the owner's ingest
+// lock, which doubles as the monitor's read barrier — table reads during a
+// rebuild happen under it, so every record is reflected in the monitor's
+// state exactly once. Monitor is safe for concurrent use.
 type Monitor struct {
-	eng    *Engine
-	query  []indoor.SLocID
-	k      int
-	window iupt.Time
-
-	mu       sync.Mutex
+	eng      *Engine
 	table    *iupt.Table
-	observed int
+	query    []indoor.SLocID        // canonical (ascending) query set
+	cells    []indoor.CellID        // parallel to query
+	querySet map[indoor.SLocID]bool // for PSL∩Q pruning in the oracle
+	k        int
+	window   iupt.Time
+	algo     Algorithm
+	barrier  sync.Locker               // serializes table reads with the owner's appends
+	ingest   func([]iupt.Record) error // Observe route for shared tables; nil = private append
+	legacy   bool                      // created via NewMonitor/OpenMonitor: lives until Close
+	id       uint64                    // registry order, for deterministic MonitorStats
+	refs     int                       // live subscriptions; guarded by eng.mons.mu
+	key      *monitorKey               // coalescing key while registered; guarded by eng.mons.mu
 
-	cachedAt    iupt.Time
-	cachedCount int
-	cachedRes   []Result
-	cachedStats Stats
-	cacheValid  bool
+	// pendMu guards the notification mailbox. It is a leaf lock: enqueue runs
+	// under the owner's ingest lock and must never wait on an evaluation.
+	pendMu   sync.Mutex
+	pending  []pendingBatch
+	pendLen  int       // table length already covered by window state + mailbox
+	pendMaxT iupt.Time // latest timestamp sitting in the mailbox
+	observed int
+	wake     chan struct{} // cap 1; kicks the subscription eval loop
+
+	// mu guards the window state, results and subscriber set.
+	mu       sync.Mutex
+	built    bool
+	ts, te   iupt.Time
+	covered  int // table record count the window state reflects
+	seqs     map[iupt.ObjectID]iupt.Sequence
+	sums     map[iupt.ObjectID]*ObjectSummary // nil = pruned by PSL∩Q
+	oids     []iupt.ObjectID                  // ascending; the keys of seqs
+	results  []Result
+	stats    Stats
+	seq      uint64 // update sequence number, bumped per pushed change
+	subs     map[int]*Subscription
+	nextSub  int
+	loopStop chan struct{} // non-nil while the eval loop runs
+	closed   bool
+
+	evals      int64 // incremental evaluations performed
+	dirtyTotal int64 // object summaries recomputed across them
+	pushed     int64 // ranking changes delivered to subscribers
 }
 
-// NewMonitor creates a continuous monitor over the query set with a
-// sliding window of the given length (seconds).
+// pendingBatch is one announced append: the records and the table length
+// after them. lenAfter is assigned under the owner's ingest lock, so batches
+// cover disjoint, contiguous, monotonically increasing table ranges — which
+// is what lets the mailbox dedupe against table snapshots exactly.
+type pendingBatch struct {
+	recs     []iupt.Record
+	lenAfter int
+}
+
+// MonitorConfig opens a Monitor over a shared table (see Engine.OpenMonitor).
+type MonitorConfig struct {
+	// Table is the table the monitor watches. Required.
+	Table *iupt.Table
+	// Barrier serializes the monitor's table reads with the owner's append
+	// path; appends and their NotifyAppend announcement must happen under it.
+	// nil selects a private mutex (correct only if all appends flow through
+	// Observe).
+	Barrier sync.Locker
+	// Ingest, when set, is where Observe routes records (e.g. System.Ingest,
+	// so observed records are WAL-durable and visible to queries). The
+	// function must append to Table and announce via Engine.NotifyAppend.
+	// nil makes Observe append to Table directly.
+	Ingest func([]iupt.Record) error
+}
+
+// NewMonitor creates a continuous monitor over the query set with a sliding
+// window of the given length (seconds), backed by a private table: only
+// records fed through Observe are visible to it.
+//
+// Deprecated: private-table monitors predate the shared-table incremental
+// engine. Open a monitor on the live table with Engine.OpenMonitor, or
+// stream ranking changes with Engine.Subscribe; Observe/Current keep working
+// on both.
 func (e *Engine) NewMonitor(query []indoor.SLocID, k int, window iupt.Time) (*Monitor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: monitor k must be positive, got %d", k)
-	}
-	if len(query) == 0 {
-		return nil, fmt.Errorf("core: monitor query set empty")
+	return e.OpenMonitor(MonitorConfig{Table: iupt.NewTable()}, query, k, window)
+}
+
+// OpenMonitor creates a continuous monitor over cfg.Table. The monitor is
+// registered for Engine.NotifyAppend dispatch and evaluates incrementally;
+// it holds its registration until Close.
+func (e *Engine) OpenMonitor(cfg MonitorConfig, query []indoor.SLocID, k int, window iupt.Time) (*Monitor, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("core: monitor needs a table")
 	}
 	if window <= 0 {
 		return nil, fmt.Errorf("core: monitor window must be positive, got %d", window)
 	}
-	for _, s := range query {
-		if int(s) < 0 || int(s) >= e.space.NumSLocations() {
-			return nil, fmt.Errorf("core: unknown S-location %d", s)
-		}
+	k, err := e.validateTopK(query, k)
+	if err != nil {
+		return nil, err
 	}
-	return &Monitor{
-		eng:    e,
-		query:  append([]indoor.SLocID(nil), query...),
-		k:      k,
-		window: window,
-		table:  iupt.NewTable(),
-	}, nil
+	m := e.newMonitor(cfg, canonicalSLocs(query), k, window, AlgoBestFirst)
+	m.legacy = true
+	e.mons.register(m, nil)
+	return m, nil
+}
+
+// newMonitor assembles a monitor; query must be canonical and validated.
+func (e *Engine) newMonitor(cfg MonitorConfig, query []indoor.SLocID, k int, window iupt.Time, algo Algorithm) *Monitor {
+	m := &Monitor{
+		eng:      e,
+		table:    cfg.Table,
+		query:    query,
+		cells:    make([]indoor.CellID, len(query)),
+		querySet: make(map[indoor.SLocID]bool, len(query)),
+		k:        k,
+		window:   window,
+		algo:     algo,
+		barrier:  cfg.Barrier,
+		ingest:   cfg.Ingest,
+		wake:     make(chan struct{}, 1),
+		subs:     make(map[int]*Subscription),
+	}
+	if m.barrier == nil {
+		m.barrier = &sync.Mutex{}
+	}
+	for i, s := range query {
+		m.cells[i] = e.space.CellOfSLoc(s)
+		m.querySet[s] = true
+	}
+	return m
 }
 
 // Observe ingests one positioning record. Records may arrive out of order.
-// Observing a record invalidates both the monitor's cached top-k result and
-// the engine's cached presence summaries for the record's object — windows
-// that now see different data for the object must recompute it, while other
-// objects' cached work keeps serving overlapping-window queries.
+// On a shared-table monitor the record flows through the owner's ingest path
+// (so it is validated, persisted and announced exactly like any other
+// ingest); on a private-table monitor it is validated, appended and
+// announced locally. Either way the engine's cached presence summaries for
+// the record's object are invalidated — windows that now see different data
+// for the object must recompute it, while other objects' cached work keeps
+// serving overlapping-window evaluations.
+//
+// Deprecated: Observe remains for the poll-style Monitor API. New code
+// should ingest through the table owner (e.g. System.Ingest) and consume
+// ranking changes via Subscribe.
 func (m *Monitor) Observe(rec iupt.Record) error {
+	if m.ingest != nil {
+		return m.ingest([]iupt.Record{rec})
+	}
 	if err := rec.Samples.Validate(); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.barrier.Lock()
 	m.table.Append(rec)
-	m.observed++
-	m.cacheValid = false
+	m.enqueue([]iupt.Record{rec}, m.table.Len())
+	m.barrier.Unlock()
 	m.eng.InvalidateObject(rec.OID)
 	return nil
 }
 
-// ObserveBatch ingests many records at once.
+// ObserveBatch ingests many records at once (one owner-ingest batch on a
+// shared-table monitor).
+//
+// Deprecated: see Observe.
 func (m *Monitor) ObserveBatch(recs []iupt.Record) error {
+	if m.ingest != nil {
+		return m.ingest(recs)
+	}
 	for _, rec := range recs {
 		if err := m.Observe(rec); err != nil {
 			return err
@@ -91,37 +211,330 @@ func (m *Monitor) ObserveBatch(recs []iupt.Record) error {
 	return nil
 }
 
-// Observed returns the number of records ingested so far.
+// enqueue files one announced append into the mailbox. Must run under the
+// monitor's barrier (the owner's ingest lock), which makes the lenAfter
+// dedupe exact: a batch whose range is already covered by the last table
+// snapshot the monitor read — or by an earlier mailbox entry — is dropped.
+func (m *Monitor) enqueue(recs []iupt.Record, lenAfter int) {
+	m.pendMu.Lock()
+	if lenAfter <= m.pendLen {
+		m.pendMu.Unlock()
+		return
+	}
+	m.pending = append(m.pending, pendingBatch{recs: recs, lenAfter: lenAfter})
+	m.pendLen = lenAfter
+	m.observed += len(recs)
+	for _, rec := range recs {
+		if rec.T > m.pendMaxT {
+			m.pendMaxT = rec.T
+		}
+	}
+	m.pendMu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Observed returns the number of records announced to the monitor so far
+// (its own Observes plus, on a shared table, every other ingest since the
+// monitor attached).
 func (m *Monitor) Observed() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.pendMu.Lock()
+	defer m.pendMu.Unlock()
 	return m.observed
 }
 
 // Window returns the sliding-window length.
 func (m *Monitor) Window() iupt.Time { return m.window }
 
-// Current evaluates the top-k over the window [now-window, now]. Repeated
-// calls with the same `now` and no interleaved Observe return the cached
-// result.
+// Close releases the monitor: it stops the subscription eval loop, closes
+// every remaining subscription and deregisters from the engine, so later
+// ingests no longer reach it. Idempotent. Monitors handed out by Subscribe
+// close themselves when their last subscription does; explicitly created
+// monitors (NewMonitor, OpenMonitor) should be closed when done.
+func (m *Monitor) Close() {
+	m.eng.mons.drop(m)
+	m.shutdown()
+}
+
+// shutdown stops the loop and closes subscribers; deregistration is the
+// caller's concern (registry callbacks arrive here already deregistered).
+func (m *Monitor) shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	if m.loopStop != nil {
+		close(m.loopStop)
+		m.loopStop = nil
+	}
+	subs := make([]*Subscription, 0, len(m.subs))
+	for _, sub := range m.subs {
+		subs = append(subs, sub)
+	}
+	m.subs = make(map[int]*Subscription)
+	for _, sub := range subs {
+		close(sub.ch)
+	}
+	m.mu.Unlock()
+	for _, sub := range subs {
+		sub.markDone()
+	}
+}
+
+// Current evaluates the top-k over the window [now-window, now],
+// incrementally against the monitor's retained state. Repeated calls with
+// the same now and no interleaved ingest return the retained result without
+// recomputing anything. The answer is bit-identical to a from-scratch
+// evaluation (any algorithm) of the same window on the monitor's table.
 func (m *Monitor) Current(now iupt.Time) ([]Result, Stats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.cacheValid && m.cachedAt == now && m.cachedCount == m.observed {
-		return append([]Result(nil), m.cachedRes...), m.cachedStats, nil
+	if m.closed {
+		return nil, Stats{}, fmt.Errorf("core: monitor is closed")
 	}
+	m.refreshLocked(now)
+	return append([]Result(nil), m.results...), m.stats, nil
+}
+
+// hasPending reports whether the mailbox holds unprocessed batches.
+func (m *Monitor) hasPending() bool {
+	m.pendMu.Lock()
+	defer m.pendMu.Unlock()
+	return len(m.pending) > 0
+}
+
+// drainPending empties the mailbox. Must run under the barrier so no new
+// batch can slip between the drain and the table read that follows it.
+func (m *Monitor) drainPending() []pendingBatch {
+	m.pendMu.Lock()
+	defer m.pendMu.Unlock()
+	out := m.pending
+	m.pending = nil
+	m.pendMaxT = 0
+	return out
+}
+
+// refreshLocked brings the window state to [now-window, now]. Caller holds
+// m.mu.
+func (m *Monitor) refreshLocked(now iupt.Time) {
 	ts := now - m.window
 	if ts < 0 {
 		ts = 0
 	}
-	res, stats, err := m.eng.TopK(m.table, m.query, m.k, ts, now, AlgoBestFirst)
-	if err != nil {
-		return nil, Stats{}, err
+	if m.built && ts == m.ts && now == m.te && !m.hasPending() {
+		return // retained result is current
 	}
-	m.cachedAt = now
-	m.cachedCount = m.observed
-	m.cachedRes = append(m.cachedRes[:0], res...)
-	m.cachedStats = stats
-	m.cacheValid = true
-	return append([]Result(nil), res...), stats, nil
+	if !m.built {
+		m.rebuildLocked(ts, now)
+	} else {
+		m.advanceLocked(ts, now)
+	}
+	m.rerankLocked()
+	m.evals++
+}
+
+// rebuildLocked builds the window state from scratch — the once-per-monitor
+// full pass every later evaluation deltas against.
+func (m *Monitor) rebuildLocked(ts, te iupt.Time) {
+	m.barrier.Lock()
+	m.drainPending() // everything announced so far is in the snapshot below
+	recs := m.table.RecordsInRange(ts, te)
+	m.covered = m.table.Len()
+	m.pendMu.Lock()
+	m.pendLen = m.covered
+	m.pendMu.Unlock()
+	m.barrier.Unlock()
+
+	m.seqs = make(map[iupt.ObjectID]iupt.Sequence)
+	for i := range recs {
+		m.seqs[recs[i].OID] = append(m.seqs[recs[i].OID], iupt.TimedSampleSet{T: recs[i].T, Samples: recs[i].Samples})
+	}
+	m.oids = iupt.SortedObjects(m.seqs)
+	m.sums = make(map[iupt.ObjectID]*ObjectSummary, len(m.seqs))
+	m.ts, m.te, m.built = ts, te, true
+	m.stats = m.recomputeLocked(m.oids)
+}
+
+// advanceLocked slides the window from [m.ts, m.te] to [ts, te] and splices
+// in the mailbox, dirtying only the objects whose visible records changed:
+//
+//   - records leaving the window are a prefix/suffix of their object's
+//     retained sequence (sequences are time-ordered) and are trimmed off;
+//   - records entering the window are fetched with binary search on the
+//     table's sorted snapshot (the window-edge delta intervals) and
+//     prepended/appended in canonical order;
+//   - mailbox records inside the stable region are spliced in at their
+//     canonical position (after retained same-timestamp records — arrival
+//     order, exactly where a fresh stable sort would put them); mailbox
+//     records inside an entering interval are dropped here because the delta
+//     fetch already covers them, and records outside the new window are
+//     dropped because a later slide's delta fetch will find them in the
+//     table.
+//
+// Objects untouched by all three sources keep their sequences — provably
+// equal to a fresh fetch — and their summaries. Only dirty objects are
+// re-reduced and re-summarized.
+func (m *Monitor) advanceLocked(ts, te iupt.Time) {
+	oldTs, oldTe := m.ts, m.te
+	dirty := make(map[iupt.ObjectID]bool)
+
+	m.barrier.Lock()
+	batches := m.drainPending()
+	// Entering intervals: parts of [ts, te] outside [oldTs, oldTe]. The
+	// intervals are discrete (Time is integral), so the boundaries are exact.
+	var entering [][]iupt.Record
+	addEntering := func(lo, hi iupt.Time) {
+		if lo > hi {
+			return
+		}
+		if recs := m.table.RecordsInRange(lo, hi); len(recs) > 0 {
+			entering = append(entering, recs)
+		}
+	}
+	if te < oldTs || ts > oldTe {
+		addEntering(ts, te) // disjoint slide: the whole new window enters
+	} else {
+		addEntering(ts, min(oldTs-1, te))
+		addEntering(max(oldTe+1, ts), te)
+	}
+	m.covered = m.table.Len()
+	m.pendMu.Lock()
+	m.pendLen = m.covered
+	m.pendMu.Unlock()
+	m.barrier.Unlock()
+
+	inEntering := func(t iupt.Time) bool {
+		if t < ts || t > te {
+			return false
+		}
+		return t < oldTs || t > oldTe
+	}
+
+	// Trim leaving records. An object has leaving records only if its
+	// retained sequence sticks out of the new window, so the scan touches
+	// exactly the objects the slide invalidates.
+	if ts > oldTs || te < oldTe {
+		for _, oid := range m.oids {
+			seq := m.seqs[oid]
+			lo, hi := 0, len(seq)
+			for lo < hi && seq[lo].T < ts {
+				lo++
+			}
+			for hi > lo && seq[hi-1].T > te {
+				hi--
+			}
+			if lo == 0 && hi == len(seq) {
+				continue
+			}
+			dirty[oid] = true
+			if lo == hi {
+				delete(m.seqs, oid)
+				continue
+			}
+			m.seqs[oid] = append(iupt.Sequence(nil), seq[lo:hi]...)
+		}
+	}
+
+	// Splice entering records (canonical order within each delta interval).
+	for _, recs := range entering {
+		for i := range recs {
+			oid := recs[i].OID
+			dirty[oid] = true
+			tss := iupt.TimedSampleSet{T: recs[i].T, Samples: recs[i].Samples}
+			m.seqs[oid] = spliceRecord(m.seqs[oid], tss)
+		}
+	}
+
+	// Splice mailbox records that fall in the stable region.
+	for _, b := range batches {
+		for _, rec := range b.recs {
+			if rec.T < ts || rec.T > te || inEntering(rec.T) {
+				continue
+			}
+			dirty[rec.OID] = true
+			m.seqs[rec.OID] = spliceRecord(m.seqs[rec.OID], iupt.TimedSampleSet{T: rec.T, Samples: rec.Samples})
+		}
+	}
+
+	// Refresh the ascending object list and drop state of vanished objects.
+	m.oids = iupt.SortedObjects(m.seqs)
+	dirtyList := make([]iupt.ObjectID, 0, len(dirty))
+	for oid := range dirty {
+		if _, ok := m.seqs[oid]; ok {
+			dirtyList = append(dirtyList, oid)
+		} else {
+			delete(m.sums, oid)
+		}
+	}
+	slices.Sort(dirtyList)
+
+	m.ts, m.te = ts, te
+	m.stats = m.recomputeLocked(dirtyList)
+}
+
+// spliceRecord inserts tss into the time-ordered seq at its canonical
+// position: after every retained entry with the same or earlier timestamp.
+// Announcements arrive in append order, so repeated splices of equal
+// timestamps land in arrival order — exactly the stable-sort order of a
+// fresh fetch.
+func spliceRecord(seq iupt.Sequence, tss iupt.TimedSampleSet) iupt.Sequence {
+	pos := len(seq)
+	for pos > 0 && seq[pos-1].T > tss.T {
+		pos--
+	}
+	seq = append(seq, iupt.TimedSampleSet{})
+	copy(seq[pos+1:], seq[pos:])
+	seq[pos] = tss
+	return seq
+}
+
+// recomputeLocked re-reduces and re-summarizes the dirty objects through the
+// presence oracle (sharded across the worker pool, served from the engine
+// cache where sequences are unchanged in content) and returns the
+// evaluation's stats. Untouched objects keep their summaries.
+func (m *Monitor) recomputeLocked(dirtyList []iupt.ObjectID) Stats {
+	st := Stats{ObjectsTotal: len(m.seqs), Workers: 1}
+	if len(dirtyList) > 0 {
+		dirtySeqs := make(map[iupt.ObjectID]iupt.Sequence, len(dirtyList))
+		for _, oid := range dirtyList {
+			dirtySeqs[oid] = m.seqs[oid]
+		}
+		oracle := newOracle(m.eng, dirtySeqs, m.querySet)
+		// Background ctx: ensure only fails on ctx cancellation.
+		_ = oracle.ensureSummaries(context.Background(), dirtyList)
+		for _, oid := range dirtyList {
+			m.sums[oid] = oracle.summaries[oid]
+		}
+		ost := oracle.finishStats()
+		ost.ObjectsTotal = len(m.seqs)
+		st = ost
+		m.dirtyTotal += int64(len(dirtyList))
+	}
+	return st
+}
+
+// rerankLocked re-accumulates per-location flows over every retained summary
+// in canonical ascending object order — the same additions, in the same
+// order, as a from-scratch evaluation — and re-selects the ranking through
+// the bounded top-k heap. Caller holds m.mu.
+func (m *Monitor) rerankLocked() {
+	flows := make([]float64, len(m.cells))
+	for _, oid := range m.oids {
+		sum := m.sums[oid]
+		if sum == nil {
+			continue // pruned by PSL∩Q: contributes nothing, as everywhere else
+		}
+		for j := range m.cells {
+			flows[j] += sum.Presence(m.cells[j], m.eng.opts.Presence)
+		}
+	}
+	results := make([]Result, len(m.query))
+	for j, s := range m.query {
+		results[j] = Result{SLoc: s, Flow: flows[j]}
+	}
+	m.results = selectTopK(results, m.k)
 }

@@ -215,6 +215,7 @@ type Engine struct {
 	opts  Options
 	cache *summaryCache // nil when Options.DisableCache is set
 	coal  *coalescer    // nil when Options.DisableCoalescing is set
+	mons  *monitorRegistry
 
 	// scratch pools per-worker summarizeScratch arenas so the reduce →
 	// summarize hot path reuses its working memory across objects. A shared
@@ -225,7 +226,7 @@ type Engine struct {
 
 // NewEngine returns an engine for the space with the given options.
 func NewEngine(space *indoor.Space, opts Options) *Engine {
-	e := &Engine{space: space, opts: opts, scratch: &sync.Pool{}}
+	e := &Engine{space: space, opts: opts, scratch: &sync.Pool{}, mons: newMonitorRegistry()}
 	if !opts.DisableCache {
 		e.cache = newSummaryCache(opts.CacheCapacity)
 	}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// bitEqual fails unless two rankings are bitwise identical: same locations,
+// same order, same Float64bits of every flow. This is the incremental
+// engine's contract — not approximate agreement.
+func bitEqual(t *testing.T, ctxMsg string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctxMsg, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].SLoc != want[i].SLoc {
+			t.Fatalf("%s: result %d sloc = %d, want %d", ctxMsg, i, got[i].SLoc, want[i].SLoc)
+		}
+		if math.Float64bits(got[i].Flow) != math.Float64bits(want[i].Flow) {
+			t.Fatalf("%s: result %d (sloc %d) flow = %x, want %x (not bit-identical)",
+				ctxMsg, i, got[i].SLoc, math.Float64bits(got[i].Flow), math.Float64bits(want[i].Flow))
+		}
+	}
+}
+
+// TestSelectTopKMatchesRankTopK: the bounded-heap selection must equal the
+// full sort for every k, including ties.
+func TestSelectTopKMatchesRankTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20) + 1
+		results := make([]Result, n)
+		for i := range results {
+			// Coarse flows so ties are common.
+			results[i] = Result{SLoc: indoor.SLocID(i), Flow: float64(rng.Intn(5))}
+		}
+		k := rng.Intn(n+2) + 1
+		want := rankTopK(append([]Result(nil), results...), k)
+		got := selectTopK(results, k)
+		bitEqual(t, "selectTopK", got, want)
+	}
+}
+
+// TestIncrementalEquivalenceRandom drives a shared-table monitor through
+// random interleavings of out-of-order ingests and forward/backward window
+// slides, checking after every step that Current is bit-identical to a
+// from-scratch evaluation of the same window — for all three algorithms, at
+// multiple worker counts, for both a full ranking and a truncated top-k.
+func TestIncrementalEquivalenceRandom(t *testing.T) {
+	fig := indoor.Figure1Space()
+	for _, workers := range []int{1, 4} {
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			eng := NewEngine(fig.Space, Options{Workers: workers})
+			ref := NewEngine(fig.Space, Options{Workers: 5 - workers}) // cross worker counts
+			tb := iupt.NewTable()
+			var mu sync.Mutex // the owner's ingest lock = monitor barrier
+
+			ingest := func(recs []iupt.Record) {
+				mu.Lock()
+				for _, rec := range recs {
+					tb.Append(rec)
+				}
+				eng.NotifyAppend(tb, recs, tb.Len())
+				mu.Unlock()
+			}
+
+			q := append([]indoor.SLocID(nil), fig.SLocs[:]...)
+			const window = iupt.Time(10)
+			full, err := eng.OpenMonitor(MonitorConfig{Table: tb, Barrier: &mu}, q, len(q), window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer full.Close()
+			top2, err := eng.OpenMonitor(MonitorConfig{Table: tb, Barrier: &mu}, q, 2, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer top2.Close()
+
+			now := iupt.Time(5)
+			plocs := fig.PLocs[:]
+			for step := 0; step < 40; step++ {
+				// Ingest a small batch around (and sometimes well behind or
+				// ahead of) the current horizon, so slides see records
+				// entering, leaving, landing mid-window, and duplicates.
+				if rng.Intn(4) > 0 {
+					batch := make([]iupt.Record, rng.Intn(4)+1)
+					for i := range batch {
+						batch[i] = iupt.Record{
+							OID:     iupt.ObjectID(rng.Intn(5) + 1),
+							T:       max(0, now+iupt.Time(rng.Intn(25)-12)),
+							Samples: randSampleSet(rng, plocs, 4),
+						}
+					}
+					ingest(batch)
+				}
+				// Slide: mostly forward, sometimes backward or jumping.
+				switch rng.Intn(6) {
+				case 0:
+					now = max(0, now-iupt.Time(rng.Intn(8))) // backward
+				case 1:
+					now += iupt.Time(rng.Intn(30)) // long jump (disjoint window)
+				default:
+					now += iupt.Time(rng.Intn(5))
+				}
+
+				gotFull, _, err := full.Current(now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got2, _, err := top2.Current(now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := max(0, now-window)
+				for _, algo := range []Algorithm{AlgoNaive, AlgoNestedLoop, AlgoBestFirst} {
+					want, _, err := ref.TopK(tb, q, len(q), ts, now, algo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bitEqual(t, algo.String()+" full", gotFull, want)
+					bitEqual(t, algo.String()+" top2", got2, want[:2])
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorPrivateTableIncremental: the deprecated private-table monitor
+// (Engine.NewMonitor + Observe) runs on the same incremental engine and must
+// match from-scratch evaluation of its own record stream.
+func TestMonitorPrivateTableIncremental(t *testing.T) {
+	fig := indoor.Figure1Space()
+	rng := rand.New(rand.NewSource(11))
+	eng := NewEngine(fig.Space, Options{Workers: 2})
+	q := append([]indoor.SLocID(nil), fig.SLocs[:]...)
+	m, err := eng.NewMonitor(q, len(q), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	shadow := iupt.NewTable() // reference copy of everything observed
+	ref := NewEngine(fig.Space, Options{Workers: 1})
+	now := iupt.Time(0)
+	for step := 0; step < 30; step++ {
+		rec := iupt.Record{
+			OID:     iupt.ObjectID(rng.Intn(4) + 1),
+			T:       max(0, now+iupt.Time(rng.Intn(10)-3)),
+			Samples: randSampleSet(rng, fig.PLocs[:], 3),
+		}
+		if err := m.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+		shadow.Append(rec)
+		now += iupt.Time(rng.Intn(4))
+
+		got, _, err := m.Current(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ref.TopK(shadow, q, len(q), max(0, now-8), now, AlgoBestFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "private monitor", got, want)
+	}
+}
+
+// TestSubscribeStreamEquivalence subscribes while a writer goroutine ingests
+// concurrently, then replays every received update against a from-scratch
+// evaluation of the update's own window: each pushed ranking must be
+// bit-identical, and sequence numbers must be non-decreasing.
+func TestSubscribeStreamEquivalence(t *testing.T) {
+	fig := indoor.Figure1Space()
+	eng := NewEngine(fig.Space, Options{Workers: 2})
+	tb := iupt.NewTable()
+	var mu sync.Mutex
+
+	q := append([]indoor.SLocID(nil), fig.SLocs[:]...)
+	sub, err := eng.Subscribe(context.Background(), SubscribeConfig{Table: tb, Barrier: &mu},
+		Query{Kind: KindTopK, Algorithm: AlgoBestFirst, K: len(q), Window: 10, SLocs: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	recs := make([]iupt.Record, 60)
+	for i := range recs {
+		recs[i] = iupt.Record{
+			OID:     iupt.ObjectID(rng.Intn(4) + 1),
+			T:       iupt.Time(i/2 + rng.Intn(3)),
+			Samples: randSampleSet(rng, fig.PLocs[:], 3),
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < len(recs); i += 3 {
+			batch := recs[i:min(i+3, len(recs))]
+			mu.Lock()
+			for _, rec := range batch {
+				tb.Append(rec)
+			}
+			eng.NotifyAppend(tb, batch, tb.Len())
+			mu.Unlock()
+		}
+	}()
+	<-done
+	// The writer is finished; wait for the feed to quiesce at the final
+	// horizon, then close and drain.
+	final := iupt.Time(0)
+	for _, rec := range recs {
+		if rec.T > final {
+			final = rec.T
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		stats := eng.MonitorStats()
+		mu.Unlock()
+		if len(stats) == 1 && stats[0].Observed == len(recs) && stats[0].Evals > 0 {
+			// All records announced; one more beat lets the loop finish the
+			// last evaluation before we stop it.
+			time.Sleep(10 * time.Millisecond)
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("subscription never caught up with the writer")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	sub.Close()
+
+	// Replay: each update declares the table prefix it covered (Records), so
+	// it must be bit-identical to a from-scratch evaluation of its own window
+	// over exactly that prefix — for all three algorithms.
+	ref := NewEngine(fig.Space, Options{Workers: 3})
+	var lastSeq uint64
+	var lastUpdate *Update
+	n := 0
+	for u := range sub.Updates() {
+		if u.Seq < lastSeq {
+			t.Fatalf("update seq went backward: %d after %d", u.Seq, lastSeq)
+		}
+		lastSeq = u.Seq
+		if u.Records < 0 || u.Records > len(recs) {
+			t.Fatalf("update covers %d records, table has %d", u.Records, len(recs))
+		}
+		prefix := iupt.NewTable()
+		for _, rec := range recs[:u.Records] {
+			prefix.Append(rec)
+		}
+		for _, algo := range []Algorithm{AlgoNaive, AlgoNestedLoop, AlgoBestFirst} {
+			want, _, err := ref.TopK(prefix, q, len(q), u.Ts, u.Te, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitEqual(t, "subscribe update "+algo.String(), u.Results, want)
+		}
+		cp := u
+		lastUpdate = &cp
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no updates received (expected at least the initial snapshot)")
+	}
+	if lastUpdate.Te != final {
+		t.Errorf("final update window ends at %d, want %d", lastUpdate.Te, final)
+	}
+	select {
+	case <-sub.Done():
+	default:
+		t.Error("Done not closed after Close")
+	}
+}
+
+// TestSubscribeCoalescing: identical subscriptions share one monitor;
+// differing parameters or DisableCoalescing do not; the monitor dies with
+// its last subscription.
+func TestSubscribeCoalescing(t *testing.T) {
+	fig := indoor.Figure1Space()
+	eng := NewEngine(fig.Space, Options{})
+	tb := iupt.NewTable()
+	var mu sync.Mutex
+	cfg := SubscribeConfig{Table: tb, Barrier: &mu}
+	q := Query{Kind: KindTopK, Algorithm: AlgoBestFirst, K: 3, Window: 10, SLocs: fig.SLocs[:]}
+
+	a, err := eng.Subscribe(context.Background(), cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Subscribe(context.Background(), cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.MonitorStats(); len(st) != 1 || st[0].Subscribers != 2 {
+		t.Fatalf("identical subscriptions: got %+v, want one monitor with 2 subscribers", st)
+	}
+
+	wide := q
+	wide.Window = 20
+	c, err := eng.Subscribe(context.Background(), cfg, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private := q
+	private.DisableCoalescing = true
+	d, err := eng.Subscribe(context.Background(), cfg, private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.MonitorStats(); len(st) != 3 {
+		t.Fatalf("got %d monitors, want 3 (shared, wide, private)", len(st))
+	}
+
+	for _, sub := range []*Subscription{a, b, c, d} {
+		sub.Close()
+	}
+	if st := eng.MonitorStats(); len(st) != 0 {
+		t.Fatalf("after closing all subscriptions: %d monitors remain", len(st))
+	}
+
+	// Invalid subscriptions are rejected up front.
+	if _, err := eng.Subscribe(context.Background(), cfg, Query{Kind: KindTopK, K: 3, SLocs: fig.SLocs[:]}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := eng.Subscribe(context.Background(), cfg, Query{Kind: KindFlow, Window: 5, K: 1, SLocs: fig.SLocs[:1]}); err == nil {
+		t.Error("non-topk kind accepted")
+	}
+	if _, err := eng.Subscribe(context.Background(), SubscribeConfig{Barrier: &mu}, q); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+// TestSubscriptionCtxCancel: canceling the subscribing context closes the
+// feed like Close.
+func TestSubscriptionCtxCancel(t *testing.T) {
+	fig := indoor.Figure1Space()
+	eng := NewEngine(fig.Space, Options{})
+	tb := iupt.NewTable()
+	var mu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	sub, err := eng.Subscribe(ctx, SubscribeConfig{Table: tb, Barrier: &mu},
+		Query{Kind: KindTopK, Algorithm: AlgoBestFirst, K: 3, Window: 10, SLocs: fig.SLocs[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done not closed after context cancellation")
+	}
+	for range sub.Updates() {
+	} // must terminate: channel closed
+	if st := eng.MonitorStats(); len(st) != 0 {
+		t.Fatalf("monitor survived context cancellation: %+v", st)
+	}
+}
+
+// TestSubscriptionSlowConsumer: a subscriber that never reads loses oldest
+// updates to conflation — bounded buffer, Dropped counted, evaluation never
+// blocked.
+func TestSubscriptionSlowConsumer(t *testing.T) {
+	fig := indoor.Figure1Space()
+	eng := NewEngine(fig.Space, Options{Workers: 1})
+	tb := iupt.NewTable()
+	var mu sync.Mutex
+	sub, err := eng.Subscribe(context.Background(), SubscribeConfig{Table: tb, Barrier: &mu},
+		Query{Kind: KindTopK, Algorithm: AlgoBestFirst, K: len(fig.SLocs), Window: 1000, SLocs: fig.SLocs[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Far more ranking changes than the buffer holds: each record lands in a
+	// fresh location pattern, so flows keep changing.
+	rng := rand.New(rand.NewSource(5))
+	deadline := time.After(10 * time.Second)
+	for i := 0; sub.Dropped() == 0; i++ {
+		rec := iupt.Record{
+			OID:     iupt.ObjectID(i%3 + 1),
+			T:       iupt.Time(i),
+			Samples: randSampleSet(rng, fig.PLocs[:], 3),
+		}
+		mu.Lock()
+		tb.Append(rec)
+		eng.NotifyAppend(tb, []iupt.Record{rec}, tb.Len())
+		mu.Unlock()
+		select {
+		case <-deadline:
+			t.Fatal("no conflation after sustained unread updates")
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The newest buffered update must carry the conflation count.
+	u := <-sub.Updates()
+	if u.Seq == 0 {
+		t.Error("buffered update has zero seq")
+	}
+}

@@ -51,8 +51,14 @@ type Query struct {
 	// K is the result count for KindTopK and KindDensity, clamped to
 	// len(SLocs); it must be positive.
 	K int
-	// Ts and Te bound the query window [Ts, Te].
+	// Ts and Te bound the query window [Ts, Te]. Ignored by Subscribe,
+	// which slides its window with the data (see Window).
 	Ts, Te iupt.Time
+	// Window is the sliding-window length of an Engine.Subscribe query: each
+	// update covers [now-Window, now] where now is the latest record
+	// timestamp seen. Required (positive) for Subscribe; ignored by Do and
+	// DoBatch, whose windows are the explicit [Ts, Te].
+	Window iupt.Time
 	// SLocs is the query set. KindFlow and KindPresence require exactly one
 	// entry; KindTopK and KindDensity require a non-empty duplicate-free set.
 	SLocs []indoor.SLocID

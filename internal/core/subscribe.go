@@ -1,0 +1,538 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// subscriptionBuffer is the per-subscription channel capacity. A consumer
+// that falls further behind loses the *oldest* buffered updates first (each
+// Update carries the full current ranking, so the newest one supersedes
+// everything dropped; Update.Dropped reports the loss).
+const subscriptionBuffer = 16
+
+// Update is one pushed change of a subscribed ranking: the full top-k over
+// the window [Ts, Te], sent whenever the ranking or any flow changes (and
+// once on subscription, as the initial snapshot). Results are bit-identical
+// to a from-scratch TkPLQ evaluation of the same window.
+type Update struct {
+	// Seq numbers the monitor's pushed changes, starting at 1; the initial
+	// snapshot repeats the monitor's current number (0 if nothing has been
+	// pushed yet). Gaps in the sequence observed by a subscriber correspond
+	// exactly to its conflated (dropped) updates.
+	Seq uint64
+	// Ts and Te are the evaluated window, [Te-Window, Te] clamped at 0.
+	Te iupt.Time
+	Ts iupt.Time
+	// Results is the current top-k ranking.
+	Results []Result
+	// Records is the table record count this evaluation reflects: the update
+	// is bit-identical to a from-scratch evaluation of [Ts, Te] over the
+	// table's first Records records (in arrival order).
+	Records int
+	// Stats describes the incremental evaluation that produced this update:
+	// ObjectsTotal counts the objects retained in the window,
+	// ObjectsComputed only those whose summaries had to be recomputed.
+	Stats Stats
+	// Dropped is the total number of updates this subscription has lost to
+	// conflation so far (slow consumer; see subscriptionBuffer).
+	Dropped int64
+}
+
+// Subscription is a live feed of ranking changes, created by
+// Engine.Subscribe. Receive from Updates until it is closed; Close (or
+// cancellation of the subscribing context) releases the feed. When the last
+// subscription of a coalesced monitor closes, the monitor itself shuts down.
+type Subscription struct {
+	mon  *Monitor
+	id   int
+	ch   chan Update
+	done chan struct{}
+	once sync.Once
+
+	dropped int64 // guarded by mon.mu
+}
+
+// Updates returns the feed channel. It is closed when the subscription ends
+// (Close, context cancellation, or monitor shutdown).
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Done is closed when the subscription has fully ended.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Dropped returns the number of updates lost to conflation so far.
+func (s *Subscription) Dropped() int64 {
+	s.mon.mu.Lock()
+	defer s.mon.mu.Unlock()
+	return s.dropped
+}
+
+// Close ends the subscription: the Updates channel is closed and the
+// monitor's reference count drops, shutting the monitor down if this was its
+// last subscriber. Idempotent and safe to call concurrently with delivery.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.mon.detachSub(s)
+		close(s.done)
+		s.mon.eng.mons.release(s.mon)
+	})
+}
+
+// markDone closes the done channel when the monitor shuts down underneath
+// the subscription (engine-initiated teardown rather than subscriber Close).
+func (s *Subscription) markDone() {
+	s.once.Do(func() { close(s.done) })
+}
+
+// push delivers an update, conflating when the subscriber lags: the oldest
+// buffered update is discarded to make room, never the newest. Runs under
+// mon.mu — the same lock that closes s.ch — so it never sends on a closed
+// channel, and delivery order matches evaluation order.
+func (s *Subscription) push(u Update) {
+	u.Dropped = s.dropped
+	for {
+		select {
+		case s.ch <- u:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped++
+			u.Dropped = s.dropped
+		default:
+			// The consumer drained the buffer between our two selects; retry
+			// the send.
+		}
+	}
+}
+
+// SubscribeConfig tells Engine.Subscribe which table to watch and how its
+// reads are serialized; see MonitorConfig for the field semantics.
+type SubscribeConfig struct {
+	Table   *iupt.Table
+	Barrier sync.Locker
+}
+
+// Subscribe opens a live feed of the query's top-k ranking over cfg.Table.
+// The query's Window (required, positive) slides with the data: every
+// ingested batch announced via NotifyAppend triggers an incremental
+// re-evaluation over [maxT-Window, maxT], and an Update is pushed whenever
+// the ranking or any flow differs — bitwise — from the previous one. A new
+// subscription receives the current ranking immediately as its first update.
+//
+// Identical subscriptions (same table, query set, K, Window, Algorithm and
+// evaluation-changing overrides) coalesce onto one shared monitor: one
+// incremental evaluation feeds any number of subscribers.
+// Query.DisableCoalescing opts a subscription out into a private monitor.
+// Query.Ts and Query.Te are ignored.
+//
+// Canceling ctx closes the subscription exactly like Close. The returned
+// subscription never blocks evaluation: a slow consumer loses old updates to
+// conflation (Update.Dropped), never delays the monitor or its peers.
+func (e *Engine) Subscribe(ctx context.Context, cfg SubscribeConfig, q Query) (*Subscription, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("core: nil table")
+	}
+	if q.Kind != KindTopK {
+		return nil, fmt.Errorf("core: subscribe supports top-k queries only, got %s", q.Kind)
+	}
+	if q.Window <= 0 {
+		return nil, fmt.Errorf("core: subscribe window must be positive, got %d", q.Window)
+	}
+	if q.Algorithm != AlgoNaive && q.Algorithm != AlgoNestedLoop && q.Algorithm != AlgoBestFirst {
+		return nil, fmt.Errorf("core: unknown algorithm %d", q.Algorithm)
+	}
+	k, err := e.validateTopK(q.SLocs, q.K)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ev := e.view(q)
+	canon := canonicalSLocs(q.SLocs)
+	key := monitorKey{
+		table:   cfg.Table,
+		k:       k,
+		window:  q.Window,
+		algo:    q.Algorithm,
+		workers: ev.opts.workerCount(),
+		nocache: q.DisableCache,
+		qLen:    len(canon),
+		qHash:   slocHash(canon),
+	}
+
+	var sub *Subscription
+	for sub == nil {
+		m := e.mons.acquire(ev, cfg, q, key, canon, k)
+		// attach only fails when the monitor shut down between acquire and
+		// here, which the acquired reference prevents; the loop is belt and
+		// braces.
+		sub = m.attach()
+		if sub == nil {
+			e.mons.release(m)
+		}
+	}
+	sub.mon.sendSnapshot(sub)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sub.Close()
+		case <-sub.done:
+		}
+	}()
+	return sub, nil
+}
+
+// attach registers a new subscription on the monitor and starts its eval
+// loop if this is the first one. Returns nil if the monitor is closed.
+func (m *Monitor) attach() *Subscription {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	sub := &Subscription{
+		mon:  m,
+		id:   m.nextSub,
+		ch:   make(chan Update, subscriptionBuffer),
+		done: make(chan struct{}),
+	}
+	m.nextSub++
+	m.subs[sub.id] = sub
+	if m.loopStop == nil {
+		m.loopStop = make(chan struct{})
+		go m.evalLoop(m.loopStop)
+	}
+	return sub
+}
+
+// detachSub removes the subscription and closes its channel (under m.mu, so
+// no push can race the close). No-op if the monitor already detached it.
+func (m *Monitor) detachSub(s *Subscription) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.subs[s.id]; !ok {
+		return
+	}
+	delete(m.subs, s.id)
+	close(s.ch)
+}
+
+// sendSnapshot evaluates the current window and delivers it to one (new)
+// subscriber, without bumping the change sequence.
+func (m *Monitor) sendSnapshot(s *Subscription) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if _, ok := m.subs[s.id]; !ok {
+		return
+	}
+	m.refreshLocked(m.clock())
+	s.push(m.updateLocked())
+}
+
+// clock returns the evaluation horizon: the latest record timestamp the
+// monitor knows about — window end so far, mailbox maximum, or (before the
+// first build) the table's upper time bound.
+func (m *Monitor) clock() iupt.Time {
+	now := m.te
+	if !m.built {
+		if _, hi, ok := m.table.TimeSpan(); ok {
+			now = hi
+		}
+	}
+	m.pendMu.Lock()
+	if m.pendMaxT > now {
+		now = m.pendMaxT
+	}
+	m.pendMu.Unlock()
+	return now
+}
+
+// updateLocked assembles an Update from the monitor's current state.
+func (m *Monitor) updateLocked() Update {
+	return Update{
+		Seq:     m.seq,
+		Ts:      m.ts,
+		Te:      m.te,
+		Results: append([]Result(nil), m.results...),
+		Records: m.covered,
+		Stats:   m.stats,
+	}
+}
+
+// evalLoop is the monitor's single evaluation goroutine: it wakes on every
+// announced ingest, re-evaluates incrementally, and pushes an update iff the
+// ranking changed. It runs while the monitor has subscribers.
+func (m *Monitor) evalLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-m.wake:
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		m.evalAndPushLocked()
+		m.mu.Unlock()
+	}
+}
+
+// evalAndPushLocked re-evaluates at the current horizon and pushes an update
+// to every subscriber iff the results changed bitwise.
+func (m *Monitor) evalAndPushLocked() {
+	prev := m.results
+	prevBuilt := m.built
+	m.refreshLocked(m.clock())
+	if prevBuilt && resultsEqual(prev, m.results) {
+		return
+	}
+	m.seq++
+	u := m.updateLocked()
+	for _, sub := range m.subs {
+		sub.push(u)
+	}
+	m.pushed++
+}
+
+// resultsEqual reports whether two rankings are bitwise identical: same
+// locations, same order, same flow bits. NaN flows compare equal to
+// themselves, so a pathological ranking does not push forever.
+func resultsEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].SLoc != b[i].SLoc || math.Float64bits(a[i].Flow) != math.Float64bits(b[i].Flow) {
+			return false
+		}
+	}
+	return true
+}
+
+// NotifyAppend announces records appended to a shared table to every monitor
+// watching it. Call it after the append, under the same lock that serializes
+// the monitors' table reads (MonitorConfig.Barrier) — that ordering is what
+// makes delivery exactly-once: a monitor either reads the records from the
+// table inside a rebuild snapshot (and the announcement dedupes against
+// lenAfter), or receives them here, never both, never neither. lenAfter is
+// the table's record count after the append.
+func (e *Engine) NotifyAppend(table *iupt.Table, recs []iupt.Record, lenAfter int) {
+	e.mons.notify(table, recs, lenAfter)
+}
+
+// MonitorStat describes one live monitor for introspection (e.g. a server
+// stats endpoint).
+type MonitorStat struct {
+	// Query is the canonical (ascending) query set.
+	Query []indoor.SLocID
+	// K and Window echo the monitor's parameters.
+	K      int
+	Window iupt.Time
+	// Algorithm is the requested search algorithm (informational: the
+	// incremental engine produces bit-identical results for all three).
+	Algorithm Algorithm
+	// Subscribers is the number of live subscriptions coalesced onto this
+	// monitor; 0 for poll-style monitors.
+	Subscribers int
+	// Evals counts incremental evaluations; DirtyObjects the object
+	// summaries recomputed across them (DirtyObjects/Evals is the average
+	// incremental write amplification).
+	Evals        int64
+	DirtyObjects int64
+	// Updates counts pushed ranking changes; Observed records announced.
+	Updates  int64
+	Observed int
+	// Legacy marks monitors created through NewMonitor/OpenMonitor rather
+	// than Subscribe.
+	Legacy bool
+}
+
+// MonitorStats reports every live monitor on this engine, in creation order.
+func (e *Engine) MonitorStats() []MonitorStat {
+	return e.mons.statsAll()
+}
+
+// monitorKey identifies subscriptions that may share one monitor. The query
+// set itself is captured as (length, order-independent hash) and verified
+// element-wise on lookup — a hash collision falls back to a private monitor,
+// never to a wrong coalescing.
+type monitorKey struct {
+	table   *iupt.Table
+	k       int
+	window  iupt.Time
+	algo    Algorithm
+	workers int
+	nocache bool
+	qLen    int
+	qHash   uint64
+}
+
+// monitorRegistry tracks the engine's live monitors: coalescable ones by
+// key, and all of them by table for NotifyAppend dispatch. It is shared by
+// every per-query engine view (a pointer field on Engine, like the cache and
+// the coalescer).
+type monitorRegistry struct {
+	mu     sync.Mutex
+	byKey  map[monitorKey]*Monitor
+	byTab  map[*iupt.Table]map[*Monitor]bool
+	nextID uint64
+}
+
+func newMonitorRegistry() *monitorRegistry {
+	return &monitorRegistry{
+		byKey: make(map[monitorKey]*Monitor),
+		byTab: make(map[*iupt.Table]map[*Monitor]bool),
+	}
+}
+
+// acquire returns the coalesced monitor for key with its reference count
+// bumped, creating and registering it on first use. Subscriptions that must
+// not coalesce (DisableCoalescing, or a hash-collided key) get a private
+// monitor, registered for notification dispatch but not by key.
+func (r *monitorRegistry) acquire(ev *Engine, cfg SubscribeConfig, q Query, key monitorKey, canon []indoor.SLocID, k int) *Monitor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	coalesce := !q.DisableCoalescing
+	if coalesce {
+		if m, ok := r.byKey[key]; ok {
+			if slocsEqual(m.query, canon) {
+				m.refs++
+				return m
+			}
+			coalesce = false // hash collision: never share across query sets
+		}
+	}
+	m := ev.newMonitor(MonitorConfig{Table: cfg.Table, Barrier: cfg.Barrier}, canon, k, q.Window, q.Algorithm)
+	m.refs = 1
+	r.registerLocked(m)
+	if coalesce {
+		r.byKey[key] = m
+		m.key = &key
+	}
+	return m
+}
+
+// release drops one reference; the last one deregisters the monitor and
+// shuts it down. Poll-style monitors (legacy) are unaffected — they live
+// until their own Close.
+func (r *monitorRegistry) release(m *Monitor) {
+	r.mu.Lock()
+	if m.refs > 0 {
+		m.refs--
+	}
+	dead := m.refs == 0 && !m.legacy
+	if dead {
+		r.removeLocked(m)
+	}
+	r.mu.Unlock()
+	if dead {
+		m.shutdown()
+	}
+}
+
+// register adds a monitor for notification dispatch (and, with a key, for
+// coalescing — unused by OpenMonitor, which registers keyless).
+func (r *monitorRegistry) register(m *Monitor, key *monitorKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerLocked(m)
+	if key != nil {
+		r.byKey[*key] = m
+		m.key = key
+	}
+}
+
+func (r *monitorRegistry) registerLocked(m *Monitor) {
+	r.nextID++
+	m.id = r.nextID
+	tabs := r.byTab[m.table]
+	if tabs == nil {
+		tabs = make(map[*Monitor]bool)
+		r.byTab[m.table] = tabs
+	}
+	tabs[m] = true
+}
+
+// drop deregisters a monitor (legacy Close path).
+func (r *monitorRegistry) drop(m *Monitor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeLocked(m)
+}
+
+func (r *monitorRegistry) removeLocked(m *Monitor) {
+	if m.key != nil {
+		if r.byKey[*m.key] == m {
+			delete(r.byKey, *m.key)
+		}
+		m.key = nil
+	}
+	if tabs := r.byTab[m.table]; tabs != nil {
+		delete(tabs, m)
+		if len(tabs) == 0 {
+			delete(r.byTab, m.table)
+		}
+	}
+}
+
+// notify fans an announced append out to the table's monitors. The monitor
+// set is snapshotted under the registry lock and the mailbox enqueues happen
+// outside it; the caller holds the table's ingest lock throughout, which is
+// what keeps announcements ordered and exactly-once per monitor.
+func (r *monitorRegistry) notify(table *iupt.Table, recs []iupt.Record, lenAfter int) {
+	r.mu.Lock()
+	mons := make([]*Monitor, 0, len(r.byTab[table]))
+	for m := range r.byTab[table] {
+		mons = append(mons, m)
+	}
+	r.mu.Unlock()
+	for _, m := range mons {
+		m.enqueue(recs, lenAfter)
+	}
+}
+
+// statsAll snapshots every live monitor's counters in creation order.
+func (r *monitorRegistry) statsAll() []MonitorStat {
+	r.mu.Lock()
+	mons := make([]*Monitor, 0)
+	for _, tabs := range r.byTab {
+		for m := range tabs {
+			mons = append(mons, m)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(mons, func(i, j int) bool { return mons[i].id < mons[j].id })
+	out := make([]MonitorStat, 0, len(mons))
+	for _, m := range mons {
+		m.mu.Lock()
+		st := MonitorStat{
+			Query:        append([]indoor.SLocID(nil), m.query...),
+			K:            m.k,
+			Window:       m.window,
+			Algorithm:    m.algo,
+			Subscribers:  len(m.subs),
+			Evals:        m.evals,
+			DirtyObjects: m.dirtyTotal,
+			Updates:      m.pushed,
+			Legacy:       m.legacy,
+		}
+		m.mu.Unlock()
+		st.Observed = m.Observed()
+		out = append(out, st)
+	}
+	return out
+}

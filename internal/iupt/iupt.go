@@ -294,6 +294,40 @@ func (t *Table) SortedRecords() []Record {
 	return t.sortedRecords()
 }
 
+// RecordsInRange returns the records with ts <= T <= te as a subslice of the
+// canonical time-sorted snapshot (see SortedRecords): records appear in
+// stable time order, same-timestamp records in arrival order. The bounds are
+// found by binary search, so the call is O(log n) plus the cost of the lazy
+// sort when records arrived out of order since the last read. The returned
+// slice is immutable — later appends and re-sorts never mutate its backing
+// array — which makes it the window-delta primitive of the incremental
+// Monitor: the records entering or leaving a sliding window are exactly the
+// RecordsInRange of the window-edge delta intervals, in the same canonical
+// order a from-scratch evaluation would visit them. An empty interval
+// (te < ts) yields an empty slice.
+func (t *Table) RecordsInRange(ts, te Time) []Record {
+	recs := t.sortedRecords()
+	// lo: first index with T >= ts; hi: first index with T > te. Comparing
+	// against the bound directly (rather than bound±1) avoids Time overflow
+	// at the extremes.
+	lo, _ := slices.BinarySearchFunc(recs, ts, func(r Record, bound Time) int {
+		if r.T < bound {
+			return -1
+		}
+		return 1
+	})
+	hi, _ := slices.BinarySearchFunc(recs, te, func(r Record, bound Time) int {
+		if r.T <= bound {
+			return -1
+		}
+		return 1
+	})
+	if hi < lo {
+		hi = lo
+	}
+	return recs[lo:hi]
+}
+
 // snapshot returns a consistent (records, index) pair for query evaluation.
 func (t *Table) snapshot() ([]Record, *rtree.IntervalIndex[int32]) {
 	t.mu.Lock()

@@ -1,10 +1,8 @@
 package iupt
 
 import (
-	"cmp"
 	"context"
 	"slices"
-	"sync"
 )
 
 // This file provides the shard-aware iteration primitives the concurrent
@@ -55,57 +53,28 @@ func ShardObjects(oids []ObjectID, n int) [][]ObjectID {
 	return shards
 }
 
-// SequencesInRangeSharded is SequencesInRange with the per-object sequence
-// sorting sharded across up to workers goroutines. The output is identical
-// to SequencesInRange for every worker count (each object's sort is
-// independent and deterministic); workers <= 1 stays on the calling
-// goroutine. A canceled ctx aborts the scan and sort promptly and returns
-// ctx.Err() — the scan checks the context between record batches, the sort
-// between objects — so a canceled query never pays for a large window.
+// SequencesInRangeSharded is the context-aware form of SequencesInRange. It
+// builds the per-object sequences with one ordered pass over the canonical
+// time-sorted snapshot, bounded by binary search (RecordsInRange): the
+// subsequence of each object within a stably sorted record list is itself
+// stably sorted, so no per-object sort pass is needed and every sequence
+// comes out in exactly the canonical order — same-timestamp records in
+// arrival order. That property is what lets the incremental Monitor splice
+// window-delta records into retained sequences and land on sequences
+// bit-identical to a fresh fetch. The workers parameter is retained for
+// callers tuned against the earlier sharded-sort implementation; the single
+// ordered pass needs no fan-out and the output is identical for every value.
+// A canceled ctx aborts the scan between record batches and returns
+// ctx.Err(), so a canceled query never pays for a large window.
 func (t *Table) SequencesInRangeSharded(ctx context.Context, ts, te Time, workers int) (map[ObjectID]Sequence, error) {
+	_ = workers
+	recs := t.RecordsInRange(ts, te)
 	out := make(map[ObjectID]Sequence)
-	scanned := 0
-	t.RangeQuery(ts, te, func(rec Record) bool {
-		if scanned&1023 == 0 && ctx.Err() != nil {
-			return false
+	for i := range recs {
+		if i&1023 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
-		scanned++
-		out[rec.OID] = append(out[rec.OID], TimedSampleSet{T: rec.T, Samples: rec.Samples})
-		return true
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	sortSeq := func(oid ObjectID) {
-		seq := out[oid] // concurrent map reads are safe; the sort mutates
-		// only the sequence's own backing array
-		slices.SortStableFunc(seq, func(a, b TimedSampleSet) int { return cmp.Compare(a.T, b.T) })
-	}
-	if workers > len(out) {
-		workers = len(out)
-	}
-	if workers <= 1 {
-		for oid := range out {
-			if ctx.Err() != nil {
-				break
-			}
-			sortSeq(oid)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for _, shard := range ShardObjects(SortedObjects(out), workers) {
-			wg.Add(1)
-			go func(shard []ObjectID) {
-				defer wg.Done()
-				for _, oid := range shard {
-					if ctx.Err() != nil {
-						return
-					}
-					sortSeq(oid)
-				}
-			}(shard)
-		}
-		wg.Wait()
+		out[recs[i].OID] = append(out[recs[i].OID], TimedSampleSet{T: recs[i].T, Samples: recs[i].Samples})
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -176,8 +176,39 @@ type StatsResponse struct {
 		SLocations int `json:"slocations"`
 		Partitions int `json:"partitions"`
 	} `json:"space"`
+	// Subscriptions reports the /v2/subscribe surface: live and lifetime
+	// stream counts, SSE events written, and every live monitor feed.
+	Subscriptions struct {
+		Active      int64             `json:"active"`
+		Total       int64             `json:"total"`
+		UpdatesSent int64             `json:"updates_sent"`
+		Monitors    []MonitorStatJSON `json:"monitors"`
+	} `json:"subscriptions"`
 	// WAL is present only when the server fronts a durable store.
 	WAL *WALStatsJSON `json:"wal,omitempty"`
+}
+
+// MonitorStatJSON describes one live monitor feed in GET /v1/stats.
+type MonitorStatJSON struct {
+	// QuerySize is the size of the subscribed S-location set.
+	QuerySize int    `json:"query_size"`
+	K         int    `json:"k"`
+	Window    int64  `json:"window"`
+	Algorithm string `json:"algorithm"`
+	// Subscribers is the number of live subscriptions coalesced onto this
+	// monitor.
+	Subscribers int `json:"subscribers"`
+	// Evals counts incremental evaluations; DirtyObjects the object summaries
+	// recomputed across them.
+	Evals        int64 `json:"evals"`
+	DirtyObjects int64 `json:"dirty_objects"`
+	// Updates counts pushed ranking changes; Observed records announced to
+	// the monitor.
+	Updates  int64 `json:"updates"`
+	Observed int   `json:"observed"`
+	// Legacy marks poll-style monitors (System.NewMonitor) rather than
+	// subscription feeds.
+	Legacy bool `json:"legacy,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the status code.
@@ -397,6 +428,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Table.Objects = len(s.sys.Table().Objects())
 	out.Space.SLocations = s.sys.Space().NumSLocations()
 	out.Space.Partitions = s.sys.Space().NumPartitions()
+	out.Subscriptions.Active = s.subsActive.Load()
+	out.Subscriptions.Total = s.subsTotal.Load()
+	out.Subscriptions.UpdatesSent = s.subUpdates.Load()
+	out.Subscriptions.Monitors = make([]MonitorStatJSON, 0)
+	for _, ms := range s.sys.MonitorStats() {
+		out.Subscriptions.Monitors = append(out.Subscriptions.Monitors, MonitorStatJSON{
+			QuerySize:    len(ms.Query),
+			K:            ms.K,
+			Window:       int64(ms.Window),
+			Algorithm:    ms.Algorithm.String(),
+			Subscribers:  ms.Subscribers,
+			Evals:        ms.Evals,
+			DirtyObjects: ms.DirtyObjects,
+			Updates:      ms.Updates,
+			Observed:     ms.Observed,
+			Legacy:       ms.Legacy,
+		})
+	}
 	if s.cfg.Store != nil {
 		ws := s.cfg.Store.Stats()
 		out.WAL = &WALStatsJSON{

@@ -6,9 +6,13 @@
 //	POST /v1/query   — one TkPLQ / density / flow query over a time window
 //	POST /v2/query   — context-aware query API: one query object, or an
 //	                   array of queries evaluated as a shared-work batch
+//	GET  /v2/subscribe — Server-Sent Events stream of top-k ranking changes
+//	                   over a sliding window, evaluated incrementally; identical
+//	                   subscriptions share one monitor
 //	POST /v1/ingest  — batched uncertain positioning records into the live table
 //	POST /v1/snapshot — compact the WAL into a binary table snapshot on demand
-//	GET  /v1/stats   — engine cache + coalescer + wal counters, server counters, table shape
+//	GET  /v1/stats   — engine cache + coalescer + wal counters, server counters,
+//	                   table shape, live subscription feeds
 //	GET  /healthz    — liveness
 //
 // Every request is evaluated under its own context: the per-request budget
@@ -66,6 +70,10 @@ type Config struct {
 	// have been appended since the last one (0 = on-demand snapshots only).
 	// Requires Store.
 	SnapshotEvery int
+	// SSEHeartbeat paces the comment heartbeats of /v2/subscribe streams that
+	// keep idle connections alive through proxies; DefaultSSEHeartbeat when
+	// zero.
+	SSEHeartbeat time.Duration
 }
 
 // DefaultRequestTimeout bounds request handling when Config.RequestTimeout
@@ -92,6 +100,9 @@ type Server struct {
 	recordsIngested atomic.Int64
 	snapshots       atomic.Int64
 	snapshotting    atomic.Bool // one auto-snapshot in flight at a time
+	subsActive      atomic.Int64
+	subsTotal       atomic.Int64
+	subUpdates      atomic.Int64
 }
 
 // New builds a Server around the system. It does not listen yet; call Start
@@ -120,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.method(http.MethodPost, s.handleQuery))
 	mux.HandleFunc("/v2/query", s.method(http.MethodPost, s.handleQueryV2))
+	mux.HandleFunc("/v2/subscribe", s.method(http.MethodGet, s.handleSubscribe))
 	mux.HandleFunc("/v1/ingest", s.method(http.MethodPost, s.handleIngest))
 	mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
 	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end server smoke: gendata generates a dataset, tkplqd serves it,
-# and the HTTP API must answer /healthz, /v1/query and /v1/stats with
-# well-formed payloads. The durability section then restarts the daemon
+# and the HTTP API must answer /healthz, /v1/query, /v2/subscribe (SSE live
+# feed) and /v1/stats with well-formed payloads. The durability section then restarts the daemon
 # with a data directory, ingests, snapshots, kills it with SIGKILL
 # mid-flight and asserts the restarted daemon recovers every record and
 # answers the same query identically. Run from the repo root (CI runs
@@ -12,8 +12,13 @@ PORT=$(( (RANDOM % 20000) + 20000 ))
 ADDR="127.0.0.1:${PORT}"
 WORKDIR=$(mktemp -d)
 DAEMON_PID=""
+SSE_PID=""
 
 cleanup() {
+    if [ -n "${SSE_PID}" ] && kill -0 "${SSE_PID}" 2>/dev/null; then
+        kill "${SSE_PID}" 2>/dev/null || true
+        wait "${SSE_PID}" 2>/dev/null || true
+    fi
     if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
         kill -9 "${DAEMON_PID}" 2>/dev/null || true
         wait "${DAEMON_PID}" 2>/dev/null || true
@@ -105,10 +110,49 @@ INGEST=$(curl -fsS -X POST "http://${ADDR}/v1/ingest" \
 echo "${INGEST}"
 [ "$(echo "${INGEST}" | jq -r .ingested)" = "1" ]
 
+echo "== /v2/subscribe (SSE live feed)"
+# A streaming subscriber gets the current snapshot immediately, then a pushed
+# update once an ingest changes the ranking. The late record slides the feed's
+# window far past every existing flow, so the top-k must change.
+curl -N -sS "http://${ADDR}/v2/subscribe?window=600&k=3" > "${WORKDIR}/sse.out" &
+SSE_PID=$!
+for i in $(seq 1 100); do
+    if [ "$(grep -c '^event: update' "${WORKDIR}/sse.out" 2>/dev/null || true)" -ge 1 ]; then
+        break
+    fi
+    [ "$i" -eq 100 ] && { echo "no SSE snapshot arrived:"; cat "${WORKDIR}/sse.out"; exit 1; }
+    sleep 0.1
+done
+curl -fsS -X POST "http://${ADDR}/v1/ingest" -H 'Content-Type: application/json' \
+    -d '{"records":[{"oid":9100,"t":999999,"samples":[{"ploc":0,"prob":1.0}]}]}' >/dev/null
+for i in $(seq 1 100); do
+    if [ "$(grep -c '^event: update' "${WORKDIR}/sse.out" 2>/dev/null || true)" -ge 2 ]; then
+        break
+    fi
+    [ "$i" -eq 100 ] && { echo "no SSE update after ingest:"; cat "${WORKDIR}/sse.out"; exit 1; }
+    sleep 0.1
+done
+# The pushed update is well-formed JSON reflecting the new record.
+grep '^data: ' "${WORKDIR}/sse.out" | tail -1 | sed 's/^data: //' | \
+    jq -e '.seq >= 1 and (.results | length) == 3 and .te == 999999' >/dev/null
+kill "${SSE_PID}"
+wait "${SSE_PID}" 2>/dev/null || true
+SSE_PID=""
+# The server notices the disconnect and releases the subscription.
+for i in $(seq 1 100); do
+    if [ "$(curl -fsS "http://${ADDR}/v1/stats" | jq -r .subscriptions.active)" = "0" ]; then
+        break
+    fi
+    [ "$i" -eq 100 ] && { echo "subscription never torn down after disconnect"; exit 1; }
+    sleep 0.1
+done
+
 echo "== /v1/stats"
 STATS=$(curl -fsS "http://${ADDR}/v1/stats")
 echo "${STATS}" | jq .
 echo "${STATS}" | jq -e '.server.queries >= 1 and .server.records_ingested >= 1 and .engine.flights >= 1' >/dev/null
+# The closed subscription still counts toward lifetime totals.
+echo "${STATS}" | jq -e '.subscriptions.total >= 1 and .subscriptions.updates_sent >= 2 and .subscriptions.active == 0' >/dev/null
 # No data dir, no wal section.
 echo "${STATS}" | jq -e 'has("wal") | not' >/dev/null
 

@@ -197,6 +197,11 @@ func (s *System) Ingest(recs []Record) error {
 			s.engine.InvalidateObject(rec.OID)
 		}
 	}
+	// Announce the batch to live monitors and subscriptions while still
+	// holding the ingest lock — their table-read barrier — so each monitor
+	// sees the batch exactly once: in this announcement or in a table
+	// snapshot it reads later, never both.
+	s.engine.NotifyAppend(s.table, recs, s.table.Len())
 	return nil
 }
 
@@ -215,15 +220,50 @@ func (s *System) InvalidateObject(oid ObjectID) { s.engine.InvalidateObject(oid)
 
 // Monitor is a continuous, online TkPLQ over a sliding window (the paper's
 // §7 future-work variant): stream records in with Observe, ask for the
-// current top-k with Current.
+// current top-k with Current. Evaluation is incremental — an observed record
+// perturbs only its object's summary, a window slide recomputes only the
+// objects whose records enter or leave — and results stay bit-identical to
+// a from-scratch evaluation of the same window.
 type Monitor = core.Monitor
 
-// NewMonitor creates a continuous monitor with the system's engine options.
-// The monitor maintains its own record stream, independent of the system's
-// table.
+// NewMonitor creates a continuous monitor over the system's live table:
+// records ingested through System.Ingest and records fed to Monitor.Observe
+// land in the same WAL-durable table and are both visible to the monitor
+// (Observe simply routes through Ingest). Close the monitor when done.
+//
+// Deprecated: NewMonitor remains as a poll-style wrapper over the
+// incremental evaluation engine. New code should ingest via System.Ingest
+// and stream ranking changes with System.Subscribe, which shares one
+// incremental monitor across identical subscriptions.
 func (s *System) NewMonitor(q []SLocID, k int, window Time) (*Monitor, error) {
-	return s.engine.NewMonitor(q, k, window)
+	return s.engine.OpenMonitor(core.MonitorConfig{
+		Table:   s.table,
+		Barrier: &s.ingestMu,
+		Ingest:  s.Ingest,
+	}, q, k, window)
 }
+
+// Subscribe opens a live feed of the query's top-k ranking over the system's
+// table. The query's Window field (required, positive) slides with the data:
+// every Ingest triggers an incremental re-evaluation over the window ending
+// at the newest record timestamp, and an Update is delivered whenever the
+// ranking or any flow changes — the first update is the current snapshot.
+// Updates are bit-identical to a from-scratch System.Do top-k over the same
+// window. Identical subscriptions share one monitor (one incremental
+// evaluation feeds all of them; Query.DisableCoalescing opts out); a slow
+// consumer loses oldest updates to conflation (Update.Dropped) and never
+// delays evaluation. Canceling ctx closes the subscription like
+// Subscription.Close; Query.Ts and Query.Te are ignored.
+func (s *System) Subscribe(ctx context.Context, q Query) (*Subscription, error) {
+	return s.engine.Subscribe(ctx, core.SubscribeConfig{
+		Table:   s.table,
+		Barrier: &s.ingestMu,
+	}, q)
+}
+
+// MonitorStats reports every live monitor and subscription feed on the
+// system, in creation order.
+func (s *System) MonitorStats() []MonitorStat { return s.engine.MonitorStats() }
 
 // AllSLocations returns every S-location id of the space, handy for
 // building query sets.

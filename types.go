@@ -134,6 +134,12 @@ type (
 	// CacheStats is a snapshot of the engine's presence-cache and request-
 	// coalescer state.
 	CacheStats = core.CacheStats
+	// Subscription is a live feed of ranking changes from System.Subscribe.
+	Subscription = core.Subscription
+	// Update is one pushed ranking change on a Subscription.
+	Update = core.Update
+	// MonitorStat describes one live monitor (System.MonitorStats).
+	MonitorStat = core.MonitorStat
 )
 
 // Query kinds for Query.Kind.
