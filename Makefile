@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json benchdiff lint fmt vet staticcheck vuln smoke apicheck ci
+.PHONY: all build test race bench bench-json benchdiff lint fmt vet staticcheck vuln smoke smoke-cluster apicheck ci
 
 all: build
 
@@ -14,8 +14,10 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector; the concurrency tests in
-# internal/core/parallel_test.go, internal/core/coalesce_test.go and
-# internal/server are the interesting part here.
+# internal/core/parallel_test.go, internal/core/coalesce_test.go,
+# internal/core/incremental_test.go, internal/core/partial_test.go and
+# internal/server (subscribe_test.go and the router/shard fan-out suite in
+# cluster_test.go) are the interesting part here.
 race:
 	$(GO) test -race -timeout 30m ./...
 
@@ -33,14 +35,16 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out bench.json < bench.txt
 	@echo "wrote bench.json (raw output in bench.txt)"
 
-# Benchmark regression gate: compare two bench-json artifacts and fail on
-# any per-benchmark ns/op or allocs/op regression above BENCH_THRESHOLD
-# (a fraction; 0.20 = 20%). Typical loop:
-#   git stash && make bench-json && cp bench.json bench-old.json && git stash pop
+# Benchmark regression gate: compare a bench-json artifact against the
+# committed rolling baseline (bench/baseline.json, refreshed by CI on main
+# pushes) and fail on any per-benchmark ns/op or allocs/op regression above
+# BENCH_THRESHOLD (a fraction; 0.50 = 50% — roomy because shared runners
+# are noisy; allocs/op regressions have no noise excuse). CI runs this as a
+# required step. Local loop:
 #   make bench-json && make benchdiff
-BENCH_OLD ?= bench-old.json
+BENCH_OLD ?= bench/baseline.json
 BENCH_NEW ?= bench.json
-BENCH_THRESHOLD ?= 0.20
+BENCH_THRESHOLD ?= 0.50
 benchdiff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
@@ -78,10 +82,16 @@ vuln:
 smoke:
 	./scripts/server_smoke.sh
 
+# End-to-end cluster smoke: 2 shard daemons + a router vs a standalone
+# daemon over the same dataset — byte-identical answers, routed ingest,
+# kill -9 degradation with the structured 503, WAL recovery.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
+
 # Public-API drift gate: the exported surface of package tkplq must match
 # the golden snapshot in testdata/api.txt. After an intentional API change:
 #   go test -run TestPublicAPIGolden . -update-api
 apicheck:
 	$(GO) test -run TestPublicAPIGolden .
 
-ci: lint build apicheck race bench smoke
+ci: lint build apicheck race bench smoke smoke-cluster

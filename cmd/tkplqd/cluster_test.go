@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDaemonClusterEndToEnd boots two shard daemons and a router daemon as
+// three real processes-worth of run() instances over ephemeral ports, plus a
+// standalone daemon over the same generated dataset, and checks the router
+// answers a query identically to the standalone node.
+//
+// The shards only use the topology for ownership (shard count + index), not
+// for their own address, so they boot against a provisional topology file;
+// the router gets a second file carrying the shards' actual bound addresses.
+func TestDaemonClusterEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataset := []string{"-objects", "8", "-duration", "900", "-seed", "3"}
+
+	shardTopo := filepath.Join(dir, "topology-shards.json")
+	if err := os.WriteFile(shardTopo, []byte(`{"shards":["127.0.0.1:1","127.0.0.1:2"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	shardAddrs := make([]string, 2)
+	for i := range shardAddrs {
+		args := append([]string{"-addr", "127.0.0.1:0",
+			"-role", "shard", "-topology", shardTopo, "-shard-index", strconv.Itoa(i)}, dataset...)
+		base, out, stop := startDaemon(t, args)
+		defer stop()
+		shardAddrs[i] = strings.TrimPrefix(base, "http://")
+		if !strings.Contains(out.String(), "role shard") {
+			t.Fatalf("shard %d did not announce its role: %s", i, out.String())
+		}
+	}
+
+	routerTopo := filepath.Join(dir, "topology.json")
+	topoJSON, err := json.Marshal(map[string]any{"shards": shardAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(routerTopo, topoJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	routerBase, rout, stopRouter := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-role", "router", "-topology", routerTopo,
+	})
+	defer stopRouter()
+	if !strings.Contains(rout.String(), "role router") {
+		t.Fatalf("router did not announce its role: %s", rout.String())
+	}
+
+	standaloneBase, _, stopStandalone := startDaemon(t, append([]string{"-addr", "127.0.0.1:0"}, dataset...))
+	defer stopStandalone()
+
+	results := func(base, query string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/v2/query", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %s = %d: %s", query, resp.StatusCode, body["error"])
+		}
+		return string(body["results"])
+	}
+	for _, q := range []string{
+		`{"kind":"topk","algorithm":"bf","k":5}`,
+		`{"kind":"topk","algorithm":"naive","k":3,"te":600}`,
+		`{"kind":"density","k":4,"te":900}`,
+	} {
+		want := results(standaloneBase, q)
+		if got := results(routerBase, q); got != want {
+			t.Errorf("router diverged from standalone on %s:\n got %s\nwant %s", q, got, want)
+		}
+	}
+
+	// The shards' partitions union to the standalone table.
+	records := func(base string) int {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Records int `json:"records"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Records
+	}
+	total := 0
+	for _, addr := range shardAddrs {
+		total += records("http://" + addr)
+	}
+	if want := records(standaloneBase); total != want {
+		t.Errorf("shard partitions hold %d records, standalone holds %d", total, want)
+	}
+}
+
+// TestDaemonClusterFlagValidation exercises the boot-time role validation:
+// every invalid flag combination must fail fast with a pointed error.
+func TestDaemonClusterFlagValidation(t *testing.T) {
+	topoFile := filepath.Join(t.TempDir(), "topology.json")
+	if err := os.WriteFile(topoFile, []byte(`{"shards":["127.0.0.1:1","127.0.0.1:2"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"shard without topology", []string{"-role", "shard"}, "requires -topology"},
+		{"router without topology", []string{"-role", "router"}, "requires -topology"},
+		{"standalone with topology", []string{"-topology", topoFile}, "requires -role shard or -role router"},
+		{"shard index out of range", []string{"-role", "shard", "-topology", topoFile, "-shard-index", "2"}, "out of range"},
+		{"shard index missing", []string{"-role", "shard", "-topology", topoFile}, "out of range"},
+		{"unknown role", []string{"-role", "proxy"}, "unknown -role"},
+		{"router with data-dir", []string{"-role", "router", "-topology", topoFile, "-data-dir", t.TempDir()}, "router holds no records"},
+		{"missing topology file", []string{"-role", "router", "-topology", filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out syncBuffer
+			err := run(context.Background(), append([]string{"-addr", "127.0.0.1:0"}, tc.args...), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -34,6 +34,17 @@
 // gendata space for ingested P-location ids). See docs/OPERATIONS.md for
 // the full operations guide and docs/FORMATS.md for the on-disk formats.
 //
+// With -role the daemon becomes one member of a distributed cluster
+// (default: standalone). A `shard` owns the static partition of the objects
+// that a shared topology file (-topology, see internal/cluster) assigns to
+// its -shard-index — it carves its partition out of the initial dataset at
+// boot, keeps its own WAL/snapshot data-dir, and refuses ingest of foreign
+// objects. A `router` holds no records: it fans queries out to every shard's
+// /v2/partial, merges the per-object contributions in canonical ascending-
+// object order and ranks — answers are bit-identical to a standalone daemon
+// over the same dataset — and splits /v1/ingest batches to the owning
+// shards. See docs/OPERATIONS.md § Running a cluster.
+//
 // Usage:
 //
 //	tkplqd [-addr HOST:PORT] [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
@@ -41,6 +52,8 @@
 //	       [-request-timeout DUR] [-shutdown-timeout DUR]
 //	       [-data-dir DIR] [-fsync always|interval] [-fsync-interval DUR]
 //	       [-snapshot-every N] [-snapshot-interval DUR] [-pprof HOST:PORT]
+//	       [-role standalone|shard|router] [-topology FILE]
+//	       [-shard-index N] [-shard-timeout DUR]
 //
 // -pprof serves net/http/pprof (CPU, heap, goroutine, trace profiles) on a
 // *separate* listener, off by default so profiling endpoints are never
@@ -63,6 +76,7 @@ import (
 	"time"
 
 	"tkplq"
+	"tkplq/internal/cluster"
 	"tkplq/internal/iupt"
 	"tkplq/internal/server"
 	"tkplq/internal/sim"
@@ -99,14 +113,59 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		snapshotEvery   = fs.Int("snapshot-every", 100000, "auto-snapshot after N records ingested since the last snapshot (0 = off); bounds log growth and restart replay")
 		snapshotIvl     = fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = off)")
 		pprofAddr       = fs.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty = off")
+		role            = fs.String("role", server.RoleStandalone, "serving role: standalone, shard or router")
+		topologyFile    = fs.String("topology", "", "cluster topology file (required for -role shard|router; every member must load the same file)")
+		shardIndex      = fs.Int("shard-index", -1, "this shard's index in the topology (required for -role shard)")
+		shardTimeout    = fs.Duration("shard-timeout", server.DefaultShardTimeout, "router: per-shard attempt budget (one retry within the request budget)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var topo *cluster.Topology
+	switch *role {
+	case server.RoleStandalone:
+		if *topologyFile != "" {
+			return fmt.Errorf("-topology requires -role shard or -role router")
+		}
+	case server.RoleShard, server.RoleRouter:
+		if *topologyFile == "" {
+			return fmt.Errorf("-role %s requires -topology", *role)
+		}
+		var err error
+		if topo, err = cluster.Load(*topologyFile); err != nil {
+			return err
+		}
+		if *role == server.RoleShard {
+			if *shardIndex < 0 || *shardIndex >= topo.NumShards() {
+				return fmt.Errorf("-shard-index %d out of range (topology has %d shards)", *shardIndex, topo.NumShards())
+			}
+		} else if *dataDir != "" {
+			return fmt.Errorf("-data-dir is per-shard: the router holds no records")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, shard or router)", *role)
+	}
+	// A shard keeps only its partition of the initial dataset; the topology
+	// decides ownership, the dataset flags stay identical across the fleet.
+	var own func(iupt.ObjectID) bool
+	if *role == server.RoleShard {
+		idx := *shardIndex
+		own = func(oid iupt.ObjectID) bool { return topo.Owns(oid, idx) }
+	}
+
 	var store *tkplq.WAL
 	var sys *tkplq.System
-	if *dataDir != "" {
+	if *role == server.RoleRouter {
+		b, err := buildSpace(*dataset)
+		if err != nil {
+			return err
+		}
+		sys, err = tkplq.NewSystem(b.Space, iupt.NewTable(), tkplq.Options{Workers: *workers})
+		if err != nil {
+			return err
+		}
+	} else if *dataDir != "" {
 		policy, err := parseFsyncPolicy(*fsyncPolicy)
 		if err != nil {
 			return err
@@ -125,6 +184,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if err := recovered.Validate(); err != nil {
 				return fmt.Errorf("%s: recovered table: %w", *dataDir, err)
 			}
+			if own != nil {
+				// A shard's WAL can only ever hold owned objects; a foreign
+				// record means the topology changed under the data-dir.
+				// Refuse loudly rather than silently dropping records.
+				for _, rec := range recovered.SortedRecords() {
+					if !own(rec.OID) {
+						return fmt.Errorf("%s: recovered object %d is not owned by shard %d under %s — re-partition the data before changing the topology",
+							*dataDir, rec.OID, *shardIndex, *topologyFile)
+					}
+				}
+			}
 			b, err := buildSpace(*dataset)
 			if err != nil {
 				return err
@@ -142,7 +212,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 					ws.CorruptFrames)
 			}
 		} else {
-			sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
+			sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers, own)
 			if err != nil {
 				return err
 			}
@@ -157,7 +227,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	} else {
 		var err error
-		sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers)
+		sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers, own)
 		if err != nil {
 			return err
 		}
@@ -177,6 +247,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RequestTimeout: *requestTimeout,
 		Store:          store,
 		SnapshotEvery:  *snapshotEvery,
+		Role:           *role,
+		Topology:       topo,
+		ShardIndex:     *shardIndex,
+		ShardTimeout:   *shardTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},
@@ -188,8 +262,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	st := sys.Table().ComputeStats()
-	fmt.Fprintf(out, "tkplqd: listening on %s (%d records, %d objects, %d S-locations)\n",
-		srv.Addr(), st.Records, st.Objects, sys.Space().NumSLocations())
+	fmt.Fprintf(out, "tkplqd: listening on %s (role %s, %d records, %d objects, %d S-locations)\n",
+		srv.Addr(), *role, st.Records, st.Objects, sys.Space().NumSLocations())
 
 	if store != nil && *snapshotIvl > 0 {
 		go func() {
@@ -286,8 +360,11 @@ func buildSpace(dataset string) (*sim.Building, error) {
 }
 
 // buildSystem regenerates the indoor space and either loads the IUPT from a
-// gendata file or generates it on the fly.
-func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int) (*tkplq.System, error) {
+// gendata file or generates it on the fly. A non-nil own filter keeps only
+// the owned records (shard role): every cluster member runs the same
+// deterministic generation, and each shard carves out its partition, so the
+// shards' tables union to exactly the standalone table.
+func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int, own func(iupt.ObjectID) bool) (*tkplq.System, error) {
 	b, err := buildSpace(dataset)
 	if err != nil {
 		return nil, err
@@ -337,5 +414,14 @@ func buildSystem(dataset, iuptFile, format string, objects int, duration, seed i
 		}
 	}
 
+	if own != nil {
+		owned := iupt.NewTable()
+		for _, rec := range table.SortedRecords() {
+			if own(rec.OID) {
+				owned.Append(rec)
+			}
+		}
+		table = owned
+	}
 	return tkplq.NewSystem(b.Space, table, tkplq.Options{Workers: workers})
 }

@@ -243,7 +243,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 // TestBuildSystemFromFile round-trips a table through the gendata CSV format
 // into the daemon's loader.
 func TestBuildSystemFromFile(t *testing.T) {
-	sys, err := buildSystem("syn", "", "csv", 6, 600, 5, 1)
+	sys, err := buildSystem("syn", "", "csv", 6, 600, 5, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestBuildSystemFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := buildSystem("syn", path, "csv", 0, 0, 5, 1)
+	loaded, err := buildSystem("syn", path, "csv", 0, 0, 5, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,13 +286,13 @@ func TestBuildSystemFromFile(t *testing.T) {
 		}
 	}
 
-	if _, err := buildSystem("nope", "", "csv", 1, 1, 1, 1); err == nil {
+	if _, err := buildSystem("nope", "", "csv", 1, 1, 1, 1, nil); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := buildSystem("syn", path, "xml", 0, 0, 5, 1); err == nil {
+	if _, err := buildSystem("syn", path, "xml", 0, 0, 5, 1, nil); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if _, err := buildSystem("syn", filepath.Join(t.TempDir(), "missing.csv"), "csv", 0, 0, 5, 1); err == nil {
+	if _, err := buildSystem("syn", filepath.Join(t.TempDir(), "missing.csv"), "csv", 0, 0, 5, 1, nil); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,255 @@
+// Package cluster implements the static object→shard partitioning behind
+// the distributed tkplq deployment: a Topology names the shard processes of
+// a cluster and assigns every object id to exactly one of them.
+//
+// The assignment is *static* — it never changes while the cluster runs — and
+// *total*: every present and future ObjectID has an owner, either through
+// the default FNV-1a hash or through an explicit per-object map with hash
+// fallback for unlisted objects. Static totality is what makes the
+// distributed system inherit the engine's determinism contract for free:
+// each shard's table holds a disjoint, fixed subset of the objects, each
+// shard computes its objects' presence contributions exactly as a standalone
+// node would, and the router merges the per-object contributions in
+// canonical ascending-object order — the same additions, in the same order,
+// as a single process evaluating the union table (see core.MergePartials).
+// It also makes per-shard WAL recovery compose: replaying shard i's log can
+// only ever rebuild shard i's objects, so a cluster restarted from its data
+// directories answers bit-identically to one that never restarted.
+//
+// A topology is written once as a JSON file and handed to every member of
+// the cluster (router and shards) via `tkplqd -topology`; Load validates it
+// at boot so a malformed or inconsistent file fails the process immediately
+// instead of silently mis-routing ingest.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tkplq/internal/iupt"
+)
+
+// topologyFile is the on-disk JSON shape of a Topology.
+//
+//	{
+//	  "shards": ["127.0.0.1:9001", "127.0.0.1:9002"],
+//	  "objects": {"7": 0, "42": 1}   // optional explicit assignments
+//	}
+//
+// Shards are base addresses (host:port, optionally with an http:// scheme).
+// Objects not listed in "objects" — including objects that first appear in a
+// future ingest — are assigned by hashing their id, so the map stays total
+// without having to enumerate the universe of object ids up front.
+type topologyFile struct {
+	Shards  []string       `json:"shards"`
+	Objects map[string]int `json:"objects,omitempty"`
+}
+
+// Topology is a validated static object→shard assignment over a fixed list
+// of shard addresses. The zero value is invalid; build one with Load,
+// Parse or New.
+type Topology struct {
+	shards  []string
+	objects map[iupt.ObjectID]int // explicit overrides; nil = pure hash
+}
+
+// New builds an all-hash topology over the shard addresses (index i in the
+// slice is shard i). It validates like Load.
+func New(shards []string) (*Topology, error) {
+	return build(topologyFile{Shards: shards})
+}
+
+// NewWithObjects builds a topology with explicit per-object assignments on
+// top of the hash default. It validates like Load.
+func NewWithObjects(shards []string, objects map[iupt.ObjectID]int) (*Topology, error) {
+	f := topologyFile{Shards: shards}
+	if len(objects) > 0 {
+		f.Objects = make(map[string]int, len(objects))
+		for oid, idx := range objects {
+			f.Objects[strconv.FormatInt(int64(oid), 10)] = idx
+		}
+	}
+	return build(f)
+}
+
+// Load reads and validates a topology file. Every member of a cluster must
+// load the same file: the router uses it to fan out and merge, each shard
+// uses it to refuse ingest of objects it does not own.
+func Load(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	t, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Parse reads and validates a topology from JSON.
+func Parse(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f topologyFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("parsing topology: %w", err)
+	}
+	return build(f)
+}
+
+// build validates the raw file shape into a Topology. Validation is strict:
+// a topology error at boot is a configuration bug, and mis-routed ingest
+// would silently split an object's positioning sequence across shards —
+// corrupting every flow it contributes to — so nothing is forgiven here.
+func build(f topologyFile) (*Topology, error) {
+	if len(f.Shards) == 0 {
+		return nil, fmt.Errorf("topology has no shards")
+	}
+	seen := make(map[string]int, len(f.Shards))
+	for i, addr := range f.Shards {
+		norm, err := normalizeAddr(addr)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if j, dup := seen[norm]; dup {
+			return nil, fmt.Errorf("shard %d and shard %d share address %q", j, i, norm)
+		}
+		seen[norm] = i
+		f.Shards[i] = norm
+	}
+	t := &Topology{shards: f.Shards}
+	if len(f.Objects) > 0 {
+		t.objects = make(map[iupt.ObjectID]int, len(f.Objects))
+		for key, idx := range f.Objects {
+			oid, err := strconv.ParseInt(key, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("object key %q is not an object id", key)
+			}
+			if idx < 0 || idx >= len(f.Shards) {
+				return nil, fmt.Errorf("object %s assigned to shard %d, but the topology has %d shards", key, idx, len(f.Shards))
+			}
+			t.objects[iupt.ObjectID(oid)] = idx
+		}
+	}
+	return t, nil
+}
+
+// normalizeAddr validates one shard address and strips an optional http://
+// scheme, returning bare host:port. https, userinfo, paths and queries are
+// rejected: shards speak plain HTTP on a private network, and a decorated
+// URL in the topology file is almost certainly a mistake.
+func normalizeAddr(addr string) (string, error) {
+	s := strings.TrimSpace(addr)
+	if s == "" {
+		return "", fmt.Errorf("empty address")
+	}
+	if strings.Contains(s, "://") {
+		u, err := url.Parse(s)
+		if err != nil {
+			return "", fmt.Errorf("address %q: %w", addr, err)
+		}
+		if u.Scheme != "http" {
+			return "", fmt.Errorf("address %q: unsupported scheme %q (shards speak plain http)", addr, u.Scheme)
+		}
+		if u.User != nil || (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+			return "", fmt.Errorf("address %q: want a bare host:port", addr)
+		}
+		s = u.Host
+	}
+	if !strings.Contains(s, ":") {
+		return "", fmt.Errorf("address %q: missing port", addr)
+	}
+	return s, nil
+}
+
+// NumShards returns the number of shards in the topology.
+func (t *Topology) NumShards() int { return len(t.shards) }
+
+// Addr returns shard i's host:port address.
+func (t *Topology) Addr(i int) string { return t.shards[i] }
+
+// Addrs returns the shard addresses in index order (a copy).
+func (t *Topology) Addrs() []string {
+	return append([]string(nil), t.shards...)
+}
+
+// ShardOf returns the owning shard index for an object id: the explicit
+// assignment when the topology lists one, otherwise an FNV-1a hash of the
+// id's 8 little-endian bytes modulo the shard count. The function is pure —
+// same topology, same object, same answer, on every process — which is the
+// whole point: router and shards never have to agree on anything at runtime.
+func (t *Topology) ShardOf(oid iupt.ObjectID) int {
+	if idx, ok := t.objects[oid]; ok {
+		return idx
+	}
+	return int(hashOID(oid) % uint64(len(t.shards)))
+}
+
+// hashOID is FNV-1a over the object id's 8 little-endian bytes.
+func hashOID(oid iupt.ObjectID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint64(oid)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// Owns reports whether shard idx owns the object.
+func (t *Topology) Owns(oid iupt.ObjectID, idx int) bool { return t.ShardOf(oid) == idx }
+
+// Split partitions an ingest batch by owning shard, preserving each
+// record's relative order within its sub-batch. byShard[i] is shard i's
+// sub-batch (nil when the shard gets nothing); origIdx[i][j] is the position
+// byShard[i][j] held in recs, so a shard-reported ingest error can be mapped
+// back to the caller's batch index.
+func (t *Topology) Split(recs []iupt.Record) (byShard [][]iupt.Record, origIdx [][]int) {
+	byShard = make([][]iupt.Record, len(t.shards))
+	origIdx = make([][]int, len(t.shards))
+	for i, rec := range recs {
+		s := t.ShardOf(rec.OID)
+		byShard[s] = append(byShard[s], rec)
+		origIdx[s] = append(origIdx[s], i)
+	}
+	return byShard, origIdx
+}
+
+// FilterOwned returns the records of recs owned by shard idx, preserving
+// order. Shards use it at boot to carve their partition out of a shared
+// dataset file.
+func (t *Topology) FilterOwned(recs []iupt.Record, idx int) []iupt.Record {
+	var out []iupt.Record
+	for _, rec := range recs {
+		if t.ShardOf(rec.OID) == idx {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// OwnedObjects returns the explicitly-assigned objects of shard idx in
+// ascending order (diagnostics; hash-assigned objects are not enumerable).
+func (t *Topology) OwnedObjects(idx int) []iupt.ObjectID {
+	var out []iupt.ObjectID
+	for oid, s := range t.objects {
+		if s == idx {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"tkplq/internal/iupt"
+)
+
+func TestLoadAndValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{"two shards", `{"shards":["127.0.0.1:9001","127.0.0.1:9002"]}`, ""},
+		{"scheme stripped", `{"shards":["http://a:1","b:2"]}`, ""},
+		{"explicit objects", `{"shards":["a:1","b:2"],"objects":{"7":1,"42":0}}`, ""},
+		{"no shards", `{"shards":[]}`, "no shards"},
+		{"duplicate address", `{"shards":["a:1","http://a:1"]}`, "share address"},
+		{"missing port", `{"shards":["localhost"]}`, "missing port"},
+		{"https rejected", `{"shards":["https://a:1"]}`, "unsupported scheme"},
+		{"decorated url", `{"shards":["http://a:1/path"]}`, "bare host:port"},
+		{"bad object key", `{"shards":["a:1"],"objects":{"x":0}}`, "not an object id"},
+		{"object out of range", `{"shards":["a:1"],"objects":{"7":3}}`, "has 1 shards"},
+		{"unknown field", `{"shards":["a:1"],"extra":true}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := Parse(strings.NewReader(tc.json))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if topo.NumShards() == 0 {
+					t.Fatal("valid topology has no shards")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestShardOfIsTotalAndStable(t *testing.T) {
+	topo, err := New([]string{"a:1", "b:2", "c:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := iupt.ObjectID(-5); oid < 2000; oid++ {
+		s := topo.ShardOf(oid)
+		if s < 0 || s >= topo.NumShards() {
+			t.Fatalf("object %d assigned out-of-range shard %d", oid, s)
+		}
+		if s != topo.ShardOf(oid) {
+			t.Fatalf("ShardOf(%d) is not stable", oid)
+		}
+		if !topo.Owns(oid, s) {
+			t.Fatalf("Owns disagrees with ShardOf for %d", oid)
+		}
+	}
+	// The hash should actually spread objects around, not pile them up.
+	counts := make([]int, topo.NumShards())
+	for oid := iupt.ObjectID(0); oid < 999; oid++ {
+		counts[topo.ShardOf(oid)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d owns no objects out of 999: %v", i, counts)
+		}
+	}
+}
+
+func TestExplicitAssignmentsOverrideHash(t *testing.T) {
+	topo, err := NewWithObjects([]string{"a:1", "b:2"}, map[iupt.ObjectID]int{7: 1, 8: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.ShardOf(7) != 1 || topo.ShardOf(8) != 0 {
+		t.Fatalf("explicit assignments not honored: 7→%d 8→%d", topo.ShardOf(7), topo.ShardOf(8))
+	}
+	owned := topo.OwnedObjects(1)
+	if len(owned) != 1 || owned[0] != 7 {
+		t.Fatalf("OwnedObjects(1) = %v, want [7]", owned)
+	}
+}
+
+func TestSplitPreservesOrderAndIndices(t *testing.T) {
+	topo, err := New([]string{"a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]iupt.Record, 0, 40)
+	for i := 0; i < 40; i++ {
+		recs = append(recs, iupt.Record{OID: iupt.ObjectID(i % 7), T: iupt.Time(i)})
+	}
+	byShard, origIdx := topo.Split(recs)
+	total := 0
+	for s := range byShard {
+		if len(byShard[s]) != len(origIdx[s]) {
+			t.Fatalf("shard %d: %d records but %d indices", s, len(byShard[s]), len(origIdx[s]))
+		}
+		total += len(byShard[s])
+		for j, rec := range byShard[s] {
+			if topo.ShardOf(rec.OID) != s {
+				t.Fatalf("record for object %d landed on shard %d", rec.OID, s)
+			}
+			if recs[origIdx[s][j]].T != rec.T {
+				t.Fatalf("origIdx maps shard %d pos %d to the wrong record", s, j)
+			}
+			if j > 0 && origIdx[s][j] <= origIdx[s][j-1] {
+				t.Fatalf("shard %d sub-batch is not order-preserving", s)
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("split dropped records: %d of %d", total, len(recs))
+	}
+
+	filtered := topo.FilterOwned(recs, 0)
+	if len(filtered) != len(byShard[0]) {
+		t.Fatalf("FilterOwned(0) kept %d, split gave %d", len(filtered), len(byShard[0]))
+	}
+}
+
+func TestAddrsRoundTrip(t *testing.T) {
+	topo, err := New([]string{"http://a:1", " b:2 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Addr(0) != "a:1" || topo.Addr(1) != "b:2" {
+		t.Fatalf("addresses not normalized: %v", topo.Addrs())
+	}
+	addrs := topo.Addrs()
+	addrs[0] = "mutated"
+	if topo.Addr(0) != "a:1" {
+		t.Fatal("Addrs returned the internal slice")
+	}
+}

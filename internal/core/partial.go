@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+// This file is the engine half of the distributed fan-in (internal/cluster,
+// internal/server's router): a shard evaluates its local objects into a
+// Partial, the router merges the shards' Partials in canonical ascending-
+// object order and finishes the ranking. Because the per-object presence
+// values are computed by exactly the code the single-node paths run, and the
+// merge performs the same floating-point additions in the same order as a
+// single process evaluating the union table, the distributed answer is
+// bit-identical to the standalone one by construction — the PR-1 determinism
+// contract, cashed in across process boundaries.
+
+// Partial is one shard's contribution to a distributed query: for every
+// local object with records in the window that survived PSL∩Q pruning, the
+// object's presence in each of the query's S-locations.
+type Partial struct {
+	// OIDs lists the contributing objects in strictly ascending order.
+	OIDs []iupt.ObjectID
+	// Rows aligns with OIDs: Rows[i][j] is OIDs[i]'s presence in the j-th
+	// queried S-location (the column order of the Query.SLocs the partial
+	// was evaluated for).
+	Rows [][]float64
+	// Stats describes the shard-local work (ObjectsTotal counts every local
+	// object in the window, including pruned ones that contribute no row).
+	Stats Stats
+}
+
+// DoPartial evaluates the shard-local contribution to q: the per-object
+// presence rows over q.SLocs for every local object in [Ts, Te]. It accepts
+// every query kind — KindFlow is a one-column partial, KindPresence
+// restricts the evaluation to q.OID (an empty partial when the object has no
+// local records) — and ignores q.Algorithm: a partial is always the full
+// shared per-object pass, and since all three TkPLQ algorithms return
+// bit-identical flows, the merged answer matches a standalone run of any of
+// them. Per-query overrides (Workers, DisableCache) apply as in Do;
+// coalescing of identical fan-outs is the router's job, so DoPartial never
+// opens a flight itself.
+func (e *Engine) DoPartial(ctx context.Context, table *iupt.Table, q Query) (*Partial, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if table == nil {
+		return nil, fmt.Errorf("core: nil table")
+	}
+	if _, err := e.validateQuery(q); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ev := e.view(q)
+	seqs, err := ev.sequences(ctx, table, q.Ts, q.Te)
+	if err != nil {
+		return nil, err
+	}
+	var query map[indoor.SLocID]bool
+	if q.Kind == KindPresence {
+		// Mirror evalPresence: only the one object, no PSL∩Q pruning (the
+		// summary is computed unconditionally; a non-intersecting PSL yields
+		// an exact 0.0 either way).
+		if seq, ok := seqs[q.OID]; ok {
+			seqs = map[iupt.ObjectID]iupt.Sequence{q.OID: seq}
+		} else {
+			seqs = nil
+		}
+	} else {
+		query = make(map[indoor.SLocID]bool, len(q.SLocs))
+		for _, s := range q.SLocs {
+			query[s] = true
+		}
+	}
+	oracle := newOracle(ev, seqs, query)
+	oids := oracle.objects()
+	if err := oracle.ensureSummaries(ctx, oids); err != nil {
+		return nil, err
+	}
+	cells := make([]indoor.CellID, len(q.SLocs))
+	for j, s := range q.SLocs {
+		cells[j] = e.space.CellOfSLoc(s)
+	}
+	p := &Partial{}
+	for _, oid := range oids {
+		if _, ok := oracle.reduction(oid); !ok {
+			continue // pruned: contributes exact 0.0 to every column
+		}
+		sum := oracle.summary(oid)
+		row := make([]float64, len(cells))
+		for j := range cells {
+			row[j] = sum.Presence(cells[j], e.opts.Presence)
+		}
+		p.OIDs = append(p.OIDs, oid)
+		p.Rows = append(p.Rows, row)
+	}
+	p.Stats = oracle.finishStats()
+	return p, nil
+}
+
+// MergePartials merges disjoint per-shard partials into one canonical
+// ascending-object stream via a k-way merge (each input is already
+// ascending). Stats are folded with the same accumulation the in-process
+// shard merge uses. An object appearing in more than one partial means the
+// shards' object partitions overlap — a topology misconfiguration that
+// would double-count the object's presence — and is a hard error.
+func MergePartials(parts []*Partial) (*Partial, error) {
+	total := 0
+	var stats Stats
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("core: nil partial")
+		}
+		if len(p.OIDs) != len(p.Rows) {
+			return nil, fmt.Errorf("core: partial has %d oids but %d rows", len(p.OIDs), len(p.Rows))
+		}
+		total += len(p.OIDs)
+		stats.add(&p.Stats) // sums ObjectsTotal/Computed etc., maxes Workers
+	}
+	merged := &Partial{
+		OIDs:  make([]iupt.ObjectID, 0, total),
+		Rows:  make([][]float64, 0, total),
+		Stats: stats,
+	}
+	heads := make([]int, len(parts))
+	for {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p.OIDs) {
+				continue
+			}
+			if best < 0 || p.OIDs[heads[i]] < parts[best].OIDs[heads[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return merged, nil
+		}
+		p := parts[best]
+		oid := p.OIDs[heads[best]]
+		if n := len(merged.OIDs); n > 0 && merged.OIDs[n-1] >= oid {
+			return nil, fmt.Errorf("core: object %d contributed by more than one partial (overlapping shard partitions?)", oid)
+		}
+		merged.OIDs = append(merged.OIDs, oid)
+		merged.Rows = append(merged.Rows, p.Rows[heads[best]])
+		heads[best]++
+	}
+}
+
+// Flows accumulates the partial's rows into per-column flow sums, walking
+// objects in ascending order — the canonical accumulation every single-node
+// path performs. p must be merged (strictly ascending OIDs).
+func (p *Partial) Flows(nCols int) []float64 {
+	flows := make([]float64, nCols)
+	for _, row := range p.Rows {
+		for j := 0; j < nCols && j < len(row); j++ {
+			flows[j] += row[j]
+		}
+	}
+	return flows
+}
+
+// presenceOf returns the merged partial's row value for one object and
+// column (0.0 when the object contributed no row — pruned or absent).
+func (p *Partial) presenceOf(oid iupt.ObjectID, col int) float64 {
+	i := sort.Search(len(p.OIDs), func(i int) bool { return p.OIDs[i] >= oid })
+	if i < len(p.OIDs) && p.OIDs[i] == oid && col < len(p.Rows[i]) {
+		return p.Rows[i][col]
+	}
+	return 0
+}
+
+// FinishPartial completes a distributed query from the merged partial:
+// the same flow accumulation, ranking comparator and (for density) area
+// division as the single-node evaluation, so the response is bit-identical
+// to Do over the union table. merged's columns must align with q.SLocs.
+func (e *Engine) FinishPartial(q Query, merged *Partial) (*Response, error) {
+	k, err := e.validateQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("core: nil merged partial")
+	}
+	stats := merged.Stats
+	if stats.Workers == 0 {
+		stats.Workers = 1
+	}
+	switch q.Kind {
+	case KindPresence:
+		p := merged.presenceOf(q.OID, 0)
+		return &Response{Results: []Result{{SLoc: q.SLocs[0], Flow: p}}, Flow: p, Stats: stats}, nil
+	case KindFlow:
+		flow := merged.Flows(1)[0]
+		return &Response{Results: []Result{{SLoc: q.SLocs[0], Flow: flow}}, Flow: flow, Stats: stats}, nil
+	}
+	flows := merged.Flows(len(q.SLocs))
+	results := make([]Result, len(q.SLocs))
+	for j, s := range q.SLocs {
+		results[j] = Result{SLoc: s, Flow: flows[j]}
+	}
+	if q.Kind == KindDensity {
+		return &Response{Results: e.densityRank(results, k), Stats: stats}, nil
+	}
+	return &Response{Results: rankTopK(results, k), Stats: stats}, nil
+}
+
+// UnionSLocs returns the ascending duplicate-free union of the queries'
+// S-location sets: the column order of a shared batch group's single
+// fan-out (see FinishPartialGroup).
+func UnionSLocs(qs []Query, idxs []int) []indoor.SLocID {
+	set := make(map[indoor.SLocID]bool)
+	for _, qi := range idxs {
+		for _, s := range qs[qi].SLocs {
+			set[s] = true
+		}
+	}
+	out := make([]indoor.SLocID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FinishPartialGroup answers the queries at idxs — one DoBatch-style group
+// sharing a window — from a single merged partial evaluated over union (the
+// ascending union of the members' S-location sets, i.e. the merged columns).
+// Like Engine.evalBatchGroup, every member's flows accumulate in ascending
+// object order and objects pruned by the union contribute an exact 0.0 to
+// every member, so each response is bit-identical to evaluating the member
+// alone; Stats.SharedBatch reports the group size. Responses land in
+// out[qi] for each qi in idxs.
+func (e *Engine) FinishPartialGroup(qs []Query, idxs []int, union []indoor.SLocID, merged *Partial, out []*Response) error {
+	if merged == nil {
+		return fmt.Errorf("core: nil merged partial")
+	}
+	col := func(s indoor.SLocID) (int, error) {
+		i := sort.Search(len(union), func(i int) bool { return union[i] >= s })
+		if i >= len(union) || union[i] != s {
+			return 0, fmt.Errorf("core: S-location %d missing from the group union", s)
+		}
+		return i, nil
+	}
+	shared := merged.Stats
+	if shared.Workers == 0 {
+		shared.Workers = 1
+	}
+	shared.SharedBatch = len(idxs)
+	for _, qi := range idxs {
+		q := qs[qi]
+		k, err := e.validateQuery(q)
+		if err != nil {
+			return err
+		}
+		if q.Kind == KindPresence {
+			c, err := col(q.SLocs[0])
+			if err != nil {
+				return err
+			}
+			p := merged.presenceOf(q.OID, c)
+			out[qi] = &Response{Results: []Result{{SLoc: q.SLocs[0], Flow: p}}, Flow: p, Stats: shared}
+			continue
+		}
+		cols := make([]int, len(q.SLocs))
+		for j, s := range q.SLocs {
+			if cols[j], err = col(s); err != nil {
+				return err
+			}
+		}
+		flows := make([]float64, len(q.SLocs))
+		for _, row := range merged.Rows {
+			for j, c := range cols {
+				flows[j] += row[c]
+			}
+		}
+		results := make([]Result, len(q.SLocs))
+		for j, s := range q.SLocs {
+			results[j] = Result{SLoc: s, Flow: flows[j]}
+		}
+		switch q.Kind {
+		case KindFlow:
+			out[qi] = &Response{Results: results, Flow: flows[0], Stats: shared}
+		case KindDensity:
+			out[qi] = &Response{Results: e.densityRank(results, k), Stats: shared}
+		default: // KindTopK
+			out[qi] = &Response{Results: rankTopK(results, k), Stats: shared}
+		}
+	}
+	return nil
+}
+
+// BatchGroups partitions the queries of a distributed batch exactly as
+// Engine.DoBatch does in-process: by window fingerprint and evaluation-
+// changing overrides, in first-appearance order. Each returned group is the
+// index set of one shared fan-out.
+func (e *Engine) BatchGroups(qs []Query) [][]int {
+	groups := make(map[batchKey][]int)
+	var order []batchKey
+	for i, q := range qs {
+		key := batchKey{ts: q.Ts, te: q.Te, workers: e.view(q).opts.workerCount(), disableCache: q.DisableCache}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key])
+	}
+	return out
+}
+
+// flightKindOf maps a coalescable query kind to its flight kind.
+func flightKindOf(k QueryKind) (flightKind, bool) {
+	switch k {
+	case KindTopK:
+		return flightTopK, true
+	case KindDensity:
+		return flightDensity, true
+	case KindFlow:
+		return flightFlow, true
+	default:
+		return 0, false
+	}
+}
+
+// QueryCoalescer exposes the engine's query-level request coalescer to
+// callers that evaluate outside the in-process engine path — the
+// distributed router dedupes identical fleet-wide fan-outs through one.
+// epoch takes the role the table fingerprint plays in-process: the caller
+// bumps it on every mutation it routes (the router does so per ingest), so
+// a query racing an ingest never joins a pre-ingest flight. Identity is
+// otherwise the in-process one: kind, algorithm, k, window and canonical
+// S-location set, collision-verified.
+type QueryCoalescer struct {
+	c *coalescer
+}
+
+// NewQueryCoalescer returns an empty coalescer.
+func NewQueryCoalescer() *QueryCoalescer { return &QueryCoalescer{c: newCoalescer()} }
+
+// Do runs eval under the query's flight key, sharing the evaluation with
+// every concurrent identical caller at the same epoch. Presence queries and
+// queries with DisableCoalescing evaluate solo. Followers receive a copy of
+// the leader's results with Stats.Coalesced set, exactly as in-process
+// coalescing reports it.
+func (qc *QueryCoalescer) Do(ctx context.Context, q Query, k int, epoch int64, eval func(context.Context) ([]Result, Stats, error)) ([]Result, Stats, error) {
+	kind, ok := flightKindOf(q.Kind)
+	if !ok || q.DisableCoalescing {
+		return eval(ctx)
+	}
+	canon := canonicalSLocs(q.SLocs)
+	key := flightKey{
+		kind:     kind,
+		algo:     q.Algorithm,
+		k:        k,
+		ts:       q.Ts,
+		te:       q.Te,
+		tableLen: int(epoch),
+		qLen:     len(canon),
+		qHash:    slocHash(canon),
+	}
+	return qc.c.do(ctx, key, canon, eval)
+}
+
+// Counts reports lifetime (coalesced, led) evaluations.
+func (qc *QueryCoalescer) Counts() (coalesced, led int64) {
+	qc.c.mu.Lock()
+	defer qc.c.mu.Unlock()
+	return qc.c.coalesced, qc.c.led
+}

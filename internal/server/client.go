@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultShardTimeout bounds one router→shard attempt when
+// Config.ShardTimeout is zero. Two attempts (one retry) must fit inside the
+// router's own request budget, so this is deliberately far below
+// DefaultRequestTimeout.
+const DefaultShardTimeout = 10 * time.Second
+
+// shardError is a failed router→shard call: which shard, where it lives,
+// and why it failed. The router surfaces it as the structured degraded-mode
+// 503 envelope naming the shard (writeShardError), so an operator — or the
+// cluster smoke test — can see exactly which member is missing.
+type shardError struct {
+	index int
+	addr  string
+	cause error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard %d (%s) unavailable: %v", e.index, e.addr, e.cause)
+}
+
+func (e *shardError) Unwrap() error { return e.cause }
+
+// shardClient is the router's HTTP client for one shard. Every call runs
+// under the caller's context capped by the per-attempt timeout; idempotent
+// reads (partial, span, stats) get a single retry when budget remains.
+// Ingest is never retried: a response lost after the shard applied the
+// batch must not be re-sent, or the shard would hold duplicate records.
+type shardClient struct {
+	index   int
+	addr    string // host:port
+	base    string // http://host:port
+	hc      *http.Client
+	timeout time.Duration
+
+	requests    atomic.Int64
+	errs        atomic.Int64
+	retried     atomic.Int64
+	lastLatency atomic.Int64 // microseconds
+}
+
+func newShardClient(index int, addr string, timeout time.Duration) *shardClient {
+	if timeout <= 0 {
+		timeout = DefaultShardTimeout
+	}
+	return &shardClient{
+		index: index,
+		addr:  addr,
+		base:  "http://" + addr,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        16,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		timeout: timeout,
+	}
+}
+
+// err wraps a failure with the shard's identity.
+func (c *shardClient) err(cause error) *shardError {
+	c.errs.Add(1)
+	return &shardError{index: c.index, addr: c.addr, cause: cause}
+}
+
+// attempt performs one HTTP round-trip under the per-attempt timeout and
+// returns the status code and body. Bodies are fully read so connections
+// are reused.
+func (c *shardClient) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	started := time.Now()
+	resp, err := c.hc.Do(req)
+	c.requests.Add(1)
+	c.lastLatency.Store(time.Since(started).Microseconds())
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// call performs the round-trip with up to one retry (idempotent calls
+// only). Retry triggers on transport errors and 5xx answers — a shard that
+// is down, restarting, or mid-crash — and only while the caller's own
+// context is still live, so the retry never blows the request budget.
+func (c *shardClient) call(ctx context.Context, method, path string, body []byte, idempotent bool) (int, []byte, error) {
+	status, out, err := c.attempt(ctx, method, path, body)
+	if !idempotent || ctx.Err() != nil {
+		return status, out, err
+	}
+	if err == nil && status < 500 {
+		return status, out, err
+	}
+	c.retried.Add(1)
+	return c.attempt(ctx, method, path, body)
+}
+
+// errorEnvelope extracts the "error" field of a JSON error body, falling
+// back to the raw body.
+func errorEnvelope(status int, body []byte) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error != "" {
+		return fmt.Errorf("status %d: %s", status, env.Error)
+	}
+	return fmt.Errorf("status %d: %s", status, bytes.TrimSpace(body))
+}
+
+// partial POSTs a pinned-window query to the shard's /v2/partial and
+// decodes the per-object contribution.
+func (c *shardClient) partial(ctx context.Context, req QueryV2) (*PartialResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, c.err(err)
+	}
+	status, out, err := c.call(ctx, http.MethodPost, "/v2/partial", body, true)
+	if err != nil {
+		return nil, c.err(err)
+	}
+	if status != http.StatusOK {
+		return nil, c.err(errorEnvelope(status, out))
+	}
+	var p PartialResponse
+	if err := json.Unmarshal(out, &p); err != nil {
+		return nil, c.err(fmt.Errorf("decoding partial: %w", err))
+	}
+	if len(p.OIDs) != len(p.Rows) {
+		return nil, c.err(fmt.Errorf("malformed partial: %d oids, %d rows", len(p.OIDs), len(p.Rows)))
+	}
+	return &p, nil
+}
+
+// span fetches the shard table's time span.
+func (c *shardClient) span(ctx context.Context) (*SpanResponse, error) {
+	status, out, err := c.call(ctx, http.MethodGet, "/v2/span", nil, true)
+	if err != nil {
+		return nil, c.err(err)
+	}
+	if status != http.StatusOK {
+		return nil, c.err(errorEnvelope(status, out))
+	}
+	var sp SpanResponse
+	if err := json.Unmarshal(out, &sp); err != nil {
+		return nil, c.err(fmt.Errorf("decoding span: %w", err))
+	}
+	return &sp, nil
+}
+
+// ingest forwards a sub-batch to the shard. On a 400 the decoded
+// IngestErrorResponse is returned so the router can map the failing index
+// back to the caller's batch. Never retried (see shardClient).
+func (c *shardClient) ingest(ctx context.Context, recs []RecordJSON) (*IngestResponse, *IngestErrorResponse, error) {
+	body, err := json.Marshal(IngestRequest{Records: recs})
+	if err != nil {
+		return nil, nil, c.err(err)
+	}
+	status, out, err := c.call(ctx, http.MethodPost, "/v1/ingest", body, false)
+	if err != nil {
+		return nil, nil, c.err(err)
+	}
+	switch status {
+	case http.StatusOK:
+		var resp IngestResponse
+		if err := json.Unmarshal(out, &resp); err != nil {
+			return nil, nil, c.err(fmt.Errorf("decoding ingest response: %w", err))
+		}
+		return &resp, nil, nil
+	case http.StatusBadRequest:
+		var rej IngestErrorResponse
+		if err := json.Unmarshal(out, &rej); err != nil || rej.Error == "" {
+			return nil, nil, c.err(errorEnvelope(status, out))
+		}
+		return nil, &rej, nil
+	default:
+		return nil, nil, c.err(errorEnvelope(status, out))
+	}
+}
+
+// stats fetches the shard's /v1/stats payload verbatim.
+func (c *shardClient) stats(ctx context.Context) (json.RawMessage, error) {
+	status, out, err := c.call(ctx, http.MethodGet, "/v1/stats", nil, true)
+	if err != nil {
+		return nil, c.err(err)
+	}
+	if status != http.StatusOK {
+		return nil, c.err(errorEnvelope(status, out))
+	}
+	return json.RawMessage(out), nil
+}
+
+// isShardError reports whether err (anywhere in its chain) is a failed
+// shard call, and returns it.
+func isShardError(err error) (*shardError, bool) {
+	var se *shardError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -150,7 +150,15 @@ type WALStatsJSON struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Engine struct {
+	// Role is the serving mode: "standalone", "shard" or "router".
+	Role string `json:"role"`
+	// Shard is present in the shard role: this process's place in the
+	// topology and its ownership-rejection counter.
+	Shard *ShardStatsJSON `json:"shard,omitempty"`
+	// Cluster is present in the router role: fan-out counters and every
+	// shard's health + embedded stats.
+	Cluster *ClusterStatsJSON `json:"cluster,omitempty"`
+	Engine  struct {
 		CacheEntries       int   `json:"cache_entries"`
 		CacheHits          int64 `json:"cache_hits"`
 		CacheMisses        int64 `json:"cache_misses"`
@@ -255,7 +263,10 @@ var kinds = map[string]tkplq.QueryKind{
 }
 
 // writeQueryError maps an evaluation error to the JSON envelope: 503 for a
-// spent request budget or a vanished client, 400 for validation failures.
+// spent request budget, a vanished client or an unreachable shard (the
+// degraded-mode envelope naming it), 400 for validation failures. The
+// context cases are checked first: a fan-out cut short because this request
+// ran out of budget is a timeout, not a shard failure.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	s.queryErrors.Add(1)
 	switch {
@@ -268,6 +279,10 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 		s.canceled.Add(1)
 		errorJSON(w, http.StatusServiceUnavailable, "request canceled")
 	default:
+		if se, ok := isShardError(err); ok {
+			writeShardError(w, se)
+			return
+		}
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 	}
 }
@@ -301,6 +316,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// convertRecords validates the wire records against the space and converts
+// them. A bad P-location yields the structured *tkplq.IngestError naming the
+// record — the same shape System.Ingest raises — so router-side validation
+// rejects a batch before any shard applies a sub-batch of it.
+func (s *Server) convertRecords(in []RecordJSON) ([]tkplq.Record, *tkplq.IngestError) {
+	recs := make([]tkplq.Record, 0, len(in))
+	numPLocs := s.sys.Space().NumPLocations()
+	for i, rj := range in {
+		samples := make(tkplq.SampleSet, 0, len(rj.Samples))
+		for _, sj := range rj.Samples {
+			if sj.PLoc < 0 || sj.PLoc >= numPLocs {
+				return nil, &tkplq.IngestError{
+					Index: i, OID: tkplq.ObjectID(rj.OID), T: tkplq.Time(rj.T),
+					Err: fmt.Errorf("unknown P-location %d", sj.PLoc),
+				}
+			}
+			samples = append(samples, tkplq.Sample{Loc: tkplq.PLocID(sj.PLoc), Prob: sj.Prob})
+		}
+		recs = append(recs, tkplq.Record{
+			OID:     tkplq.ObjectID(rj.OID),
+			T:       tkplq.Time(rj.T),
+			Samples: samples,
+		})
+	}
+	return recs, nil
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -311,25 +353,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	recs := make([]tkplq.Record, 0, len(req.Records))
-	numPLocs := s.sys.Space().NumPLocations()
-	for i, rj := range req.Records {
-		samples := make(tkplq.SampleSet, 0, len(rj.Samples))
-		for _, sj := range rj.Samples {
-			if sj.PLoc < 0 || sj.PLoc >= numPLocs {
+	recs, ie := s.convertRecords(req.Records)
+	if ie != nil {
+		writeJSON400Ingest(w, ie)
+		return
+	}
+	if s.router != nil {
+		s.handleIngestRouted(w, r, req.Records)
+		return
+	}
+	if s.cfg.Role == RoleShard {
+		// A shard only ever accepts its own partition: a record for a
+		// foreign object means the router (or an operator talking to the
+		// wrong port) is about to split that object's sequence across
+		// shards, which would corrupt every flow it contributes to.
+		for i, rec := range recs {
+			if owner := s.cfg.Topology.ShardOf(rec.OID); owner != s.cfg.ShardIndex {
+				s.ownershipRejects.Add(1)
 				writeJSON400Ingest(w, &tkplq.IngestError{
-					Index: i, OID: tkplq.ObjectID(rj.OID), T: tkplq.Time(rj.T),
-					Err: fmt.Errorf("unknown P-location %d", sj.PLoc),
+					Index: i, OID: rec.OID, T: rec.T,
+					Err: fmt.Errorf("object %d is owned by shard %d, not this shard %d", rec.OID, owner, s.cfg.ShardIndex),
 				})
 				return
 			}
-			samples = append(samples, tkplq.Sample{Loc: tkplq.PLocID(sj.PLoc), Prob: sj.Prob})
 		}
-		recs = append(recs, tkplq.Record{
-			OID:     tkplq.ObjectID(rj.OID),
-			T:       tkplq.Time(rj.T),
-			Samples: samples,
-		})
 	}
 	if err := s.sys.Ingest(recs); err != nil {
 		var ie *tkplq.IngestError
@@ -376,6 +423,10 @@ func (s *Server) maybeAutoSnapshot() {
 // handleSnapshot serves POST /v1/snapshot: an on-demand WAL compaction.
 // Without a durable store the endpoint answers 501.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		errorJSON(w, http.StatusNotImplemented, "snapshots are per-shard (POST /v1/snapshot on each shard)")
+		return
+	}
 	if s.cfg.Store == nil {
 		errorJSON(w, http.StatusNotImplemented, "persistence not configured (start tkplqd with -data-dir)")
 		return
@@ -409,6 +460,20 @@ func writeJSON400Ingest(w http.ResponseWriter, ie *tkplq.IngestError) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var out StatsResponse
+	out.Role = s.cfg.Role
+	if s.cfg.Role == RoleShard {
+		out.Shard = &ShardStatsJSON{
+			Index:               s.cfg.ShardIndex,
+			Shards:              s.cfg.Topology.NumShards(),
+			OwnershipRejections: s.ownershipRejects.Load(),
+		}
+	}
+	if s.router != nil {
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		cluster := s.router.clusterStats(ctx)
+		out.Cluster = &cluster
+	}
 	cs := s.sys.CacheStats()
 	out.Engine.CacheEntries = cs.Entries
 	out.Engine.CacheHits = cs.Hits
@@ -469,6 +534,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":  "ok",
+		"role":    s.cfg.Role,
 		"records": s.sys.Table().Len(),
 	})
 }

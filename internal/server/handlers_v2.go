@@ -34,8 +34,10 @@ type QueryV2 struct {
 
 // toQuery converts one wire query to a tkplq.Query, applying the v1-
 // compatible defaults (kind topk, algorithm bf, k 10, te = end of data,
-// empty slocs = all S-locations).
-func (s *Server) toQuery(req QueryV2) (tkplq.Query, QueryV2, error) {
+// empty slocs = all S-locations). On a router, "end of data" is resolved
+// cluster-wide by fanning /v2/span (the router's own table is empty), which
+// is why conversion runs under the request context.
+func (s *Server) toQuery(ctx context.Context, req QueryV2) (tkplq.Query, QueryV2, error) {
 	if req.Kind == "" {
 		req.Kind = "topk"
 	}
@@ -85,7 +87,13 @@ func (s *Server) toQuery(req QueryV2) (tkplq.Query, QueryV2, error) {
 	}
 	ts, te := tkplq.Time(req.Ts), tkplq.Time(req.Te)
 	if te == 0 {
-		if _, hi, ok := s.sys.Table().TimeSpan(); ok {
+		if s.router != nil {
+			hi, err := s.router.endOfData(ctx)
+			if err != nil {
+				return tkplq.Query{}, req, err
+			}
+			te = hi
+		} else if _, hi, ok := s.sys.Table().TimeSpan(); ok {
 			te = hi
 		}
 	}
@@ -130,14 +138,21 @@ func (s *Server) renderResponse(req QueryV2, resp *tkplq.Response, elapsed time.
 	return out
 }
 
-// evalOne converts, evaluates and renders a single query under ctx.
+// evalOne converts, evaluates and renders a single query under ctx. On a
+// router the evaluation is the distributed fan-in instead of the local
+// engine; the rendered shape is identical.
 func (s *Server) evalOne(ctx context.Context, req QueryV2) (QueryResponse, error) {
-	q, req, err := s.toQuery(req)
+	q, req, err := s.toQuery(ctx, req)
 	if err != nil {
 		return QueryResponse{}, err
 	}
 	started := time.Now()
-	resp, err := s.sys.Do(ctx, q)
+	var resp *tkplq.Response
+	if s.router != nil {
+		resp, err = s.router.Do(ctx, q)
+	} else {
+		resp, err = s.sys.Do(ctx, q)
+	}
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -192,8 +207,12 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	}
 	queries := make([]tkplq.Query, len(reqs))
 	for i := range reqs {
-		q, req, err := s.toQuery(reqs[i])
+		q, req, err := s.toQuery(ctx, reqs[i])
 		if err != nil {
+			if _, ok := isShardError(err); ok {
+				s.writeQueryError(w, err)
+				return
+			}
 			s.queryErrors.Add(1)
 			errorJSON(w, http.StatusBadRequest, "batch query %d: %v", i, err)
 			return
@@ -201,7 +220,12 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		queries[i], reqs[i] = q, req
 	}
 	started := time.Now()
-	resps, err := s.sys.DoBatch(ctx, queries)
+	var resps []*tkplq.Response
+	if s.router != nil {
+		resps, err = s.router.DoBatch(ctx, queries)
+	} else {
+		resps, err = s.sys.DoBatch(ctx, queries)
+	}
 	if err != nil {
 		s.writeQueryError(w, err)
 		return

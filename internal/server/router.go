@@ -1,0 +1,428 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkplq"
+	"tkplq/internal/cluster"
+	"tkplq/internal/core"
+	"tkplq/internal/iupt"
+)
+
+// Router is the fan-out/fan-in half of a distributed tkplq cluster. It owns
+// one shardClient per topology member and answers queries by collecting the
+// shards' per-object partial contributions (/v2/partial) and merging them in
+// canonical ascending-object order before ranking — the same additions in
+// the same order as a standalone process over the union table, so every
+// answer is bit-identical to single-node evaluation (see internal/core's
+// partial machinery and the PR-1 determinism contract).
+//
+// The router holds no records itself: its engine exists only for query
+// validation, ranking and the density area division, all of which depend on
+// the space alone. Identical concurrent fan-outs dedupe through a
+// core.QueryCoalescer whose epoch the router bumps on every routed ingest,
+// so a query racing an ingest never joins a pre-ingest flight.
+type Router struct {
+	topo    *cluster.Topology
+	eng     *core.Engine
+	clients []*shardClient
+	coal    *core.QueryCoalescer
+	epoch   atomic.Int64
+
+	fanOuts     atomic.Int64
+	shardErrors atomic.Int64
+}
+
+func newRouter(topo *cluster.Topology, sys *tkplq.System, timeout time.Duration) *Router {
+	rt := &Router{
+		topo: topo,
+		eng:  core.NewEngine(sys.Space(), core.Options{}),
+		coal: core.NewQueryCoalescer(),
+	}
+	for i := 0; i < topo.NumShards(); i++ {
+		rt.clients = append(rt.clients, newShardClient(i, topo.Addr(i), timeout))
+	}
+	return rt
+}
+
+// kindNames is the reverse of the kinds map, for re-encoding fan-out queries.
+var kindNames = map[tkplq.QueryKind]string{
+	tkplq.KindTopK:     "topk",
+	tkplq.KindDensity:  "density",
+	tkplq.KindFlow:     "flow",
+	tkplq.KindPresence: "presence",
+}
+
+// wireQuery re-encodes a validated engine query for the shard /v2/partial
+// endpoint. The window is already pinned (te resolved router-side), so every
+// shard evaluates the same [ts, te] regardless of its local data span.
+// Coalescing happens once, router-side; shards must not coalesce the
+// fan-out's legs against each other.
+func wireQuery(q tkplq.Query) QueryV2 {
+	slocs := make([]int, len(q.SLocs))
+	for i, s := range q.SLocs {
+		slocs[i] = int(s)
+	}
+	return QueryV2{
+		QueryRequest: QueryRequest{
+			Kind:  kindNames[q.Kind],
+			K:     q.K,
+			Ts:    int64(q.Ts),
+			Te:    int64(q.Te),
+			SLocs: slocs,
+		},
+		OID:        int64(q.OID),
+		Workers:    q.Workers,
+		NoCache:    q.DisableCache,
+		NoCoalesce: true,
+	}
+}
+
+// corePartial converts one shard's wire partial back to the engine shape.
+func corePartial(pr *PartialResponse) *core.Partial {
+	p := &core.Partial{
+		Rows:  pr.Rows,
+		Stats: statsFromJSON(pr.Stats),
+	}
+	p.OIDs = make([]iupt.ObjectID, len(pr.OIDs))
+	for i, oid := range pr.OIDs {
+		p.OIDs[i] = iupt.ObjectID(oid)
+	}
+	return p
+}
+
+// fanPartials collects every shard's partial for q concurrently. The first
+// shard failure cancels the remaining legs and is returned as a *shardError
+// naming the shard; when several legs fail, a real failure wins over one
+// induced by the cancellation.
+func (rt *Router) fanPartials(ctx context.Context, q tkplq.Query, clients []*shardClient) ([]*core.Partial, error) {
+	rt.fanOuts.Add(1)
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]*core.Partial, len(clients))
+	errs := make([]error, len(clients))
+	req := wireQuery(q)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *shardClient) {
+			defer wg.Done()
+			pr, err := c.partial(fctx, req)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			parts[i] = corePartial(pr)
+		}(i, c)
+	}
+	wg.Wait()
+	if err := firstShardError(ctx, errs); err != nil {
+		rt.shardErrors.Add(1)
+		return nil, err
+	}
+	return parts, nil
+}
+
+// firstShardError picks the failure to surface: the first error not caused
+// by our own fan-out cancellation, falling back to the first error.
+func firstShardError(ctx context.Context, errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if ctx.Err() == nil {
+			// A canceled leg is collateral of another leg's failure (its
+			// cause wraps context.Canceled via the transport); keep looking
+			// for the leg that actually failed.
+			if se, ok := isShardError(err); ok && !errors.Is(se.cause, context.Canceled) {
+				return err
+			}
+		}
+	}
+	return first
+}
+
+// fanMerged fans q to all shards and merges the partials.
+func (rt *Router) fanMerged(ctx context.Context, q tkplq.Query) (*core.Partial, error) {
+	parts, err := rt.fanPartials(ctx, q, rt.clients)
+	if err != nil {
+		return nil, err
+	}
+	return core.MergePartials(parts)
+}
+
+// endOfData resolves a te == 0 window the way a standalone node resolves it
+// against its own table: the cluster's end of data is the max span high
+// across shards. Every shard must answer — a missing shard could hold the
+// newest records, and guessing would silently change the query's meaning.
+func (rt *Router) endOfData(ctx context.Context) (tkplq.Time, error) {
+	spans := make([]*SpanResponse, len(rt.clients))
+	errs := make([]error, len(rt.clients))
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *shardClient) {
+			defer wg.Done()
+			spans[i], errs[i] = c.span(ctx)
+		}(i, c)
+	}
+	wg.Wait()
+	if err := firstShardError(ctx, errs); err != nil {
+		rt.shardErrors.Add(1)
+		return 0, err
+	}
+	var hi tkplq.Time
+	for _, sp := range spans {
+		if sp.OK && tkplq.Time(sp.Hi) > hi {
+			hi = tkplq.Time(sp.Hi)
+		}
+	}
+	return hi, nil
+}
+
+// clampK mirrors the engine's k clamp for the coalescer flight key.
+func clampK(q tkplq.Query) int {
+	if q.Kind != tkplq.KindTopK && q.Kind != tkplq.KindDensity {
+		return 0
+	}
+	if q.K > len(q.SLocs) {
+		return len(q.SLocs)
+	}
+	return q.K
+}
+
+// Do answers one validated query from the cluster. Presence queries route to
+// the single owning shard; every other kind fans to all shards, merges and
+// ranks. Identical concurrent fan-outs coalesce onto one evaluation.
+func (rt *Router) Do(ctx context.Context, q tkplq.Query) (*tkplq.Response, error) {
+	if q.Kind == tkplq.KindPresence {
+		c := rt.clients[rt.topo.ShardOf(q.OID)]
+		rt.fanOuts.Add(1)
+		pr, err := c.partial(ctx, wireQuery(q))
+		if err != nil {
+			rt.shardErrors.Add(1)
+			return nil, err
+		}
+		return rt.eng.FinishPartial(q, corePartial(pr))
+	}
+	results, stats, err := rt.coal.Do(ctx, q, clampK(q), rt.epoch.Load(), func(ctx context.Context) ([]tkplq.Result, tkplq.Stats, error) {
+		merged, err := rt.fanMerged(ctx, q)
+		if err != nil {
+			return nil, tkplq.Stats{}, err
+		}
+		resp, err := rt.eng.FinishPartial(q, merged)
+		if err != nil {
+			return nil, tkplq.Stats{}, err
+		}
+		return resp.Results, resp.Stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &tkplq.Response{Results: results, Stats: stats}
+	if q.Kind == tkplq.KindFlow && len(results) > 0 {
+		resp.Flow = results[0].Flow
+	}
+	return resp, nil
+}
+
+// DoBatch answers a query batch with the same shared-work grouping as
+// System.DoBatch: queries over one window share a single fan-out over the
+// ascending union of their S-location sets, and each member's answer is
+// finished from the union columns — bit-identical to evaluating it alone.
+func (rt *Router) DoBatch(ctx context.Context, qs []tkplq.Query) ([]*tkplq.Response, error) {
+	out := make([]*tkplq.Response, len(qs))
+	for _, idxs := range rt.eng.BatchGroups(qs) {
+		if len(idxs) == 1 {
+			resp, err := rt.Do(ctx, qs[idxs[0]])
+			if err != nil {
+				return nil, err
+			}
+			out[idxs[0]] = resp
+			continue
+		}
+		union := core.UnionSLocs(qs, idxs)
+		m := qs[idxs[0]]
+		fq := tkplq.Query{
+			Kind:         tkplq.KindTopK,
+			Algorithm:    tkplq.BestFirst,
+			K:            len(union),
+			Ts:           m.Ts,
+			Te:           m.Te,
+			SLocs:        union,
+			Workers:      m.Workers,
+			DisableCache: m.DisableCache,
+		}
+		merged, err := rt.fanMerged(ctx, fq)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.eng.FinishPartialGroup(qs, idxs, union, merged, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// shardIngestOutcome is one shard's result of a routed ingest.
+type shardIngestOutcome struct {
+	sent int
+	ok   *IngestResponse
+	rej  *IngestErrorResponse
+	err  error
+}
+
+// ingest splits the batch by owning shard, forwards the sub-batches
+// concurrently, and composes the outcome:
+//
+//   - every shard applied → 200 RouterIngestResponse
+//   - a shard rejected its sub-batch and nothing was applied anywhere → 400
+//     IngestErrorResponse with the index mapped back to the caller's batch
+//   - a shard was unreachable and nothing was applied → 503 degraded
+//     envelope naming the shard
+//   - anything failed after another shard applied → 502 partial-failure
+//     RouterIngestResponse listing every shard's outcome
+//
+// Shard sub-batches are atomic (System.Ingest validates before appending),
+// but the cluster batch is not: the envelope, not a rollback, is the
+// partial-failure contract.
+func (rt *Router) ingest(ctx context.Context, recs []RecordJSON) (int, any) {
+	n := rt.topo.NumShards()
+	byShard := make([][]RecordJSON, n)
+	origIdx := make([][]int, n)
+	for i, rj := range recs {
+		s := rt.topo.ShardOf(iupt.ObjectID(rj.OID))
+		byShard[s] = append(byShard[s], rj)
+		origIdx[s] = append(origIdx[s], i)
+	}
+
+	outcomes := make([]shardIngestOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(byShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := &outcomes[i]
+			o.sent = len(byShard[i])
+			o.ok, o.rej, o.err = rt.clients[i].ingest(ctx, byShard[i])
+		}(i)
+	}
+	wg.Wait()
+
+	resp := RouterIngestResponse{Shards: make([]ShardIngestJSON, 0, n)}
+	applied, failures := 0, 0
+	var firstRej *IngestErrorResponse
+	firstRejShard := -1
+	var firstErr error
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.sent == 0 {
+			continue
+		}
+		row := ShardIngestJSON{Shard: i, Addr: rt.topo.Addr(i), Sent: o.sent}
+		switch {
+		case o.ok != nil:
+			row.Ingested = o.ok.Ingested
+			row.Records = o.ok.Records
+			applied += o.ok.Ingested
+		case o.rej != nil:
+			failures++
+			row.Error = o.rej.Error
+			row.Index = origIdx[i][o.rej.Index]
+			if firstRej == nil {
+				firstRej, firstRejShard = o.rej, i
+			}
+		default:
+			failures++
+			row.Error = o.err.Error()
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		}
+		resp.Shards = append(resp.Shards, row)
+	}
+	resp.Ingested = applied
+	for i := range outcomes {
+		if outcomes[i].ok != nil {
+			resp.Records += outcomes[i].ok.Records
+		}
+	}
+	if applied > 0 {
+		// The table changed: later queries must not join pre-ingest flights.
+		rt.epoch.Add(1)
+	}
+
+	switch {
+	case failures == 0:
+		return 200, resp
+	case applied == 0 && firstErr != nil:
+		rt.shardErrors.Add(1)
+		return 503, firstErr
+	case applied == 0:
+		// Pure validation rejection, nothing applied: keep the standalone
+		// 400 envelope with the index mapped to the caller's batch.
+		mapped := *firstRej
+		mapped.Index = origIdx[firstRejShard][firstRej.Index]
+		return 400, &mapped
+	default:
+		if firstErr != nil {
+			rt.shardErrors.Add(1)
+			resp.Error = fmt.Sprintf("partial ingest: %d of %d records applied; %v", applied, len(recs), firstErr)
+		} else {
+			resp.Error = fmt.Sprintf("partial ingest: %d of %d records applied; shard %d (%s) rejected record %d: %s",
+				applied, len(recs), firstRejShard, rt.topo.Addr(firstRejShard),
+				origIdx[firstRejShard][firstRej.Index], firstRej.Error)
+		}
+		return 502, resp
+	}
+}
+
+// clusterStats collects the router counters and every shard's own stats.
+// A dead shard does not fail the call: it is reported unhealthy with its
+// error, because /v1/stats is exactly the endpoint an operator reaches for
+// when a shard is down.
+func (rt *Router) clusterStats(ctx context.Context) ClusterStatsJSON {
+	out := ClusterStatsJSON{
+		FanOuts:     rt.fanOuts.Load(),
+		ShardErrors: rt.shardErrors.Load(),
+		IngestEpoch: rt.epoch.Load(),
+		Shards:      make([]ShardStatJSON, len(rt.clients)),
+	}
+	out.Coalesced, out.CoalesceLed = rt.coal.Counts()
+	var wg sync.WaitGroup
+	for i, c := range rt.clients {
+		wg.Add(1)
+		go func(i int, c *shardClient) {
+			defer wg.Done()
+			raw, err := c.stats(ctx)
+			row := &out.Shards[i]
+			row.Shard = i
+			row.Addr = c.addr
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Healthy = true
+				row.Stats = raw
+			}
+			row.Requests = c.requests.Load()
+			row.Errors = c.errs.Load()
+			row.Retries = c.retried.Load()
+			row.LastLatencyMS = float64(c.lastLatency.Load()) / 1000
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}

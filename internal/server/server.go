@@ -10,6 +10,10 @@
 //	                   over a sliding window, evaluated incrementally; identical
 //	                   subscriptions share one monitor
 //	POST /v1/ingest  — batched uncertain positioning records into the live table
+//	POST /v2/partial — internal: one shard's per-object contribution to a
+//	                   distributed query (router fan-in; see Role*)
+//	GET  /v2/span    — internal: the table's time span, for cluster-wide
+//	                   te == 0 resolution
 //	POST /v1/snapshot — compact the WAL into a binary table snapshot on demand
 //	GET  /v1/stats   — engine cache + coalescer + wal counters, server counters,
 //	                   table shape, live subscription feeds
@@ -43,7 +47,20 @@ import (
 	"time"
 
 	"tkplq"
+	"tkplq/internal/cluster"
 	"tkplq/internal/wal"
+)
+
+// Serving roles. A standalone server owns the whole table; a shard owns one
+// static partition of the objects and refuses ingest outside it; a router
+// owns no records at all and answers queries by fanning /v2/partial over the
+// topology's shards and merging the contributions in canonical
+// ascending-object order (bit-identical to standalone — see internal/core's
+// partial machinery and internal/cluster).
+const (
+	RoleStandalone = "standalone"
+	RoleShard      = "shard"
+	RoleRouter     = "router"
 )
 
 // Config parametrizes a Server.
@@ -74,6 +91,17 @@ type Config struct {
 	// keep idle connections alive through proxies; DefaultSSEHeartbeat when
 	// zero.
 	SSEHeartbeat time.Duration
+	// Role selects the serving mode: RoleStandalone (default, empty),
+	// RoleShard or RoleRouter.
+	Role string
+	// Topology is the cluster's static object→shard map. Required for the
+	// shard and router roles; every member must load the same file.
+	Topology *cluster.Topology
+	// ShardIndex is this process's index in Topology (shard role only).
+	ShardIndex int
+	// ShardTimeout bounds one router→shard attempt; DefaultShardTimeout when
+	// zero (router role only).
+	ShardTimeout time.Duration
 }
 
 // DefaultRequestTimeout bounds request handling when Config.RequestTimeout
@@ -91,6 +119,9 @@ type Server struct {
 	httpSrv *http.Server
 	ln      net.Listener
 	started time.Time
+	router  *Router // non-nil in the router role
+
+	ownershipRejects atomic.Int64 // shard role: ingest records refused as not-owned
 
 	queries         atomic.Int64
 	queryErrors     atomic.Int64
@@ -123,7 +154,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	switch cfg.Role {
+	case "", RoleStandalone:
+		cfg.Role = RoleStandalone
+	case RoleShard:
+		if cfg.Topology == nil {
+			return nil, errors.New("server: shard role requires a topology")
+		}
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.Topology.NumShards() {
+			return nil, fmt.Errorf("server: shard index %d out of range (topology has %d shards)",
+				cfg.ShardIndex, cfg.Topology.NumShards())
+		}
+	case RoleRouter:
+		if cfg.Topology == nil {
+			return nil, errors.New("server: router role requires a topology")
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown role %q (want %s, %s or %s)",
+			cfg.Role, RoleStandalone, RoleShard, RoleRouter)
+	}
 	s := &Server{sys: cfg.System, cfg: cfg, started: time.Now()}
+	if cfg.Role == RoleRouter {
+		s.router = newRouter(cfg.Topology, cfg.System, cfg.ShardTimeout)
+	}
 
 	// Explicit method checks (rather than Go 1.22 method patterns) so a
 	// wrong-method request gets the JSON error envelope, not the mux's bare
@@ -134,6 +187,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v2/subscribe", s.method(http.MethodGet, s.handleSubscribe))
 	mux.HandleFunc("/v1/ingest", s.method(http.MethodPost, s.handleIngest))
 	mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
+	mux.HandleFunc("/v2/partial", s.method(http.MethodPost, s.handlePartial))
+	mux.HandleFunc("/v2/span", s.method(http.MethodGet, s.handleSpan))
 	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

@@ -74,6 +74,36 @@ func (s *System) DoBatch(ctx context.Context, qs []Query) ([]*Response, error) {
 	return s.engine.DoBatch(ctx, s.table, qs)
 }
 
+// Partial is one node's per-object contribution to a distributed query: for
+// every local object in the window that survived pruning, the object's
+// presence in each queried S-location, in ascending object order. Shards
+// produce Partials with System.DoPartial; a router merges them with
+// MergePartials and finishes the ranking with System.FinishPartial — and
+// because the merge performs the same floating-point additions in the same
+// canonical ascending-object order as a single process over the union
+// table, the distributed answer is bit-identical to the standalone one.
+type Partial = core.Partial
+
+// DoPartial evaluates this system's local contribution to a distributed
+// query: per-object presence rows over q.SLocs for the system's objects in
+// [q.Ts, q.Te]. All query kinds are accepted; q.Algorithm is ignored (all
+// three TkPLQ algorithms produce bit-identical flows, so the merged answer
+// matches a standalone run of any of them).
+func (s *System) DoPartial(ctx context.Context, q Query) (*Partial, error) {
+	return s.engine.DoPartial(ctx, s.table, q)
+}
+
+// MergePartials merges disjoint per-shard partials into one canonical
+// ascending-object stream. An object contributed by more than one partial
+// (overlapping shard partitions) is a hard error.
+func MergePartials(parts []*Partial) (*Partial, error) { return core.MergePartials(parts) }
+
+// FinishPartial completes a distributed query from a merged partial with
+// the exact flow accumulation and ranking of a single-node evaluation.
+func (s *System) FinishPartial(q Query, merged *Partial) (*Response, error) {
+	return s.engine.FinishPartial(q, merged)
+}
+
 // Flow computes the indoor flow of one S-location over [ts, te]
 // (paper Definition 1 / Algorithm 2). It is a context-free wrapper over Do;
 // an invalid S-location yields 0.
