@@ -1,6 +1,10 @@
 // Command gendata generates a synthetic indoor mobility dataset: a
 // building, ground-truth trajectories, and the derived Indoor Uncertain
 // Positioning Table (IUPT), written as CSV or the compact binary format.
+// Records are generated lazily and streamed to the output as they are
+// produced — the full table is never held in memory, so datasets far larger
+// than RAM are fine (binary output to a pipe is the one exception: its
+// count header needs a seekable file, so bin-to-stdout buffers records).
 //
 // Both output formats are specified byte by byte in docs/FORMATS.md. The
 // binary format is identical to the snapshot format of tkplqd's durable
@@ -89,21 +93,6 @@ func run(args []string, stdout, errOut io.Writer) error {
 		Gamma:       0.2,
 		Seed:        *seed + 1,
 	}
-	table, err := sim.GenerateIUPT(b, trajs, posCfg)
-	if err != nil {
-		return err
-	}
-
-	if *stats {
-		st := table.ComputeStats()
-		fmt.Fprintf(errOut,
-			"space: %d partitions, %d doors, %d P-locations, %d S-locations, %d cells\n",
-			b.Space.NumPartitions(), b.Space.NumDoors(), b.Space.NumPLocations(),
-			b.Space.NumSLocations(), b.Space.NumCells())
-		fmt.Fprintf(errOut,
-			"iupt: %d records, %d objects, %d s span, %.2f samples/record (max %d)\n",
-			st.Records, st.Objects, st.TimeSpan, st.AvgSampleSize, st.MaxSampleSize)
-	}
 
 	w := stdout
 	var f *os.File
@@ -113,18 +102,120 @@ func run(args []string, stdout, errOut io.Writer) error {
 		}
 		w = f
 	}
-	switch *format {
-	case "csv":
-		err = table.WriteCSV(w)
-	case "bin":
-		err = table.WriteBinary(w)
-	default:
-		err = fmt.Errorf("unknown format %q (want csv or bin)", *format)
+	var acc *statsAcc
+	if *stats {
+		acc = &statsAcc{objects: map[iupt.ObjectID]bool{}}
 	}
+	err = writeStream(b, trajs, posCfg, *format, w, f, acc)
 	if f != nil {
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 	}
+	if err == nil && acc != nil {
+		fmt.Fprintf(errOut,
+			"space: %d partitions, %d doors, %d P-locations, %d S-locations, %d cells\n",
+			b.Space.NumPartitions(), b.Space.NumDoors(), b.Space.NumPLocations(),
+			b.Space.NumSLocations(), b.Space.NumCells())
+		fmt.Fprintf(errOut,
+			"iupt: %d records, %d objects, %d s span, %.2f samples/record (max %d)\n",
+			acc.records, len(acc.objects), acc.span(), acc.avgSamples(), acc.maxSamples)
+	}
 	return err
+}
+
+// statsAcc accumulates the -stats summary incrementally, replacing the
+// Table.ComputeStats call the streaming path can no longer afford.
+type statsAcc struct {
+	records      int
+	objects      map[iupt.ObjectID]bool
+	minT, maxT   iupt.Time
+	totalSamples int64
+	maxSamples   int
+}
+
+func (a *statsAcc) observe(rec iupt.Record) {
+	if a == nil {
+		return
+	}
+	if a.records == 0 || rec.T < a.minT {
+		a.minT = rec.T
+	}
+	if a.records == 0 || rec.T > a.maxT {
+		a.maxT = rec.T
+	}
+	a.records++
+	a.objects[rec.OID] = true
+	a.totalSamples += int64(len(rec.Samples))
+	if len(rec.Samples) > a.maxSamples {
+		a.maxSamples = len(rec.Samples)
+	}
+}
+
+func (a *statsAcc) span() iupt.Time {
+	if a.records == 0 {
+		return 0
+	}
+	return a.maxT - a.minT
+}
+
+func (a *statsAcc) avgSamples() float64 {
+	if a.records == 0 {
+		return 0
+	}
+	return float64(a.totalSamples) / float64(a.records)
+}
+
+// writeStream generates the IUPT lazily and writes records as they are
+// produced, so memory stays O(objects) no matter the dataset size. The
+// binary format's count header needs a seek-patch, so bin to a non-seekable
+// destination (stdout, a pipe) falls back to collecting the record slice —
+// still never a full table.
+func writeStream(b *sim.Building, trajs []sim.Trajectory, posCfg sim.PositioningConfig, format string, w io.Writer, f *os.File, acc *statsAcc) error {
+	stream, err := sim.StreamIUPT(b, trajs, posCfg)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		cw := iupt.NewCSVWriter(w)
+		for {
+			rec, ok := stream.Next()
+			if !ok {
+				return cw.Flush()
+			}
+			acc.observe(rec)
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	case "bin":
+		if f == nil {
+			var recs []iupt.Record
+			for {
+				rec, ok := stream.Next()
+				if !ok {
+					return iupt.WriteRecordsBinary(w, recs)
+				}
+				acc.observe(rec)
+				recs = append(recs, rec)
+			}
+		}
+		bw, err := iupt.NewBinaryWriter(f)
+		if err != nil {
+			return err
+		}
+		for {
+			rec, ok := stream.Next()
+			if !ok {
+				return bw.Close()
+			}
+			acc.observe(rec)
+			if err := bw.Write(rec); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or bin)", format)
+	}
 }

@@ -34,6 +34,14 @@
 // gendata space for ingested P-location ids). See docs/OPERATIONS.md for
 // the full operations guide and docs/FORMATS.md for the on-disk formats.
 //
+// With -storage parts the data directory instead holds immutable,
+// memory-mapped sealed partitions plus a short WAL head: POST /v1/snapshot
+// (and -snapshot-every) seals the head into a new partition in O(head),
+// restart replays only the WAL tail no matter how large the table is, and
+// sealed records never occupy heap — larger-than-RAM datasets, millisecond
+// restarts. A flat directory is migrated in place on the first -storage
+// parts start. Query answers are bit-identical in either layout.
+//
 // With -role the daemon becomes one member of a distributed cluster
 // (default: standalone). A `shard` owns the static partition of the objects
 // that a shared topology file (-topology, see internal/cluster) assigns to
@@ -50,7 +58,8 @@
 //	tkplqd [-addr HOST:PORT] [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
 //	       [-objects N] [-duration SECONDS] [-seed N] [-workers N]
 //	       [-request-timeout DUR] [-shutdown-timeout DUR]
-//	       [-data-dir DIR] [-fsync always|interval] [-fsync-interval DUR]
+//	       [-data-dir DIR] [-storage flat|parts]
+//	       [-fsync always|interval] [-fsync-interval DUR]
 //	       [-snapshot-every N] [-snapshot-interval DUR] [-pprof HOST:PORT]
 //	       [-role standalone|shard|router] [-topology FILE]
 //	       [-shard-index N] [-shard-timeout DUR]
@@ -108,6 +117,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		requestTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown drain budget")
 		dataDir         = fs.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
+		storage         = fs.String("storage", "flat", "durable layout with -data-dir: flat (single snapshot + WAL) or parts (memory-mapped sealed partitions + WAL head; larger-than-RAM tables, O(tail) restarts)")
 		fsyncPolicy     = fs.String("fsync", "always", "WAL fsync policy: always (durable per batch) or interval (batched)")
 		fsyncInterval   = fs.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence for -fsync interval")
 		snapshotEvery   = fs.Int("snapshot-every", 100000, "auto-snapshot after N records ingested since the last snapshot (0 = off); bounds log growth and restart replay")
@@ -120,6 +130,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *storage {
+	case "flat", "parts":
+	default:
+		return fmt.Errorf("unknown -storage %q (want flat or parts)", *storage)
+	}
+	if *storage == "parts" && *dataDir == "" {
+		return fmt.Errorf("-storage parts requires -data-dir")
 	}
 
 	var topo *cluster.Topology
@@ -154,7 +172,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		own = func(oid iupt.ObjectID) bool { return topo.Owns(oid, idx) }
 	}
 
-	var store *tkplq.WAL
+	var store daemonStore
 	var sys *tkplq.System
 	if *role == server.RoleRouter {
 		b, err := buildSpace(*dataset)
@@ -171,27 +189,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		var recovered *tkplq.Table
-		store, recovered, err = tkplq.OpenWAL(tkplq.WALOptions{
-			Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
-		})
-		if err != nil {
-			return err
+		switch *storage {
+		case "flat":
+			w, rec, err := tkplq.OpenWAL(tkplq.WALOptions{
+				Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+			})
+			if err != nil {
+				return err
+			}
+			store, recovered = w, rec
+		case "parts":
+			p, rec, err := tkplq.OpenPartitioned(tkplq.PartitionedOptions{
+				Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+			})
+			if err != nil {
+				return err
+			}
+			store, recovered = p, rec
+		default:
+			return fmt.Errorf("unknown -storage %q (want flat or parts)", *storage)
 		}
 		defer store.Close()
 		if recovered.Len() > 0 {
 			// The durable state is the source of truth; the flags only
 			// rebuild the (deterministic) indoor space around it.
-			if err := recovered.Validate(); err != nil {
-				return fmt.Errorf("%s: recovered table: %w", *dataDir, err)
+			if *storage == "flat" {
+				if err := recovered.Validate(); err != nil {
+					return fmt.Errorf("%s: recovered table: %w", *dataDir, err)
+				}
 			}
+			// parts: no full-table Validate — the head was validated frame
+			// by frame at replay and every sealed partition passed its CRC
+			// and column invariants at open; decoding every sealed record
+			// here would defeat the O(WAL tail) restart.
 			if own != nil {
-				// A shard's WAL can only ever hold owned objects; a foreign
-				// record means the topology changed under the data-dir.
+				// A shard's data-dir can only ever hold owned objects; a
+				// foreign object means the topology changed under it.
 				// Refuse loudly rather than silently dropping records.
-				for _, rec := range recovered.SortedRecords() {
-					if !own(rec.OID) {
+				// Objects() scans only OID columns — no record decode.
+				for _, oid := range recovered.Objects() {
+					if !own(oid) {
 						return fmt.Errorf("%s: recovered object %d is not owned by shard %d under %s — re-partition the data before changing the topology",
-							*dataDir, rec.OID, *shardIndex, *topologyFile)
+							*dataDir, oid, *shardIndex, *topologyFile)
 					}
 				}
 			}
@@ -204,13 +243,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return err
 			}
 			sys.SetPersister(store)
-			ws := store.Stats()
-			fmt.Fprintf(out, "tkplqd: recovered %d records from %s (snapshot seq %d, %d frames replayed, %d torn bytes dropped)\n",
-				ws.RecoveredRecords, *dataDir, ws.SnapshotSeq, ws.ReplayedFrames, ws.TornBytes)
-			if ws.CorruptFrames > 0 {
-				fmt.Fprintf(out, "tkplqd: WARNING: %d complete WAL frames failed their CRC and were dropped — bit rot if the log was fsynced; check the disk\n",
-					ws.CorruptFrames)
+			logRecovery(out, store, recovered, *dataDir)
+		} else if *storage == "parts" {
+			// Bootstrap a partitioned directory through the live write path:
+			// chunked Ingest into the (empty) recovered head, then one seal —
+			// the initial dataset becomes partition 1 and later restarts map
+			// it without replaying a single record.
+			b, table, err := buildTable(*dataset, *iuptFile, *format, *objects, *duration, *seed, own)
+			if err != nil {
+				return err
 			}
+			sys, err = tkplq.NewSystem(b.Space, recovered, tkplq.Options{Workers: *workers})
+			if err != nil {
+				return err
+			}
+			sys.SetPersister(store)
+			if err := ingestInitial(sys, table); err != nil {
+				return fmt.Errorf("bootstrap ingest: %w", err)
+			}
+			if err := sys.Snapshot(); err != nil {
+				return fmt.Errorf("bootstrap seal: %w", err)
+			}
+			fmt.Fprintf(out, "tkplqd: initialized %s with a bootstrap partition (%d records)\n",
+				*dataDir, sys.Table().Len())
 		} else {
 			sys, err = buildSystem(*dataset, *iuptFile, *format, *objects, *duration, *seed, *workers, own)
 			if err != nil {
@@ -261,9 +316,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	st := sys.Table().ComputeStats()
+	// Len/Objects, not ComputeStats: a partitioned table reports both from
+	// footers and OID columns without decoding a single sealed record.
 	fmt.Fprintf(out, "tkplqd: listening on %s (role %s, %d records, %d objects, %d S-locations)\n",
-		srv.Addr(), *role, st.Records, st.Objects, sys.Space().NumSLocations())
+		srv.Addr(), *role, sys.Table().Len(), len(sys.Table().Objects()), sys.Space().NumSLocations())
 
 	if store != nil && *snapshotIvl > 0 {
 		go func() {
@@ -308,6 +364,65 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case err := <-errCh:
 		return err
 	}
+}
+
+// daemonStore is the durable-store surface run needs; both *tkplq.WAL
+// (-storage flat) and *tkplq.PartitionedStore (-storage parts) satisfy it,
+// and it in turn satisfies server.DurableStore.
+type daemonStore interface {
+	tkplq.Persister
+	RecordsSinceSnapshot() int64
+	Close() error
+}
+
+// logRecovery announces what recovery did, in the attached store's terms:
+// a flat store replays snapshot + log, a partitioned store maps sealed
+// partitions and replays only the WAL tail.
+func logRecovery(out io.Writer, store daemonStore, recovered *tkplq.Table, dataDir string) {
+	switch st := store.(type) {
+	case *tkplq.PartitionedStore:
+		ps := st.Stats()
+		fmt.Fprintf(out, "tkplqd: recovered %d records from %s (%d sealed partitions mapped, %d sealed records untouched, %d replayed from the WAL tail)\n",
+			recovered.Len(), dataDir, ps.Partitions, ps.SealedRecords, ps.WAL.ReplayedRecords)
+		if ps.MigratedRecords > 0 {
+			fmt.Fprintf(out, "tkplqd: migrated flat snapshot (%d records) into partition %d — the directory is partitioned from now on\n",
+				ps.MigratedRecords, ps.Seq)
+		}
+		warnCorrupt(out, ps.WAL)
+	case *tkplq.WAL:
+		ws := st.Stats()
+		fmt.Fprintf(out, "tkplqd: recovered %d records from %s (snapshot seq %d, %d frames replayed, %d torn bytes dropped)\n",
+			ws.RecoveredRecords, dataDir, ws.SnapshotSeq, ws.ReplayedFrames, ws.TornBytes)
+		warnCorrupt(out, ws)
+	}
+}
+
+// warnCorrupt surfaces complete-but-corrupt WAL frames dropped at recovery.
+func warnCorrupt(out io.Writer, ws tkplq.WALStats) {
+	if ws.CorruptFrames > 0 {
+		fmt.Fprintf(out, "tkplqd: WARNING: %d complete WAL frames failed their CRC and were dropped — bit rot if the log was fsynced; check the disk\n",
+			ws.CorruptFrames)
+	}
+}
+
+// ingestInitial feeds the initial dataset through System.Ingest in chunks
+// bounded well under the WAL's 64 MiB frame limit, so bootstrapping a
+// partitioned data directory exercises exactly the live write path.
+func ingestInitial(sys *tkplq.System, table *tkplq.Table) error {
+	recs := table.SortedRecords()
+	const maxChunkBytes = 8 << 20
+	for start := 0; start < len(recs); {
+		bytes, end := 0, start
+		for end < len(recs) && bytes < maxChunkBytes {
+			bytes += 16 + 12*len(recs[end].Samples)
+			end++
+		}
+		if err := sys.Ingest(recs[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }
 
 // servePprof serves the net/http/pprof handlers on their own listener, kept
@@ -365,16 +480,27 @@ func buildSpace(dataset string) (*sim.Building, error) {
 // deterministic generation, and each shard carves out its partition, so the
 // shards' tables union to exactly the standalone table.
 func buildSystem(dataset, iuptFile, format string, objects int, duration, seed int64, workers int, own func(iupt.ObjectID) bool) (*tkplq.System, error) {
-	b, err := buildSpace(dataset)
+	b, table, err := buildTable(dataset, iuptFile, format, objects, duration, seed, own)
 	if err != nil {
 		return nil, err
+	}
+	return tkplq.NewSystem(b.Space, table, tkplq.Options{Workers: workers})
+}
+
+// buildTable regenerates the indoor space and the initial IUPT (loaded from
+// a gendata file or generated on the fly), filtered by the shard ownership
+// predicate when non-nil.
+func buildTable(dataset, iuptFile, format string, objects int, duration, seed int64, own func(iupt.ObjectID) bool) (*sim.Building, *tkplq.Table, error) {
+	b, err := buildSpace(dataset)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	var table *tkplq.Table
 	if iuptFile != "" {
 		f, err := os.Open(iuptFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch format {
 		case "csv":
@@ -383,17 +509,17 @@ func buildSystem(dataset, iuptFile, format string, objects int, duration, seed i
 			table, err = iupt.ReadBinary(f)
 		default:
 			f.Close()
-			return nil, fmt.Errorf("unknown format %q (want csv or bin)", format)
+			return nil, nil, fmt.Errorf("unknown format %q (want csv or bin)", format)
 		}
 		cerr := f.Close()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if cerr != nil {
-			return nil, cerr
+			return nil, nil, cerr
 		}
 		if err := table.Validate(); err != nil {
-			return nil, fmt.Errorf("%s: %w", iuptFile, err)
+			return nil, nil, fmt.Errorf("%s: %w", iuptFile, err)
 		}
 	} else {
 		moveCfg := sim.MovementConfig{
@@ -404,13 +530,13 @@ func buildSystem(dataset, iuptFile, format string, objects int, duration, seed i
 		}
 		trajs, err := sim.SimulateMovement(b, moveCfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		table, err = sim.GenerateIUPT(b, trajs, sim.PositioningConfig{
 			MaxPeriod: 3, MSS: 4, ErrorRadius: 5, Gamma: 0.2, Seed: seed + 1,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -423,5 +549,5 @@ func buildSystem(dataset, iuptFile, format string, objects int, duration, seed i
 		}
 		table = owned
 	}
-	return tkplq.NewSystem(b.Space, table, tkplq.Options{Workers: workers})
+	return b, table, nil
 }

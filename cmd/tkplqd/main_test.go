@@ -337,3 +337,111 @@ func TestDaemonPprof(t *testing.T) {
 		t.Fatal("query listener serves /debug/pprof/; it must stay on the separate -pprof listener")
 	}
 }
+
+// TestDaemonPartitionedRestart boots the daemon with -storage parts: the
+// first boot seals the bootstrap dataset into partition 1, an on-demand
+// seal commits partition 2, and a restart maps both partitions — replaying
+// only the post-seal WAL tail — while answering the same query identically.
+func TestDaemonPartitionedRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-objects", "6", "-duration", "600", "-seed", "3",
+		"-data-dir", dataDir, "-storage", "parts",
+	}
+
+	base, out, stop := startDaemon(t, args)
+	if !strings.Contains(out.String(), "bootstrap partition") {
+		t.Fatalf("first boot did not announce the bootstrap partition: %s", out.String())
+	}
+	post := func(base, path, body string) []byte {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s = %d: %s", path, resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+
+	// Two records sealed into partition 2, two more left in the WAL tail.
+	post(base, "/v1/ingest", `{"records":[{"oid":9001,"t":700,"samples":[{"ploc":0,"prob":1.0}]},`+
+		`{"oid":9001,"t":703,"samples":[{"ploc":1,"prob":0.5},{"ploc":2,"prob":0.5}]}]}`)
+	var snap struct {
+		SnapshotSeq uint64 `json:"snapshot_seq"`
+	}
+	if err := json.Unmarshal(post(base, "/v1/snapshot", `{}`), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SnapshotSeq != 2 {
+		t.Fatalf("on-demand seal committed seq %d, want 2 (bootstrap is 1)", snap.SnapshotSeq)
+	}
+	post(base, "/v1/ingest", `{"records":[{"oid":9002,"t":710,"samples":[{"ploc":0,"prob":1.0}]},`+
+		`{"oid":9002,"t":712,"samples":[{"ploc":3,"prob":1.0}]}]}`)
+
+	queryBody := `{"kind":"topk","algorithm":"bf","k":5,"te":800}`
+	results := func(base string) []byte {
+		t.Helper()
+		var body struct {
+			Results []struct {
+				SLoc int     `json:"sloc"`
+				Flow float64 `json:"flow"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(post(base, "/v1/query", queryBody), &body); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(body.Results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	before := results(base)
+	stop()
+
+	base2, out2, stop2 := startDaemon(t, args)
+	defer stop2()
+	if !strings.Contains(out2.String(), "sealed partitions mapped") {
+		t.Fatalf("second boot did not announce partition mapping: %s", out2.String())
+	}
+
+	// The storage stats section must show both partitions with only the
+	// two tail records replayed.
+	sresp, err := http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Storage *struct {
+			SealSeq    uint64 `json:"seal_seq"`
+			Partitions int    `json:"partitions"`
+		} `json:"storage"`
+		WAL *struct {
+			ReplayedRecords int64 `json:"replayed_records"`
+		} `json:"wal"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Storage == nil || stats.Storage.Partitions != 2 || stats.Storage.SealSeq != 2 {
+		t.Fatalf("restarted storage stats = %+v", stats.Storage)
+	}
+	if stats.WAL == nil || stats.WAL.ReplayedRecords != 2 {
+		t.Fatalf("restart replayed %+v, want only the 2-record WAL tail", stats.WAL)
+	}
+
+	after := results(base2)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restart changed the answer:\nbefore: %s\nafter:  %s", before, after)
+	}
+}

@@ -3,6 +3,7 @@ package tkplq
 import (
 	"errors"
 
+	"tkplq/internal/parts"
 	"tkplq/internal/wal"
 )
 
@@ -53,6 +54,48 @@ func OpenWAL(opts WALOptions) (*WAL, *Table, error) {
 	return wal.Open(opts)
 }
 
+type (
+	// PartitionedStore is the memory-mapped, time-partitioned durable store:
+	// a WAL-backed mutable head plus immutable sealed partitions opened via
+	// mmap. Obtain one with OpenPartitioned; it implements Persister and
+	// Sealer, so System.Snapshot seals instead of writing a flat snapshot.
+	PartitionedStore = parts.Store
+	// PartitionedOptions parametrizes OpenPartitioned: data directory, fsync
+	// policy/cadence (as WALOptions), and partition verification mode.
+	PartitionedOptions = parts.Options
+	// PartitionedStats is a snapshot of a partitioned store's counters:
+	// sealed partition count/records/bytes, seals, records migrated from a
+	// flat snapshot, records decoded out of sealed partitions, plus the
+	// head WAL's counters.
+	PartitionedStats = parts.Stats
+	// PartitionVerify selects how much of each sealed partition
+	// OpenPartitioned checks (VerifyFull by default).
+	PartitionVerify = parts.VerifyMode
+)
+
+// Partition verification modes for PartitionedOptions.Verify.
+const (
+	// VerifyFull checks every sealed partition's data CRC and column
+	// invariants at open — O(file); corruption is a loud boot error.
+	VerifyFull = parts.VerifyFull
+	// VerifyFooter checks only footer CRC and geometry — O(1) per
+	// partition, for instant opens at the cost of rot detection.
+	VerifyFooter = parts.VerifyFooter
+)
+
+// OpenPartitioned opens (or initializes) a partitioned data directory: the
+// sealed partitions are memory-mapped (verified per opts.Verify) and only
+// the short WAL tail is replayed into the mutable head — recovery does work
+// proportional to the tail, not the table, and sealed records never occupy
+// heap. A flat data directory (OpenWAL layout) is migrated in place on
+// first open: its snapshot becomes partition 1. The returned table answers
+// every query bit-identically to a flat table over the same history. Wire
+// the store into a System with SetPersister; System.Snapshot then seals the
+// head into a new partition (the store implements Sealer).
+func OpenPartitioned(opts PartitionedOptions) (*PartitionedStore, *Table, error) {
+	return parts.Open(opts)
+}
+
 // Persister is the durability hook behind System.Ingest: when attached via
 // SetPersister, every validated batch is passed to AppendBatch before it is
 // applied to the live table (write-ahead order), under the System's ingest
@@ -69,6 +112,15 @@ type Snapshotter interface {
 	Snapshot(recs []Record) error
 }
 
+// Sealer is implemented by persisters that compact by sealing the table's
+// mutable head into an immutable partition instead of rewriting the whole
+// table; System.Snapshot prefers it over Snapshotter, so a sealing
+// persister never pays an O(table) snapshot. *PartitionedStore implements
+// Sealer.
+type Sealer interface {
+	Seal() error
+}
+
 // ErrNoSnapshotter is returned by System.Snapshot when no snapshot-capable
 // persister is attached.
 var ErrNoSnapshotter = errors.New("tkplq: no snapshot-capable persister attached")
@@ -83,15 +135,21 @@ func (s *System) SetPersister(p Persister) {
 	s.ingestMu.Unlock()
 }
 
-// Snapshot compacts the attached persister's log into a snapshot of the
-// whole live table. It holds the ingest lock for the duration — concurrent
-// Ingest calls wait, queries are unaffected — so the snapshot's cut is
-// exact: it contains precisely the batches appended before it, and the
-// rotated log contains precisely the batches after. Returns
-// ErrNoSnapshotter when the attached persister (if any) cannot snapshot.
+// Snapshot compacts the attached persister's log. For a flat WAL store the
+// whole live table is written as a binary snapshot; for a sealing persister
+// (Sealer, e.g. a PartitionedStore) the mutable head is sealed into a new
+// immutable partition instead — O(head), never O(table). Either way it
+// holds the ingest lock for the duration — concurrent Ingest calls wait,
+// queries are unaffected — so the cut is exact: the committed artifact
+// contains precisely the batches appended before it, and the rotated log
+// contains precisely the batches after. Returns ErrNoSnapshotter when the
+// attached persister (if any) can do neither.
 func (s *System) Snapshot() error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if sealer, ok := s.persist.(Sealer); ok {
+		return sealer.Seal()
+	}
 	snap, ok := s.persist.(Snapshotter)
 	if !ok {
 		return ErrNoSnapshotter

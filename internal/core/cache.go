@@ -165,15 +165,28 @@ func (c *summaryCache) insertLocked(key cacheKey, en *cacheEntry) {
 // the object are observed, so windows that now see different data cannot pin
 // stale memory).
 func (c *summaryCache) invalidate(oid iupt.ObjectID) {
+	c.invalidateRange(oid, 0, iupt.Time(math.MaxInt64))
+}
+
+// invalidateRange drops the object's entries whose interval overlaps
+// [lo, hi] — the time span of the records just ingested for it. Entries
+// over disjoint windows still see exactly the records they were computed
+// from, so they are kept: with time-ordered ingest this is what lets
+// summaries over sealed partitions (historical windows) survive every
+// ingest instead of being evicted by data they can never observe.
+// Correctness never depends on invalidation — hits are content-verified
+// against the stored sequence — so a kept entry can at worst waste memory,
+// never serve stale data.
+func (c *summaryCache) invalidateRange(oid iupt.ObjectID, lo, hi iupt.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key := range c.cur {
-		if key.oid == oid {
+		if key.oid == oid && key.first <= hi && key.last >= lo {
 			delete(c.cur, key)
 		}
 	}
 	for key := range c.prev {
-		if key.oid == oid {
+		if key.oid == oid && key.first <= hi && key.last >= lo {
 			delete(c.prev, key)
 		}
 	}
@@ -258,5 +271,17 @@ func (e *Engine) CacheStats() CacheStats {
 func (e *Engine) InvalidateObject(oid iupt.ObjectID) {
 	if e.cache != nil {
 		e.cache.invalidate(oid)
+	}
+}
+
+// InvalidateObjectRange drops the object's cached summaries whose window
+// overlaps [lo, hi] — the time span of newly ingested records. Entries over
+// disjoint historical windows are kept: they still see exactly the records
+// they were computed from. tkplq.System.Ingest calls this with each
+// object's batch span, so in-order ingest never evicts summaries over
+// already-sealed time ranges (the partitioned store's steady state).
+func (e *Engine) InvalidateObjectRange(oid iupt.ObjectID, lo, hi iupt.Time) {
+	if e.cache != nil {
+		e.cache.invalidateRange(oid, lo, hi)
 	}
 }

@@ -22,28 +22,34 @@ import (
 
 // WriteCSV writes the table in the CSV format.
 func (t *Table) WriteCSV(w io.Writer) error {
-	recs := t.sortedRecords()
+	recs := t.allRecords()
 	bw := bufio.NewWriter(w)
 	for i := range recs {
-		rec := &recs[i]
-		if _, err := fmt.Fprintf(bw, "%d,%d,", rec.OID, rec.T); err != nil {
-			return err
-		}
-		for j, s := range rec.Samples {
-			if j > 0 {
-				if err := bw.WriteByte(';'); err != nil {
-					return err
-				}
-			}
-			if _, err := fmt.Fprintf(bw, "%d:%g", s.Loc, s.Prob); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := writeCSVRecord(bw, &recs[i]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeCSVRecord encodes one record as a CSV line — the shared encoder
+// behind Table.WriteCSV and the incremental CSVWriter, so both produce the
+// same bytes for the same records.
+func writeCSVRecord(bw *bufio.Writer, rec *Record) error {
+	if _, err := fmt.Fprintf(bw, "%d,%d,", rec.OID, rec.T); err != nil {
+		return err
+	}
+	for j, s := range rec.Samples {
+		if j > 0 {
+			if err := bw.WriteByte(';'); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%d:%g", s.Loc, s.Prob); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
 }
 
 // ReadCSV parses a table from the CSV format. Blank lines and lines starting
@@ -105,7 +111,7 @@ const (
 
 // WriteBinary writes the table in the compact binary format.
 func (t *Table) WriteBinary(w io.Writer) error {
-	return WriteRecordsBinary(w, t.sortedRecords())
+	return WriteRecordsBinary(w, t.allRecords())
 }
 
 // WriteRecordsBinary writes a record slice in the compact binary format —
@@ -127,29 +133,38 @@ func WriteRecordsBinary(w io.Writer, recs []Record) error {
 		return err
 	}
 	for i := range recs {
-		rec := &recs[i]
-		if len(rec.Samples) > math.MaxUint16 {
-			return fmt.Errorf("iupt: record %d has %d samples, exceeding format limit", i, len(rec.Samples))
-		}
-		if err := binary.Write(bw, binary.LittleEndian, int32(rec.OID)); err != nil {
+		if err := writeBinaryRecord(bw, i, &recs[i]); err != nil {
 			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, int64(rec.T)); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, uint16(len(rec.Samples))); err != nil {
-			return err
-		}
-		for _, s := range rec.Samples {
-			if err := binary.Write(bw, binary.LittleEndian, int32(s.Loc)); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, binary.LittleEndian, s.Prob); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeBinaryRecord encodes one record's binary frame — the shared encoder
+// behind WriteRecordsBinary and the incremental BinaryWriter. idx only
+// labels the error.
+func writeBinaryRecord(bw *bufio.Writer, idx int, rec *Record) error {
+	if len(rec.Samples) > math.MaxUint16 {
+		return fmt.Errorf("iupt: record %d has %d samples, exceeding format limit", idx, len(rec.Samples))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int32(rec.OID)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(rec.T)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(rec.Samples))); err != nil {
+		return err
+	}
+	for _, s := range rec.Samples {
+		if err := binary.Write(bw, binary.LittleEndian, int32(s.Loc)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.Prob); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadBinary parses a table from the binary format.

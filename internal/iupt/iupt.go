@@ -182,9 +182,16 @@ func (seq Sequence) MaxPaths() int64 {
 // interleave freely. The lazy sort and index (re)builds happen under the
 // table's lock and replace — never mutate — the record slice, so queries
 // always iterate a consistent snapshot even while records stream in.
+//
+// A table optionally carries sealed partitions (sealed.go): immutable,
+// time-bounded record batches — typically memory-mapped by internal/parts —
+// that reads merge with the in-heap head in canonical order. A table with no
+// sealed parts ("flat") behaves exactly as before; every read method below
+// fast-paths to the head-only code in that case.
 type Table struct {
 	mu      sync.RWMutex
-	records []Record
+	records []Record // the mutable head; all of the table when sealed is empty
+	sealed  []SealedPart
 	index   *rtree.IntervalIndex[int32]
 	sorted  bool
 }
@@ -204,32 +211,47 @@ func (t *Table) Append(rec Record) {
 	t.mu.Unlock()
 }
 
-// Len returns the number of records.
+// Len returns the number of records, sealed parts included.
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.records)
+	n := len(t.records)
+	for _, p := range t.sealed {
+		n += p.Len()
+	}
+	return n
 }
 
 // Record returns the i-th record in time order.
 func (t *Table) Record(i int) Record {
-	return t.sortedRecords()[i]
+	return t.allRecords()[i]
 }
 
 // TimeSpan returns the earliest and latest record timestamps. ok is false
 // for an empty table.
 func (t *Table) TimeSpan() (lo, hi Time, ok bool) {
-	recs := t.sortedRecords()
-	if len(recs) == 0 {
-		return 0, 0, false
+	head, sealed := t.view()
+	if len(head) > 0 {
+		lo, hi, ok = head[0].T, head[len(head)-1].T, true
 	}
-	return recs[0].T, recs[len(recs)-1].T, true
+	for _, p := range sealed {
+		plo, phi := p.Span()
+		if !ok || plo < lo {
+			lo = plo
+		}
+		if !ok || phi > hi {
+			hi = phi
+		}
+		ok = true
+	}
+	return lo, hi, ok
 }
 
 // Objects returns the distinct object ids, ascending.
 func (t *Table) Objects() []ObjectID {
 	t.mu.RLock()
 	recs := t.records
+	sealed := t.sealed
 	t.mu.RUnlock()
 	seen := make(map[ObjectID]bool)
 	var out []ObjectID
@@ -237,6 +259,14 @@ func (t *Table) Objects() []ObjectID {
 		if !seen[recs[i].OID] {
 			seen[recs[i].OID] = true
 			out = append(out, recs[i].OID)
+		}
+	}
+	for _, p := range sealed {
+		for _, oid := range p.Objects() {
+			if !seen[oid] {
+				seen[oid] = true
+				out = append(out, oid)
+			}
 		}
 	}
 	slices.Sort(out)
@@ -275,7 +305,7 @@ func (t *Table) ensureIndexLocked() {
 	t.index = rtree.BulkLoadIntervals(rtree.DefaultMaxEntries, lo, hi, ids)
 }
 
-// sortedRecords returns a time-ordered snapshot of the records. Later
+// sortedRecords returns a time-ordered snapshot of the head records. Later
 // appends and re-sorts never mutate the returned slice's backing array.
 func (t *Table) sortedRecords() []Record {
 	t.mu.Lock()
@@ -284,14 +314,46 @@ func (t *Table) sortedRecords() []Record {
 	return t.records
 }
 
+// allRecords returns every record — sealed parts merged with the head — in
+// canonical order. For a flat table it is the head snapshot (no copy); for a
+// backed table it materializes the full merge, so full-table consumers
+// (WriteCSV, ComputeStats) pay O(table) while windowed reads stay pruned.
+func (t *Table) allRecords() []Record {
+	head, sealed := t.view()
+	if len(sealed) == 0 {
+		return head
+	}
+	var lo, hi Time
+	ok := false
+	if len(head) > 0 {
+		lo, hi, ok = head[0].T, head[len(head)-1].T, true
+	}
+	for _, p := range sealed {
+		plo, phi := p.Span()
+		if !ok || plo < lo {
+			lo = plo
+		}
+		if !ok || phi > hi {
+			hi = phi
+		}
+		ok = true
+	}
+	if !ok {
+		return nil
+	}
+	return mergeRange(head, sealed, lo, hi)
+}
+
 // SortedRecords returns a time-ordered snapshot of the records: the
 // canonical order queries evaluate against (stable, so same-timestamp
 // records keep their arrival order). The returned slice is shared with the
 // table and must not be modified; later appends and re-sorts never mutate
 // its backing array, so it remains a consistent snapshot — the property the
-// WAL store's Snapshot relies on.
+// WAL store's Snapshot relies on. On a table with sealed parts this
+// materializes the full merge; prefer windowed reads (RecordsInRange) or
+// HeadRecords there.
 func (t *Table) SortedRecords() []Record {
-	return t.sortedRecords()
+	return t.allRecords()
 }
 
 // RecordsInRange returns the records with ts <= T <= te as a subslice of the
@@ -305,27 +367,17 @@ func (t *Table) SortedRecords() []Record {
 // RecordsInRange of the window-edge delta intervals, in the same canonical
 // order a from-scratch evaluation would visit them. An empty interval
 // (te < ts) yields an empty slice.
+//
+// On a table with sealed parts the plan covers only the parts whose time
+// span overlaps [ts, te] — non-overlapping partitions are never touched —
+// with each part's contribution found by binary search and the sources
+// k-way merged in canonical order (sealed.go).
 func (t *Table) RecordsInRange(ts, te Time) []Record {
-	recs := t.sortedRecords()
-	// lo: first index with T >= ts; hi: first index with T > te. Comparing
-	// against the bound directly (rather than bound±1) avoids Time overflow
-	// at the extremes.
-	lo, _ := slices.BinarySearchFunc(recs, ts, func(r Record, bound Time) int {
-		if r.T < bound {
-			return -1
-		}
-		return 1
-	})
-	hi, _ := slices.BinarySearchFunc(recs, te, func(r Record, bound Time) int {
-		if r.T <= bound {
-			return -1
-		}
-		return 1
-	})
-	if hi < lo {
-		hi = lo
+	head, sealed := t.view()
+	if len(sealed) == 0 {
+		return rangeSubslice(head, ts, te)
 	}
-	return recs[lo:hi]
+	return mergeRange(head, sealed, ts, te)
 }
 
 // snapshot returns a consistent (records, index) pair for query evaluation.
@@ -338,8 +390,18 @@ func (t *Table) snapshot() ([]Record, *rtree.IntervalIndex[int32]) {
 
 // RangeQuery invokes fn for every record with ts <= T <= te, via the 1-D
 // R-tree time index. Iteration order is unspecified. The iteration sees the
-// table as of the call; concurrent appends affect only later queries.
+// table as of the call; concurrent appends affect only later queries. On a
+// table with sealed parts the R-tree covers only the head; sealed records
+// are visited via the pruned partition plan instead.
 func (t *Table) RangeQuery(ts, te Time, fn func(rec Record) bool) {
+	if len(t.Sealed()) > 0 {
+		for _, rec := range t.RecordsInRange(ts, te) {
+			if !fn(rec) {
+				return
+			}
+		}
+		return
+	}
 	recs, index := t.snapshot()
 	index.RangeQuery(float64(ts), float64(te), func(i int32) bool {
 		return fn(recs[i])
@@ -356,11 +418,12 @@ func (t *Table) SequencesInRange(ts, te Time) map[ObjectID]Sequence {
 	return out
 }
 
-// Validate checks every record's sample set.
+// Validate checks every record's sample set. On a table with sealed parts
+// this materializes the full merge (sealed records already passed validation
+// when written and a CRC check when opened; callers on the recovery path
+// validate only the head via HeadRecords).
 func (t *Table) Validate() error {
-	t.mu.RLock()
-	recs := t.records
-	t.mu.RUnlock()
+	recs := t.allRecords()
 	for i := range recs {
 		if err := recs[i].Samples.Validate(); err != nil {
 			return fmt.Errorf("record %d (oid %d, t %d): %w", i, recs[i].OID, recs[i].T, err)
@@ -382,7 +445,7 @@ type Stats struct {
 
 // ComputeStats scans the table once and returns summary statistics.
 func (t *Table) ComputeStats() Stats {
-	recs := t.sortedRecords()
+	recs := t.allRecords()
 	st := Stats{Records: len(recs)}
 	if len(recs) == 0 {
 		return st

@@ -1,0 +1,188 @@
+package iupt
+
+import "fmt"
+
+// Sealed partitions. A Table normally holds every record in heap memory (the
+// "head"). For larger-than-RAM datasets the table can additionally carry a
+// list of SealedParts — immutable, time-bounded record batches that live
+// outside the heap (internal/parts memory-maps them from columnar partition
+// files) — and plan every read over only the parts whose time span overlaps
+// the query window.
+//
+// The determinism contract survives sealing. The canonical record order of a
+// flat table is a stable sort by T: same-timestamp records keep their arrival
+// order. Parts are sealed in arrival order — every record of part i was
+// appended before every record of part i+1, and before every head record —
+// so a k-way merge of the parts (in list order) and the head that breaks
+// timestamp ties by source index performs exactly the stable sort's
+// interleaving. RecordsInRange therefore yields records in the same canonical
+// (T, arrival) order a flat table over the union would, which keeps rankings
+// and float64 flows bit-identical between the two layouts.
+
+// SealedPart is one immutable, time-bounded batch of records backing a
+// Table. Implementations must be safe for concurrent use and must yield
+// records in the canonical (T, arrival) order they were sealed in.
+// internal/parts provides the mmap-backed implementation.
+type SealedPart interface {
+	// Len returns the number of records in the part.
+	Len() int
+	// Span returns the part's inclusive time bounds. A part is never empty.
+	Span() (lo, hi Time)
+	// AppendRange appends the part's records with ts <= T <= te to dst, in
+	// canonical order, and returns the extended slice. Appended records must
+	// be immutable (never rewritten by later calls).
+	AppendRange(dst []Record, ts, te Time) []Record
+	// Objects returns the part's distinct object ids, ascending. The result
+	// is shared and must not be modified.
+	Objects() []ObjectID
+}
+
+// NewBackedTable returns a table whose reads plan over the sealed parts plus
+// an initially empty mutable head. Parts must be in seal order (records of
+// parts[i] arrived before records of parts[i+1]); appends go to the head.
+func NewBackedTable(parts []SealedPart) *Table {
+	t := NewTable()
+	t.sealed = append([]SealedPart(nil), parts...)
+	return t
+}
+
+// Sealed returns the table's sealed parts, in seal order. The returned slice
+// is a snapshot; the parts themselves are shared and immutable.
+func (t *Table) Sealed() []SealedPart {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}
+
+// HeadLen returns the number of records in the mutable head (records not yet
+// sealed). For a flat table this equals Len.
+func (t *Table) HeadLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
+
+// HeadRecords returns a time-ordered snapshot of the head records only — the
+// records a seal would capture. Like SortedRecords, the returned slice is
+// immutable: later appends and re-sorts never mutate its backing array.
+func (t *Table) HeadRecords() []Record {
+	return t.sortedRecords()
+}
+
+// CommitSeal atomically moves the head into a sealed part: part is appended
+// to the sealed list and the head is cleared. headLen must equal the current
+// head length (the caller snapshots the head via HeadRecords, builds the
+// part from it, and is responsible for blocking appends in between — the
+// System's ingest lock does); a mismatch means a record was appended
+// mid-seal and CommitSeal fails without changing the table. Reads racing the
+// commit see either the old view (head) or the new one (sealed part), never
+// both or neither — the two lists swap under one lock.
+func (t *Table) CommitSeal(part SealedPart, headLen int) error {
+	if part.Len() != headLen {
+		return fmt.Errorf("iupt: seal holds %d records, head snapshot had %d", part.Len(), headLen)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.records) != headLen {
+		return fmt.Errorf("iupt: head grew to %d records during seal of %d — appends must be blocked across a seal", len(t.records), headLen)
+	}
+	t.sealed = append(t.sealed, part)
+	t.records = nil
+	t.index = nil
+	t.sorted = true
+	return nil
+}
+
+// view returns a consistent (head, sealed) snapshot with the head sorted.
+func (t *Table) view() (head []Record, sealed []SealedPart) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureSortedLocked()
+	return t.records, t.sealed
+}
+
+// mergeRange plans [ts, te] over the sealed parts and the head: only parts
+// whose span overlaps the window contribute (non-overlapping parts are never
+// read — the property the partition-pruning tests assert), each contributes
+// its overlap via binary search, and the sources are k-way merged in
+// canonical (T, arrival) order: timestamp ties resolve to the earlier
+// source (parts in seal order, head last).
+func mergeRange(head []Record, sealed []SealedPart, ts, te Time) []Record {
+	if te < ts {
+		return nil
+	}
+	// Gather the contributing runs in arrival order.
+	runs := make([][]Record, 0, len(sealed)+1)
+	total := 0
+	for _, p := range sealed {
+		lo, hi := p.Span()
+		if hi < ts || lo > te {
+			continue
+		}
+		recs := p.AppendRange(nil, ts, te)
+		if len(recs) > 0 {
+			runs = append(runs, recs)
+			total += len(recs)
+		}
+	}
+	if sub := rangeSubslice(head, ts, te); len(sub) > 0 {
+		runs = append(runs, sub)
+		total += len(sub)
+	}
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	// K-way merge. K is the number of overlapping parts (+ head), which is
+	// small; a linear scan per output record beats heap bookkeeping here.
+	out := make([]Record, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestT Time
+		for r := range runs {
+			if idx[r] >= len(runs[r]) {
+				continue
+			}
+			t := runs[r][idx[r]].T
+			// Strict < keeps the earliest source on ties: runs are in
+			// arrival order, which is the canonical tie-break.
+			if best == -1 || t < bestT {
+				best, bestT = r, t
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// rangeSubslice returns the records with ts <= T <= te as a subslice of a
+// time-sorted record slice, by binary search.
+func rangeSubslice(recs []Record, ts, te Time) []Record {
+	lo := searchTime(recs, ts, false)
+	hi := searchTime(recs, te, true)
+	if hi < lo {
+		hi = lo
+	}
+	return recs[lo:hi]
+}
+
+// searchTime returns the first index whose record timestamp is >= bound
+// (inclusive=false) or > bound (inclusive=true). Comparing against the bound
+// directly (rather than bound±1) avoids Time overflow at the extremes.
+func searchTime(recs []Record, bound Time, inclusive bool) int {
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		t := recs[mid].T
+		if t < bound || (inclusive && t == bound) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,281 @@
+package iupt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tkplq/internal/indoor"
+)
+
+// memPart is an in-memory SealedPart for testing the backed-table merge
+// machinery independently of the on-disk format in internal/parts.
+type memPart struct {
+	recs []Record // canonical (T, arrival) order
+	oids []ObjectID
+	// touched counts AppendRange calls, for pruning assertions.
+	touched int
+}
+
+func newMemPart(recs []Record) *memPart {
+	if len(recs) == 0 {
+		panic("memPart: empty")
+	}
+	seen := make(map[ObjectID]bool)
+	var oids []ObjectID
+	for _, r := range recs {
+		if !seen[r.OID] {
+			seen[r.OID] = true
+			oids = append(oids, r.OID)
+		}
+	}
+	slices.Sort(oids)
+	return &memPart{recs: recs, oids: oids}
+}
+
+func (p *memPart) Len() int { return len(p.recs) }
+
+func (p *memPart) Span() (lo, hi Time) { return p.recs[0].T, p.recs[len(p.recs)-1].T }
+
+func (p *memPart) AppendRange(dst []Record, ts, te Time) []Record {
+	p.touched++
+	return append(dst, rangeSubslice(p.recs, ts, te)...)
+}
+
+func (p *memPart) Objects() []ObjectID { return p.oids }
+
+func testSamples(r *rand.Rand) SampleSet {
+	n := 1 + r.Intn(3)
+	s := make(SampleSet, n)
+	rem := 1.0
+	for i := 0; i < n-1; i++ {
+		p := rem * (0.2 + 0.6*r.Float64())
+		s[i] = Sample{Loc: indoor.PLocID(i), Prob: p}
+		rem -= p
+	}
+	s[n-1] = Sample{Loc: indoor.PLocID(n - 1 + 10), Prob: rem}
+	return s
+}
+
+// randomRecords generates records in append order with many timestamp
+// collisions (small time domain) so tie-break order is actually exercised.
+func randomRecords(r *rand.Rand, n int, tMax Time) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			OID:     ObjectID(r.Intn(8)),
+			T:       Time(r.Intn(int(tMax + 1))),
+			Samples: testSamples(r),
+		}
+	}
+	return recs
+}
+
+// buildPair appends the same records to a flat table and to a backed table
+// whose seal points are at the given prefix lengths, and returns both.
+func buildPair(t *testing.T, recs []Record, sealAt []int) (flat, backed *Table) {
+	t.Helper()
+	flat = NewTable()
+	for _, r := range recs {
+		flat.Append(r)
+	}
+	backed = NewTable()
+	prev := 0
+	for _, cut := range sealAt {
+		for _, r := range recs[prev:cut] {
+			backed.Append(r)
+		}
+		head := backed.HeadRecords()
+		if len(head) == 0 {
+			prev = cut
+			continue
+		}
+		part := newMemPart(head)
+		if err := backed.CommitSeal(part, len(head)); err != nil {
+			t.Fatalf("CommitSeal: %v", err)
+		}
+		prev = cut
+	}
+	for _, r := range recs[prev:] {
+		backed.Append(r)
+	}
+	return flat, backed
+}
+
+func recordsEqual(a, b []Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].OID != b[i].OID || a[i].T != b[i].T {
+			return fmt.Errorf("record %d: (%d,%d) vs (%d,%d)", i, a[i].OID, a[i].T, b[i].OID, b[i].T)
+		}
+		if len(a[i].Samples) != len(b[i].Samples) {
+			return fmt.Errorf("record %d: sample count", i)
+		}
+		for j := range a[i].Samples {
+			if a[i].Samples[j].Loc != b[i].Samples[j].Loc ||
+				math.Float64bits(a[i].Samples[j].Prob) != math.Float64bits(b[i].Samples[j].Prob) {
+				return fmt.Errorf("record %d sample %d differs", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// TestBackedTableEquivalence asserts a backed table answers every read
+// identically to a flat table over the same append stream, across random
+// seal points and query windows — including same-timestamp ties spanning
+// seal boundaries and late head records whose T falls inside sealed spans.
+func TestBackedTableEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + r.Intn(200)
+		recs := randomRecords(r, n, Time(30))
+		// Random ascending seal points; sometimes seal everything (empty head).
+		var sealAt []int
+		cut := 0
+		for cut < n {
+			cut += 1 + r.Intn(n/2+1)
+			if cut > n {
+				cut = n
+			}
+			sealAt = append(sealAt, cut)
+			if r.Intn(3) == 0 {
+				break
+			}
+		}
+		flat, backed := buildPair(t, recs, sealAt)
+
+		if flat.Len() != backed.Len() {
+			t.Fatalf("trial %d: Len %d vs %d", trial, flat.Len(), backed.Len())
+		}
+		flo, fhi, fok := flat.TimeSpan()
+		blo, bhi, bok := backed.TimeSpan()
+		if flo != blo || fhi != bhi || fok != bok {
+			t.Fatalf("trial %d: TimeSpan (%d,%d,%v) vs (%d,%d,%v)", trial, flo, fhi, fok, blo, bhi, bok)
+		}
+		if !slices.Equal(flat.Objects(), backed.Objects()) {
+			t.Fatalf("trial %d: Objects differ", trial)
+		}
+		if err := recordsEqual(flat.SortedRecords(), backed.SortedRecords()); err != nil {
+			t.Fatalf("trial %d: SortedRecords: %v", trial, err)
+		}
+		for q := 0; q < 30; q++ {
+			ts := Time(r.Intn(35)) - 2
+			te := ts + Time(r.Intn(20)) - 2
+			if err := recordsEqual(flat.RecordsInRange(ts, te), backed.RecordsInRange(ts, te)); err != nil {
+				t.Fatalf("trial %d window [%d,%d]: %v", trial, ts, te, err)
+			}
+			for _, workers := range []int{1, 3} {
+				fs, err := flat.SequencesInRangeSharded(context.Background(), ts, te, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bs, err := backed.SequencesInRangeSharded(context.Background(), ts, te, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fs) != len(bs) {
+					t.Fatalf("trial %d window [%d,%d]: %d vs %d objects", trial, ts, te, len(fs), len(bs))
+				}
+				for oid, fseq := range fs {
+					bseq := bs[oid]
+					if len(fseq) != len(bseq) {
+						t.Fatalf("trial %d oid %d: sequence length %d vs %d", trial, oid, len(fseq), len(bseq))
+					}
+					for i := range fseq {
+						if fseq[i].T != bseq[i].T {
+							t.Fatalf("trial %d oid %d elem %d: T %d vs %d", trial, oid, i, fseq[i].T, bseq[i].T)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackedTablePruning asserts a window query never reads partitions whose
+// time span does not overlap the window.
+func TestBackedTablePruning(t *testing.T) {
+	backed := NewTable()
+	mk := func(lo, hi Time) *memPart {
+		var recs []Record
+		for ts := lo; ts <= hi; ts++ {
+			recs = append(recs, Record{OID: 1, T: ts, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+		}
+		return newMemPart(recs)
+	}
+	parts := []*memPart{mk(0, 9), mk(10, 19), mk(20, 29)}
+	backed = NewBackedTable([]SealedPart{parts[0], parts[1], parts[2]})
+	got := backed.RecordsInRange(12, 17)
+	if len(got) != 6 {
+		t.Fatalf("got %d records, want 6", len(got))
+	}
+	if parts[0].touched != 0 || parts[2].touched != 0 {
+		t.Fatalf("non-overlapping partitions were read: touched = %d, %d, %d",
+			parts[0].touched, parts[1].touched, parts[2].touched)
+	}
+	if parts[1].touched != 1 {
+		t.Fatalf("overlapping partition read %d times, want 1", parts[1].touched)
+	}
+}
+
+// TestCommitSealRaces asserts CommitSeal refuses a stale head snapshot.
+func TestCommitSealStale(t *testing.T) {
+	tab := NewTable()
+	tab.Append(Record{OID: 1, T: 1, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+	head := tab.HeadRecords()
+	part := newMemPart(head)
+	// A record lands between snapshot and commit.
+	tab.Append(Record{OID: 1, T: 2, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+	if err := tab.CommitSeal(part, len(head)); err == nil {
+		t.Fatal("CommitSeal accepted a stale head snapshot")
+	}
+	if err := tab.CommitSeal(part, 2); err == nil {
+		t.Fatal("CommitSeal accepted a part/headLen mismatch")
+	}
+	if len(tab.Sealed()) != 0 || tab.HeadLen() != 2 {
+		t.Fatal("failed CommitSeal mutated the table")
+	}
+}
+
+// TestBackedTableAppendAfterSeal asserts post-seal appends land in the head
+// and merge back into reads, including RangeQuery and Record(i).
+func TestBackedTableAppendAfterSeal(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	recs := randomRecords(r, 100, Time(20))
+	flat, backed := buildPair(t, recs, []int{40, 80})
+	late := randomRecords(r, 25, Time(20)) // timestamps inside sealed spans
+	for _, rec := range late {
+		flat.Append(rec)
+		backed.Append(rec)
+	}
+	if err := recordsEqual(flat.SortedRecords(), backed.SortedRecords()); err != nil {
+		t.Fatalf("after late appends: %v", err)
+	}
+	for i := 0; i < flat.Len(); i += 17 {
+		fr, br := flat.Record(i), backed.Record(i)
+		if fr.OID != br.OID || fr.T != br.T {
+			t.Fatalf("Record(%d): (%d,%d) vs (%d,%d)", i, fr.OID, fr.T, br.OID, br.T)
+		}
+	}
+	count := 0
+	backed.RangeQuery(5, 15, func(rec Record) bool {
+		if rec.T < 5 || rec.T > 15 {
+			t.Fatalf("RangeQuery yielded T=%d outside [5,15]", rec.T)
+		}
+		count++
+		return true
+	})
+	if want := len(flat.RecordsInRange(5, 15)); count != want {
+		t.Fatalf("RangeQuery visited %d records, want %d", count, want)
+	}
+	fst, bst := flat.ComputeStats(), backed.ComputeStats()
+	if fst != bst {
+		t.Fatalf("ComputeStats: %+v vs %+v", fst, bst)
+	}
+}

@@ -1,0 +1,105 @@
+package iupt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Incremental table writers. Table.WriteCSV/WriteBinary need the whole
+// record slice in memory; CSVWriter and BinaryWriter accept one record at a
+// time and produce byte-identical output (they share the per-record
+// encoders), so cmd/gendata can stream an arbitrarily large dataset to disk
+// without ever materializing the table. Callers are responsible for feeding
+// records in the canonical time-sorted order if the file is meant to load
+// bit-identically under queries.
+
+// CSVWriter writes records one at a time in the CSV format.
+type CSVWriter struct {
+	bw *bufio.Writer
+}
+
+// NewCSVWriter wraps w; call Flush when done.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one record line.
+func (cw *CSVWriter) Write(rec Record) error {
+	return writeCSVRecord(cw.bw, &rec)
+}
+
+// Flush drains buffered output to the underlying writer.
+func (cw *CSVWriter) Flush() error {
+	return cw.bw.Flush()
+}
+
+// binaryCountOffset is where the record count lives in the binary header:
+// after the 4-byte magic and the uint16 version.
+const binaryCountOffset = int64(len(binaryMagic) + 2)
+
+// BinaryWriter writes records one at a time in the compact binary format.
+// The header's record count is not known upfront, so NewBinaryWriter writes
+// a zero placeholder and Close seeks back to patch the real count — the
+// destination must be seekable (a regular file). The patched file is byte
+// for byte what WriteRecordsBinary would have produced.
+type BinaryWriter struct {
+	ws    io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+}
+
+// NewBinaryWriter writes the header (with a placeholder count) and returns
+// the writer. Call Close when done to commit the count.
+func NewBinaryWriter(ws io.WriteSeeker) (*BinaryWriter, error) {
+	w := &BinaryWriter{ws: ws, bw: bufio.NewWriter(ws)}
+	if _, err := w.bw.WriteString(binaryMagic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w.bw, binary.LittleEndian, binaryVersion); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w.bw, binary.LittleEndian, uint64(0)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one record frame.
+func (w *BinaryWriter) Write(rec Record) error {
+	if err := writeBinaryRecord(w.bw, int(w.count), &rec); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports the records written so far.
+func (w *BinaryWriter) Count() uint64 { return w.count }
+
+// Close flushes buffered frames and patches the header's record count in
+// place. The underlying file is left positioned at its end and still open —
+// closing it (and fsyncing, if the caller needs durability) stays with the
+// caller.
+func (w *BinaryWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	end, err := w.ws.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("iupt: seeking end: %w", err)
+	}
+	if _, err := w.ws.Seek(binaryCountOffset, io.SeekStart); err != nil {
+		return fmt.Errorf("iupt: seeking count header: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], w.count)
+	if _, err := w.ws.Write(buf[:]); err != nil {
+		return fmt.Errorf("iupt: patching count header: %w", err)
+	}
+	if _, err := w.ws.Seek(end, io.SeekStart); err != nil {
+		return fmt.Errorf("iupt: restoring position: %w", err)
+	}
+	return nil
+}

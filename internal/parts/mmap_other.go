@@ -1,0 +1,20 @@
+//go:build !unix
+
+package parts
+
+import (
+	"io"
+	"os"
+)
+
+// Non-unix platforms read the partition into the heap: functionally
+// identical (immutable bytes), without the drop-under-pressure benefit.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmapFile(data []byte) error { return nil }

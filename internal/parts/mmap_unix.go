@@ -1,0 +1,37 @@
+//go:build unix
+
+package parts
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. Sealed partitions are immutable, so a
+// shared read-only mapping is safe to hand to concurrent readers, its pages
+// stay clean (the OS can drop and refault them under memory pressure), and
+// the mapping survives a rename of the underlying path. Empty files cannot
+// occur (a partition is at least header+footer; Open checks before calling).
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, false, fmt.Errorf("partition too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return data, true, nil
+	}
+	// Some filesystems refuse mmap; fall back to a heap copy so the store
+	// still opens (at flat-table memory cost for this partition).
+	if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+		return nil, false, serr
+	}
+	buf := make([]byte, size)
+	if _, rerr := io.ReadFull(f, buf); rerr != nil {
+		return nil, false, fmt.Errorf("mmap failed (%v) and read fallback failed: %w", err, rerr)
+	}
+	return buf, false, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

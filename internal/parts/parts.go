@@ -1,0 +1,366 @@
+package parts
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"tkplq/internal/iupt"
+	"tkplq/internal/wal"
+)
+
+// Data-dir protocol. A partitioned data directory mirrors the flat WAL
+// directory (internal/wal), with sealed partitions in place of the single
+// snapshot:
+//
+//	data/
+//	  part-00000001.tkp   // sealed partitions, one per seal, never deleted
+//	  part-00000002.tkp
+//	  wal-00000002.log    // the head: batches accepted since the last seal
+//	  LOCK
+//
+// The active segment's sequence equals the newest partition's. Sealing at
+// sequence N+1 commits part-(N+1).tkp (tmp + fsync + rename + dir fsync),
+// then rotates the log: wal-(N+1).log is created and wal-N.log deleted —
+// its frames all live in the new partition. Recovery maps every partition
+// in sequence order, drops log segments older than the newest partition
+// (subsumed), and replays the rest into the head — work proportional to
+// the WAL tail, never the table. A flat snapshot-N.bin found in the
+// directory is migrated on open: its records become part-N.tkp and the
+// snapshot is removed (one-way; see docs/OPERATIONS.md).
+
+var (
+	partRE = regexp.MustCompile(`^part-(\d{8})\.tkp$`)
+	snapRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
+)
+
+func partName(seq uint64) string { return fmt.Sprintf("part-%08d.tkp", seq) }
+
+// Options parametrizes Open.
+type Options struct {
+	// Dir is the data directory; created if missing. Required.
+	Dir string
+	// Policy and SyncEvery configure the WAL exactly as in wal.Options.
+	Policy    wal.SyncPolicy
+	SyncEvery time.Duration
+	// Verify selects how much of each sealed partition Open checks
+	// (default VerifyFull).
+	Verify VerifyMode
+}
+
+// Stats is a snapshot of a partitioned store's counters.
+type Stats struct {
+	// Seq is the newest committed seal sequence.
+	Seq uint64
+	// Partitions and SealedRecords/SealedBytes describe the sealed set.
+	Partitions    int
+	SealedRecords int64
+	SealedBytes   int64
+	// Seals counts seals committed by this store (this process).
+	Seals int64
+	// MigratedRecords counts records converted from a flat snapshot at Open.
+	MigratedRecords int64
+	// MaterializedRecords counts records decoded out of sealed partitions
+	// since Open, summed over partitions — the observable behind the
+	// "window queries read only overlapping partitions" guarantee.
+	MaterializedRecords int64
+	// WAL carries the head log's counters. After Open,
+	// WAL.ReplayedRecords is the entire recovery cost beyond mapping:
+	// partitions are opened without decoding a single record.
+	WAL wal.Stats
+}
+
+// Store is a partitioned durable store: a WAL-backed mutable head plus the
+// sealed partition set, over one locked data directory. It satisfies
+// tkplq.Persister (AppendBatch) and tkplq.Sealer (Seal); like wal.Store,
+// callers must serialize AppendBatch with the table apply, and Seal with
+// both (tkplq.System's ingest lock does).
+type Store struct {
+	dir   string
+	opts  Options
+	wal   *wal.Store
+	table *iupt.Table
+
+	// mu guards the partition bookkeeping below. Seal is serialized with
+	// ingest by the caller, but Stats/Partitions are probed concurrently by
+	// the server's stats handler.
+	mu       sync.Mutex
+	parts    []*Partition
+	seals    int64
+	migrated int64
+}
+
+// Open opens (or initializes) a partitioned data directory: it maps every
+// sealed partition (verified per opts.Verify — a corrupt partition fails
+// Open loudly), migrates a flat snapshot if one is present, replays the
+// surviving WAL tail into the head, and returns the store plus the backed
+// table. The table answers queries bit-identically to a flat table over the
+// same record history.
+func Open(opts Options) (*Store, *iupt.Table, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("parts: Options.Dir is required")
+	}
+	s := &Store{dir: opts.Dir, opts: opts}
+	w, table, err := wal.Open(wal.Options{
+		Dir:       opts.Dir,
+		Policy:    opts.Policy,
+		SyncEvery: opts.SyncEvery,
+		Base:      s.recoverBase,
+	})
+	if err != nil {
+		s.closeParts()
+		return nil, nil, err
+	}
+	s.wal = w
+	s.table = table
+	return s, table, nil
+}
+
+// recoverBase is the wal.Options.Base hook: it runs under the directory
+// lock and reconstructs the sealed set (migrating a flat snapshot first if
+// needed), returning the backed table and the newest partition sequence.
+func (s *Store) recoverBase(dir string) (*iupt.Table, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("parts: %w", err)
+	}
+	partPaths := map[uint64]string{}
+	snapPaths := map[uint64]string{}
+	var partSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case partRE.MatchString(name):
+			seq := parseSeq(partRE.FindStringSubmatch(name)[1])
+			partPaths[seq] = filepath.Join(dir, name)
+			partSeqs = append(partSeqs, seq)
+		case snapRE.MatchString(name):
+			snapPaths[parseSeq(snapRE.FindStringSubmatch(name)[1])] = filepath.Join(dir, name)
+		}
+	}
+	var baseSeq uint64
+	for seq := range partPaths {
+		if seq > baseSeq {
+			baseSeq = seq
+		}
+	}
+
+	// Migrate a flat snapshot newer than every partition: its records become
+	// the partition of the same sequence, so the flat directory's segments
+	// keep their meaning (segment N holds batches after cut N). The rename
+	// commits the partition before any snapshot is removed — a crash
+	// mid-migration redoes it idempotently on the next open.
+	if len(snapPaths) > 0 {
+		snapSeq := uint64(0)
+		for seq := range snapPaths {
+			if seq > snapSeq {
+				snapSeq = seq
+			}
+		}
+		if snapSeq > baseSeq {
+			migrated, err := s.migrateSnapshot(dir, snapPaths[snapSeq], snapSeq)
+			if err != nil {
+				return nil, 0, err
+			}
+			if migrated {
+				partPaths[snapSeq] = filepath.Join(dir, partName(snapSeq))
+				partSeqs = append(partSeqs, snapSeq)
+			}
+			baseSeq = snapSeq
+		}
+		for _, path := range snapPaths {
+			_ = os.Remove(path)
+		}
+	}
+
+	// Map the sealed set in sequence order — seal order IS arrival order,
+	// the property the canonical k-way merge stands on.
+	sort.Slice(partSeqs, func(i, j int) bool { return partSeqs[i] < partSeqs[j] })
+	sealed := make([]iupt.SealedPart, 0, len(partSeqs))
+	for _, seq := range partSeqs {
+		p, err := OpenFile(partPaths[seq], s.opts.Verify)
+		if err != nil {
+			s.closeParts()
+			return nil, 0, err
+		}
+		p.seq = seq
+		s.parts = append(s.parts, p)
+		sealed = append(sealed, p)
+	}
+	return iupt.NewBackedTable(sealed), baseSeq, nil
+}
+
+// migrateSnapshot converts one flat snapshot into the partition of the same
+// sequence. An empty snapshot produces no partition file (a partition is
+// never empty); migrated reports whether one was written.
+func (s *Store) migrateSnapshot(dir, snapPath string, seq uint64) (migrated bool, err error) {
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return false, fmt.Errorf("parts: migrating %s: %w", snapPath, err)
+	}
+	table, err := iupt.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("parts: migrating %s: %w", snapPath, err)
+	}
+	recs := table.SortedRecords()
+	if len(recs) == 0 {
+		return false, nil
+	}
+	if err := s.commitPartitionFile(dir, seq, recs); err != nil {
+		return false, fmt.Errorf("parts: migrating %s: %w", snapPath, err)
+	}
+	s.migrated = int64(len(recs))
+	return true, nil
+}
+
+// commitPartitionFile writes recs as part-<seq>.tkp atomically:
+// tmp + fsync + rename + dir fsync. After it returns the partition is
+// durable and visible to recovery.
+func (s *Store) commitPartitionFile(dir string, seq uint64, recs []iupt.Record) error {
+	buf, err := Encode(recs)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(dir, partName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
+// parseSeq converts a zero-padded decimal capture; the regexp guarantees it
+// parses.
+func parseSeq(s string) uint64 {
+	n, _ := strconv.ParseUint(s, 10, 64)
+	return n
+}
+
+// AppendBatch durably appends one ingest batch to the head WAL. It
+// satisfies tkplq.Persister; semantics are wal.Store.AppendBatch's.
+func (s *Store) AppendBatch(recs []iupt.Record) error { return s.wal.AppendBatch(recs) }
+
+// Seal freezes the head into a new sealed partition: the head records are
+// committed as part-(Seq+1).tkp, the table atomically swaps them for the
+// mapped partition, and the WAL rotates (truncating the log past the seal).
+// An empty head is a no-op. The caller must block ingest across the call —
+// tkplq.System.Snapshot holds its ingest lock — exactly as for a flat
+// snapshot. Seal satisfies tkplq.Sealer.
+func (s *Store) Seal() error {
+	head := s.table.HeadRecords()
+	if len(head) == 0 {
+		return nil
+	}
+	newSeq := s.wal.Seq() + 1
+	if err := s.commitPartitionFile(s.dir, newSeq, head); err != nil {
+		return fmt.Errorf("parts: seal: %w", err)
+	}
+	// The rename above is the commit point: recovery now treats the current
+	// segment as subsumed. Any failure before the rotation completes must
+	// poison the store — appending more acknowledged batches to the old
+	// segment would lose them on restart.
+	p, err := OpenFile(filepath.Join(s.dir, partName(newSeq)), s.opts.Verify)
+	if err != nil {
+		err = fmt.Errorf("parts: seal committed %s but could not map it: %w", partName(newSeq), err)
+		s.wal.Poison(err)
+		return err
+	}
+	p.seq = newSeq
+	if err := s.table.CommitSeal(p, len(head)); err != nil {
+		p.Close()
+		err = fmt.Errorf("parts: seal committed %s but the table refused it: %w", partName(newSeq), err)
+		s.wal.Poison(err)
+		return err
+	}
+	// The table now serves the sealed view; parts[] mirrors it for stats.
+	s.mu.Lock()
+	s.parts = append(s.parts, p)
+	s.seals++
+	s.mu.Unlock()
+	if _, err := s.wal.RotateAfterCommit(); err != nil {
+		return fmt.Errorf("parts: seal: %w", err)
+	}
+	return nil
+}
+
+// RecordsSinceSnapshot reports the records appended to the head since the
+// last seal, lock-free — the server's auto-seal trigger probes it per
+// ingest, exactly as it probes a flat wal.Store.
+func (s *Store) RecordsSinceSnapshot() int64 { return s.wal.RecordsSinceSnapshot() }
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Partitions returns the sealed partitions, in seal order. The slice is a
+// copy; the partitions are live (shared with the serving table).
+func (s *Store) Partitions() []*Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Partition(nil), s.parts...)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		WAL:             s.wal.Stats(),
+		Seals:           s.seals,
+		MigratedRecords: s.migrated,
+	}
+	st.Seq = st.WAL.SnapshotSeq
+	for _, p := range s.parts {
+		st.Partitions++
+		st.SealedRecords += int64(p.Len())
+		st.SealedBytes += p.SizeBytes()
+		st.MaterializedRecords += p.Materialized()
+	}
+	return st
+}
+
+func (s *Store) closeParts() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.parts {
+		_ = p.Close()
+	}
+	s.parts = nil
+}
+
+// Close fsyncs and closes the head WAL and releases the partition mappings.
+// The backed table must not be queried after Close — its sealed records
+// live in the mappings.
+func (s *Store) Close() error {
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+	}
+	s.closeParts()
+	return err
+}

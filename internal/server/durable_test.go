@@ -91,6 +91,9 @@ func TestSnapshotEndpointAndDurableRestart(t *testing.T) {
 	if stats.WAL.Frames != 1 || stats.WAL.RecordsSinceSnap != 2 || stats.WAL.SnapshotSeq != 1 {
 		t.Fatalf("wal stats after first ingest = %+v", stats.WAL)
 	}
+	if stats.Storage != nil {
+		t.Fatalf("flat store reported a storage section: %+v", stats.Storage)
+	}
 
 	// Two more records cross SnapshotEvery=4: the automatic background
 	// compaction must commit snapshot 2.

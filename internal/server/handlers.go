@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"tkplq"
+	"tkplq/internal/parts"
+	"tkplq/internal/wal"
 )
 
 // QueryRequest is the body of POST /v1/query (and the base of the v2 form).
@@ -143,9 +145,26 @@ type WALStatsJSON struct {
 	RecordsSinceSnap   int64  `json:"records_since_snapshot"`
 	RecoveredRecords   int64  `json:"recovered_records"`
 	ReplayedFrames     int64  `json:"replayed_frames"`
+	ReplayedRecords    int64  `json:"replayed_records"`
 	TornBytesDropped   int64  `json:"torn_bytes_dropped"`
 	CorruptFrames      int64  `json:"corrupt_frames"`
 	SnapshotsRequested int64  `json:"snapshots_requested"`
+}
+
+// StorageStatsJSON is the `storage` section of GET /v1/stats, present when
+// the daemon runs with partitioned storage (tkplqd -storage parts): the
+// sealed partition set plus the observables behind the partitioned-store
+// guarantees — MaterializedRecords stays 0 across a restart (recovery maps
+// partitions without decoding them) and grows only by what window queries
+// actually read.
+type StorageStatsJSON struct {
+	SealSeq             uint64 `json:"seal_seq"`
+	Partitions          int    `json:"partitions"`
+	SealedRecords       int64  `json:"sealed_records"`
+	SealedBytes         int64  `json:"sealed_bytes"`
+	Seals               int64  `json:"seals"`
+	MigratedRecords     int64  `json:"migrated_records"`
+	MaterializedRecords int64  `json:"materialized_records"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -194,6 +213,8 @@ type StatsResponse struct {
 	} `json:"subscriptions"`
 	// WAL is present only when the server fronts a durable store.
 	WAL *WALStatsJSON `json:"wal,omitempty"`
+	// Storage is present only when the durable store is partitioned.
+	Storage *StorageStatsJSON `json:"storage,omitempty"`
 }
 
 // MonitorStatJSON describes one live monitor feed in GET /v1/stats.
@@ -393,6 +414,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, IngestResponse{Ingested: len(recs), Records: s.sys.Table().Len()})
 }
 
+// storeWALStats extracts the head-log counters from whichever store shape
+// is attached: flat stores report them directly, partitioned stores embed
+// them in parts.Stats (where SnapshotSeq/Snapshots count seals). Callers
+// must have checked s.cfg.Store != nil.
+func (s *Server) storeWALStats() wal.Stats {
+	switch st := s.cfg.Store.(type) {
+	case interface{ Stats() parts.Stats }:
+		return st.Stats().WAL
+	case interface{ Stats() wal.Stats }:
+		return st.Stats()
+	}
+	return wal.Stats{}
+}
+
 // maybeAutoSnapshot compacts the WAL in the background once SnapshotEvery
 // records have accumulated since the last snapshot. At most one automatic
 // snapshot runs at a time; a failure is logged and retried by the next
@@ -416,7 +451,7 @@ func (s *Server) maybeAutoSnapshot() {
 			return
 		}
 		s.snapshots.Add(1)
-		s.cfg.Logf("server: auto-snapshot committed (seq %d)", s.cfg.Store.Stats().SnapshotSeq)
+		s.cfg.Logf("server: auto-snapshot committed (seq %d)", s.storeWALStats().SnapshotSeq)
 	}()
 }
 
@@ -437,9 +472,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.snapshots.Add(1)
-	st := s.cfg.Store.Stats()
 	writeJSON(w, SnapshotResponse{
-		SnapshotSeq: st.SnapshotSeq,
+		SnapshotSeq: s.storeWALStats().SnapshotSeq,
 		Records:     s.sys.Table().Len(),
 		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
 	})
@@ -512,7 +546,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if s.cfg.Store != nil {
-		ws := s.cfg.Store.Stats()
+		if pst, ok := s.cfg.Store.(interface{ Stats() parts.Stats }); ok {
+			ps := pst.Stats()
+			out.Storage = &StorageStatsJSON{
+				SealSeq:             ps.Seq,
+				Partitions:          ps.Partitions,
+				SealedRecords:       ps.SealedRecords,
+				SealedBytes:         ps.SealedBytes,
+				Seals:               ps.Seals,
+				MigratedRecords:     ps.MigratedRecords,
+				MaterializedRecords: ps.MaterializedRecords,
+			}
+		}
+		ws := s.storeWALStats()
 		out.WAL = &WALStatsJSON{
 			SnapshotSeq:        ws.SnapshotSeq,
 			Frames:             ws.Frames,
@@ -523,6 +569,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecordsSinceSnap:   ws.SinceSnapshot,
 			RecoveredRecords:   ws.RecoveredRecords,
 			ReplayedFrames:     ws.ReplayedFrames,
+			ReplayedRecords:    ws.ReplayedRecords,
 			TornBytesDropped:   ws.TornBytes,
 			CorruptFrames:      ws.CorruptFrames,
 			SnapshotsRequested: s.snapshots.Load(),

@@ -48,7 +48,6 @@ import (
 
 	"tkplq"
 	"tkplq/internal/cluster"
-	"tkplq/internal/wal"
 )
 
 // Serving roles. A standalone server owns the whole table; a shard owns one
@@ -62,6 +61,17 @@ const (
 	RoleShard      = "shard"
 	RoleRouter     = "router"
 )
+
+// DurableStore is the minimal surface the server needs from the durable
+// store attached to its System. Both *wal.Store and *parts.Store satisfy
+// it; the stats and snapshot handlers discover the richer per-shape
+// counters (wal.Stats, parts.Stats) by type assertion, so new store shapes
+// only need this method to plug in.
+type DurableStore interface {
+	// RecordsSinceSnapshot reports records appended since the last
+	// snapshot/seal: the lock-free probe behind Config.SnapshotEvery.
+	RecordsSinceSnapshot() int64
+}
 
 // Config parametrizes a Server.
 type Config struct {
@@ -78,11 +88,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf receives server log lines; log.Printf when nil.
 	Logf func(format string, args ...any)
-	// Store is the durable WAL store attached to System (nil = in-memory
-	// serving). The server never writes it directly — System.Ingest and
-	// System.Snapshot do — but uses it to report wal counters in /v1/stats,
-	// to answer POST /v1/snapshot, and to drive SnapshotEvery.
-	Store *wal.Store
+	// Store is the durable store attached to System (nil = in-memory
+	// serving): a *wal.Store (flat, tkplq.OpenWAL) or a *parts.Store
+	// (partitioned, tkplq.OpenPartitioned). The server never writes it
+	// directly — System.Ingest and System.Snapshot do — but uses it to
+	// report the wal (and, when partitioned, storage) sections of
+	// /v1/stats, to answer POST /v1/snapshot, and to drive SnapshotEvery.
+	Store DurableStore
 	// SnapshotEvery triggers an automatic snapshot once this many records
 	// have been appended since the last one (0 = on-demand snapshots only).
 	// Requires Store.

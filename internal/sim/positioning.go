@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -112,40 +111,22 @@ type plocDist struct {
 }
 
 // GenerateIUPT converts ground-truth trajectories into an Indoor Uncertain
-// Positioning Table using the WkNN model.
+// Positioning Table using the WkNN model. It is a materializing shell over
+// StreamIUPT: records arrive already in canonical order, so the table this
+// returns and a file written straight off the stream hold identical bytes.
 func GenerateIUPT(b *Building, trajs []Trajectory, cfg PositioningConfig) (*iupt.Table, error) {
-	if cfg.MaxPeriod < 1 || cfg.MSS < 1 || cfg.ErrorRadius <= 0 {
-		return nil, fmt.Errorf("sim: invalid positioning config %+v", cfg)
+	stream, err := StreamIUPT(b, trajs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ix := newPLocIndex(b.Space)
 	table := iupt.NewTable()
-
-	for ti := range trajs {
-		tr := &trajs[ti]
-		if len(tr.Points) == 0 {
-			continue
+	for {
+		rec, ok := stream.Next()
+		if !ok {
+			return table, nil
 		}
-		byTime := make(map[iupt.Time]*TrajPoint, len(tr.Points))
-		for i := range tr.Points {
-			byTime[tr.Points[i].T] = &tr.Points[i]
-		}
-		t := tr.Start()
-		for t <= tr.End() {
-			pt, ok := byTime[t]
-			if !ok {
-				t++
-				continue
-			}
-			floor := b.Space.Partition(pt.Partition).Floor
-			if x := sampleWkNN(rng, ix, floor, pt.Partition, pt.Pos, cfg); len(x) > 0 {
-				table.Append(iupt.Record{OID: tr.OID, T: t, Samples: x})
-			}
-			// Silent for 1..MaxPeriod seconds.
-			t += 1 + iupt.Time(rng.Int63n(int64(cfg.MaxPeriod)))
-		}
+		table.Append(rec)
 	}
-	return table, nil
 }
 
 // sampleWkNN draws one positioning record's sample set: |X| P-locations

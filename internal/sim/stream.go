@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"tkplq/internal/iupt"
+)
+
+// Streaming IUPT generation. GenerateIUPT materializes the whole table;
+// RecordStream yields the same records one at a time, already in the
+// canonical (T, arrival) order, so cmd/gendata can write a dataset far
+// larger than RAM straight to disk. Each trajectory gets its own RNG stream
+// (seeded deterministically from cfg.Seed in trajectory order), which makes
+// a trajectory's records independent of when the merge interleaves it —
+// GenerateIUPT is built on the stream, so in-process generation, streamed
+// CSV and streamed binary all agree byte for byte for the same seed.
+
+// RecordStream yields one trajectory-merged IUPT record per Next call.
+type RecordStream struct {
+	h genHeap
+}
+
+// trajGen lazily samples one trajectory's positioning records.
+type trajGen struct {
+	idx    int // trajectory index: the merge tie-break on equal T
+	rng    *rand.Rand
+	ix     *plocIndex
+	b      *Building
+	cfg    PositioningConfig
+	tr     *Trajectory
+	byTime map[iupt.Time]*TrajPoint
+	t      iupt.Time // next timestamp to consider
+	next   iupt.Record
+}
+
+// advance computes the generator's next record; it reports false when the
+// trajectory is exhausted.
+func (g *trajGen) advance() bool {
+	for g.t <= g.tr.End() {
+		t := g.t
+		pt, ok := g.byTime[t]
+		if !ok {
+			g.t++
+			continue
+		}
+		// Silent for 1..MaxPeriod seconds after an update attempt.
+		g.t += 1 + iupt.Time(g.rng.Int63n(int64(g.cfg.MaxPeriod)))
+		floor := g.b.Space.Partition(pt.Partition).Floor
+		if x := sampleWkNN(g.rng, g.ix, floor, pt.Partition, pt.Pos, g.cfg); len(x) > 0 {
+			g.next = iupt.Record{OID: g.tr.OID, T: t, Samples: x}
+			return true
+		}
+	}
+	return false
+}
+
+// genHeap orders generators by (next.T, trajectory index): each trajectory
+// emits strictly increasing timestamps, so popping the minimum reproduces
+// exactly the stable time-sort of trajectory-major generation.
+type genHeap []*trajGen
+
+func (h genHeap) Len() int { return len(h) }
+func (h genHeap) Less(i, j int) bool {
+	if h[i].next.T != h[j].next.T {
+		return h[i].next.T < h[j].next.T
+	}
+	return h[i].idx < h[j].idx
+}
+func (h genHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *genHeap) Push(x any)   { *h = append(*h, x.(*trajGen)) }
+func (h *genHeap) Pop() any {
+	old := *h
+	n := len(old)
+	g := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return g
+}
+
+// StreamIUPT builds the lazy record stream over the trajectories. Memory is
+// O(trajectories) — one buffered record per live trajectory — never
+// O(records).
+func StreamIUPT(b *Building, trajs []Trajectory, cfg PositioningConfig) (*RecordStream, error) {
+	if cfg.MaxPeriod < 1 || cfg.MSS < 1 || cfg.ErrorRadius <= 0 {
+		return nil, fmt.Errorf("sim: invalid positioning config %+v", cfg)
+	}
+	// One seed per trajectory, drawn upfront in trajectory order so the
+	// per-trajectory streams are fixed by cfg.Seed alone.
+	root := rand.New(rand.NewSource(cfg.Seed))
+	ix := newPLocIndex(b.Space)
+	s := &RecordStream{h: make(genHeap, 0, len(trajs))}
+	for ti := range trajs {
+		seed := root.Int63()
+		tr := &trajs[ti]
+		if len(tr.Points) == 0 {
+			continue
+		}
+		byTime := make(map[iupt.Time]*TrajPoint, len(tr.Points))
+		for i := range tr.Points {
+			byTime[tr.Points[i].T] = &tr.Points[i]
+		}
+		g := &trajGen{
+			idx: ti, rng: rand.New(rand.NewSource(seed)),
+			ix: ix, b: b, cfg: cfg, tr: tr, byTime: byTime, t: tr.Start(),
+		}
+		if g.advance() {
+			s.h = append(s.h, g)
+		}
+	}
+	heap.Init(&s.h)
+	return s, nil
+}
+
+// Next returns the next record in canonical (T, arrival) order; ok is false
+// when the stream is exhausted.
+func (s *RecordStream) Next() (rec iupt.Record, ok bool) {
+	if len(s.h) == 0 {
+		return iupt.Record{}, false
+	}
+	g := s.h[0]
+	rec = g.next
+	if g.advance() {
+		heap.Fix(&s.h, 0)
+	} else {
+		heap.Pop(&s.h)
+	}
+	return rec, true
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tkplq/internal/iupt"
+)
+
+// streamFixture builds a small dataset's building + trajectories.
+func streamFixture(t *testing.T) (*Building, []Trajectory, PositioningConfig) {
+	t.Helper()
+	b := mustBuilding(t, DefaultBuildingConfig())
+	mcfg := DefaultMovementConfig()
+	mcfg.Objects = 6
+	mcfg.Duration = 500
+	mcfg.MinDwell, mcfg.MaxDwell = 20, 60
+	mcfg.MinLifespan, mcfg.MaxLifespan = 250, 500
+	trajs, err := SimulateMovement(b, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, trajs, DefaultPositioningConfig()
+}
+
+// TestStreamMatchesGenerate: the lazy stream and the materializing
+// GenerateIUPT yield the same records in the same order, bit for bit, and
+// the stream is already time-sorted.
+func TestStreamMatchesGenerate(t *testing.T) {
+	b, trajs, pcfg := streamFixture(t)
+	table, err := GenerateIUPT(b, trajs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := StreamIUPT(b, trajs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []iupt.Record
+	for {
+		rec, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if n := len(got); n > 0 && rec.T < got[n-1].T {
+			t.Fatalf("stream went backwards: record %d at T=%d after T=%d", n, rec.T, got[n-1].T)
+		}
+		got = append(got, rec)
+	}
+	want := table.SortedRecords()
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d records, table has %d", len(got), len(want))
+	}
+	if len(got) == 0 {
+		t.Fatal("empty dataset")
+	}
+	for i := range want {
+		if got[i].OID != want[i].OID || got[i].T != want[i].T || len(got[i].Samples) != len(want[i].Samples) {
+			t.Fatalf("record %d differs: stream %v table %v", i, got[i], want[i])
+		}
+		for j := range want[i].Samples {
+			if got[i].Samples[j].Loc != want[i].Samples[j].Loc ||
+				math.Float64bits(got[i].Samples[j].Prob) != math.Float64bits(want[i].Samples[j].Prob) {
+				t.Fatalf("record %d sample %d differs: stream %v table %v", i, j, got[i].Samples[j], want[i].Samples[j])
+			}
+		}
+	}
+}
+
+// TestStreamWritersByteIdentical: streaming CSV and binary writers produce
+// exactly the bytes Table.WriteCSV / Table.WriteBinary produce for the same
+// dataset — the contract that lets gendata stream without a table.
+func TestStreamWritersByteIdentical(t *testing.T) {
+	b, trajs, pcfg := streamFixture(t)
+	table, err := GenerateIUPT(b, trajs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantCSV bytes.Buffer
+	if err := table.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := StreamIUPT(b, trajs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV bytes.Buffer
+	cw := iupt.NewCSVWriter(&gotCSV)
+	for {
+		rec, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := cw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Fatal("streamed CSV differs from Table.WriteCSV output")
+	}
+
+	var wantBin bytes.Buffer
+	if err := table.WriteBinary(&wantBin); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "iupt.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := iupt.NewBinaryWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = StreamIUPT(b, trajs, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := bw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBin, wantBin.Bytes()) {
+		t.Fatal("streamed binary differs from Table.WriteBinary output")
+	}
+	if n := bw.Count(); int(n) != table.Len() {
+		t.Fatalf("writer count %d, table has %d records", n, table.Len())
+	}
+}

@@ -74,6 +74,16 @@ type Options struct {
 	// SyncEvery is the background fsync cadence for SyncInterval
 	// (DefaultSyncEvery when zero).
 	SyncEvery time.Duration
+	// Base, when non-nil, replaces snapshot recovery with an external base
+	// artifact (internal/parts passes its sealed-partition set). The hook
+	// runs during Open, after the directory lock is acquired, and returns
+	// the base table plus the sequence number of the newest base artifact:
+	// log segments with an older sequence are subsumed by the base and
+	// dropped; the rest replay into the returned table. Snapshot files are
+	// the hook's responsibility (parts migrates them into partitions);
+	// Open neither reads nor writes them in this mode, and Snapshot must
+	// not be called on the store — rotate with RotateAfterCommit instead.
+	Base func(dir string) (*iupt.Table, uint64, error)
 }
 
 // Stats is a snapshot of a Store's lifetime counters. Recovered* and
@@ -96,11 +106,16 @@ type Stats struct {
 	// SinceSnapshot counts records appended since the last snapshot (or
 	// Open), the signal behind automatic snapshot cadence.
 	SinceSnapshot int64
-	// RecoveredRecords is the table size produced by Open (snapshot records
-	// plus replayed WAL records).
+	// RecoveredRecords is the table size produced by Open (snapshot or base
+	// records plus replayed WAL records).
 	RecoveredRecords int64
 	// ReplayedFrames counts complete WAL frames applied during Open.
 	ReplayedFrames int64
+	// ReplayedRecords counts records applied from WAL frames during Open —
+	// the work recovery actually performed beyond loading the snapshot or
+	// mapping the base. For a partitioned store this is the whole recovery
+	// cost: restart does work proportional to the WAL tail, not the table.
+	ReplayedRecords int64
 	// TornBytes counts trailing bytes dropped (and truncated away) during
 	// Open: an incomplete final frame, or everything from the first
 	// invalid frame on.
@@ -132,6 +147,10 @@ var errShortSegment = errors.New("segment shorter than its header")
 var (
 	snapshotRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
 	segmentRE  = regexp.MustCompile(`^wal-(\d{8})\.log$`)
+	// partitionRE recognizes internal/parts' sealed partitions so a flat
+	// open can refuse a partitioned directory instead of silently serving
+	// the WAL tail without the sealed records.
+	partitionRE = regexp.MustCompile(`^part-(\d{8})\.tkp$`)
 )
 
 func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.bin", seq) }
@@ -212,16 +231,28 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 		case segmentRE.MatchString(name):
 			seq := parseSeq(segmentRE.FindStringSubmatch(name)[1])
 			segments[seq] = filepath.Join(opts.Dir, name)
+		case partitionRE.MatchString(name) && opts.Base == nil:
+			// The directory was migrated to the partitioned layout; a flat
+			// open would ignore the sealed records — refuse loudly.
+			return nil, nil, fmt.Errorf("wal: %s holds sealed partition %s: the directory uses the partitioned layout (reopen with -storage parts)", opts.Dir, name)
 		}
 	}
 
 	s := &Store{dir: opts.Dir, opts: opts, lock: lock}
 
-	// Load the newest snapshot; anything older is redundant by construction
-	// (snapshot N contains everything up to its cut).
+	// Recover the base state: the newest snapshot, or — in external-base
+	// mode — whatever the Base hook reconstructs (sealed partitions). Either
+	// way snapSeq is the cut every surviving log frame must postdate.
 	table := iupt.NewTable()
 	var snapSeq uint64
-	if len(snapshots) > 0 {
+	if opts.Base != nil {
+		table, snapSeq, err = opts.Base(opts.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if len(snapshots) > 0 {
+		// Anything older than the newest snapshot is redundant by
+		// construction (snapshot N contains everything up to its cut).
 		snapSeq = maxSeq(snapshots)
 		table, err = readSnapshot(snapshots[snapSeq])
 		if err != nil {
@@ -266,7 +297,7 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 			return nil, nil, fmt.Errorf("wal: segment %s: %w", segments[seq], err)
 		}
 		s.stats.ReplayedFrames += frames
-		_ = records
+		s.stats.ReplayedRecords += records
 		if torn > 0 {
 			s.stats.TornBytes += torn
 			if err := os.Truncate(segments[seq], validOff); err != nil {
@@ -351,6 +382,11 @@ func createSegment(path string) (*os.File, error) {
 	}
 	return f, nil
 }
+
+// SyncDir fsyncs a directory so renames and creates within it are durable —
+// the commit step of every tmp+fsync+rename in this package, exported for
+// internal/parts' partition commits.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
 func syncDir(dir string) error {
@@ -470,12 +506,28 @@ func (s *Store) Snapshot(recs []iupt.Record) error {
 
 	// The snapshot is committed: rotate the log. A crash anywhere past this
 	// point recovers from snapshot newSeq; the leftovers below are cleaned
-	// up by the next Open. A rotation FAILURE past this point must poison
-	// the store: recovery would delete the old segment (seq < newSeq), so
-	// continuing to append to it would silently lose acknowledged batches.
+	// up by the next Open.
+	oldSeq := s.seq
+	if err := s.rotateLocked(newSeq); err != nil {
+		return err
+	}
+	// Best-effort: the old snapshot is subsumed by snapshot newSeq and would
+	// be removed by the next Open anyway.
+	_ = os.Remove(filepath.Join(s.dir, snapshotName(oldSeq)))
+	return nil
+}
+
+// rotateLocked swings the log onto a fresh segment at newSeq and deletes the
+// superseded one. The caller must have durably committed an artifact
+// (snapshot or sealed partition) at newSeq that subsumes every frame of the
+// current segment: recovery will drop segments older than newSeq, so a
+// rotation FAILURE here must poison the store — continuing to append to the
+// old segment would silently lose acknowledged batches on restart. Callers
+// must hold s.mu.
+func (s *Store) rotateLocked(newSeq uint64) error {
 	seg, err := createSegment(filepath.Join(s.dir, segmentName(newSeq)))
 	if err != nil {
-		s.failed = fmt.Errorf("wal: rotation failed after snapshot %d committed: %w", newSeq, err)
+		s.failed = fmt.Errorf("wal: rotation failed after commit of %d: %w", newSeq, err)
 		return s.failed
 	}
 	old := s.seg
@@ -487,19 +539,62 @@ func (s *Store) Snapshot(recs []iupt.Record) error {
 	s.stats.SnapshotSeq = newSeq
 	s.stats.SinceSnapshot = 0
 	s.sinceSnap.Store(0)
-	// Cleanup is best-effort: leftovers are subsumed by snapshot newSeq and
-	// removed by the next Open.
+	// Cleanup is best-effort: the old segment is subsumed by artifact newSeq
+	// and removed by the next Open.
 	_ = old.Close()
 	_ = os.Remove(filepath.Join(s.dir, segmentName(oldSeq)))
-	_ = os.Remove(filepath.Join(s.dir, snapshotName(oldSeq)))
 	if err := syncDir(s.dir); err != nil {
 		// The new segment's dirent may not be durable: a machine crash
-		// could recover snapshot newSeq without the segment, losing frames
+		// could recover artifact newSeq without the segment, losing frames
 		// appended meanwhile. Refuse further appends.
-		s.failed = fmt.Errorf("wal: rotation failed after snapshot %d committed: %w", newSeq, err)
+		s.failed = fmt.Errorf("wal: rotation failed after commit of %d: %w", newSeq, err)
 		return s.failed
 	}
 	return nil
+}
+
+// RotateAfterCommit rotates the log onto a fresh segment at sequence Seq()+1
+// and deletes the superseded segment, without writing a snapshot. The caller
+// must first have durably committed an external artifact at that sequence
+// that contains every record of the current segment — internal/parts calls
+// this after renaming a sealed partition into place — and must serialize the
+// commit+rotate pair with AppendBatch (the System's ingest lock does).
+// Returns the new sequence. On error the store is poisoned, exactly like a
+// failed Snapshot rotation.
+func (s *Store) RotateAfterCommit() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return 0, err
+	}
+	newSeq := s.seq + 1
+	if err := s.rotateLocked(newSeq); err != nil {
+		return 0, err
+	}
+	return newSeq, nil
+}
+
+// Seq returns the current rotation sequence: the suffix of the active log
+// segment and of the newest committed snapshot or base artifact. The next
+// commit (Snapshot or RotateAfterCommit) uses Seq()+1.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Poison marks the store failed: every later AppendBatch, Snapshot and
+// RotateAfterCommit returns err until a restart recovers the directory.
+// For callers layering their own commit protocol on the log (internal/parts):
+// once an external artifact at Seq()+1 is committed, a failure before
+// RotateAfterCommit succeeds strands the current segment — recovery drops it
+// as subsumed — so the only safe continuation is no continuation.
+func (s *Store) Poison(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed == nil && !s.closed {
+		s.failed = err
+	}
 }
 
 // usableLocked reports why the store cannot accept writes (closed, or

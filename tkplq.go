@@ -219,13 +219,29 @@ func (s *System) Ingest(recs []Record) error {
 	for _, rec := range recs {
 		s.table.Append(rec)
 	}
-	// Invalidate each touched object once, after all appends.
-	invalidated := make(map[ObjectID]bool, len(recs))
+	// Invalidate each touched object once, after all appends — and only the
+	// cached windows overlapping the object's new records: summaries over
+	// disjoint historical windows (typically sealed partitions) still see
+	// exactly the data they were computed from, so in-order ingest leaves
+	// them cached.
+	type span struct{ lo, hi Time }
+	spans := make(map[ObjectID]span, len(recs))
 	for _, rec := range recs {
-		if !invalidated[rec.OID] {
-			invalidated[rec.OID] = true
-			s.engine.InvalidateObject(rec.OID)
+		sp, ok := spans[rec.OID]
+		if !ok {
+			spans[rec.OID] = span{rec.T, rec.T}
+			continue
 		}
+		if rec.T < sp.lo {
+			sp.lo = rec.T
+		}
+		if rec.T > sp.hi {
+			sp.hi = rec.T
+		}
+		spans[rec.OID] = sp
+	}
+	for oid, sp := range spans {
+		s.engine.InvalidateObjectRange(oid, sp.lo, sp.hi)
 	}
 	// Announce the batch to live monitors and subscriptions while still
 	// holding the ingest lock — their table-read barrier — so each monitor
