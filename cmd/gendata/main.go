@@ -6,6 +6,12 @@
 // than RAM are fine (binary output to a pipe is the one exception: its
 // count header needs a seekable file, so bin-to-stdout buffers records).
 //
+// Seed compatibility: the streaming generator derives one RNG stream per
+// trajectory from -seed (generation v2) instead of the single shared RNG
+// of earlier releases, so a given -seed now yields a different — still
+// fully deterministic — dataset than it did before. Regenerate any
+// externally recorded expectations keyed to a seed.
+//
 // Both output formats are specified byte by byte in docs/FORMATS.md. The
 // binary format is identical to the snapshot format of tkplqd's durable
 // data directory, so a generated file can seed one directly:
@@ -49,7 +55,7 @@ func run(args []string, stdout, errOut io.Writer) error {
 		period   = fs.Int64("T", 3, "maximum positioning period in seconds")
 		mss      = fs.Int("mss", 4, "maximum sample-set size")
 		mu       = fs.Float64("mu", 5, "positioning error radius in meters")
-		seed     = fs.Int64("seed", 42, "random seed")
+		seed     = fs.Int64("seed", 42, "random seed (generation v2: same seed, different dataset than pre-streaming releases)")
 		out      = fs.String("out", "", "output file (default: stdout)")
 		format   = fs.String("format", "csv", "output format: csv or bin")
 		stats    = fs.Bool("stats", false, "print dataset statistics to stderr")

@@ -40,6 +40,10 @@ var (
 	snapRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
 )
 
+// commitDirSync is wal.SyncDir, indirected so tests can inject a failure
+// after the rename commit point.
+var commitDirSync = wal.SyncDir
+
 func partName(seq uint64) string { return fmt.Sprintf("part-%08d.tkp", seq) }
 
 // Options parametrizes Open.
@@ -213,7 +217,10 @@ func (s *Store) migrateSnapshot(dir, snapPath string, seq uint64) (migrated bool
 	if len(recs) == 0 {
 		return false, nil
 	}
-	if err := s.commitPartitionFile(dir, seq, recs); err != nil {
+	if _, err := s.commitPartitionFile(dir, seq, recs); err != nil {
+		// Any failure — even one past the rename — aborts Open: no store is
+		// returned, so there is nothing to poison, and a redundant partition
+		// file is re-migrated over idempotently on the next open.
 		return false, fmt.Errorf("parts: migrating %s: %w", snapPath, err)
 	}
 	s.migrated = int64(len(recs))
@@ -221,38 +228,40 @@ func (s *Store) migrateSnapshot(dir, snapPath string, seq uint64) (migrated bool
 }
 
 // commitPartitionFile writes recs as part-<seq>.tkp atomically:
-// tmp + fsync + rename + dir fsync. After it returns the partition is
-// durable and visible to recovery.
-func (s *Store) commitPartitionFile(dir string, seq uint64, recs []iupt.Record) error {
+// tmp + fsync + rename + dir fsync. The rename is the commit point:
+// committed reports whether it succeeded, i.e. whether the partition is
+// visible to recovery even when err is non-nil (a failed trailing dir
+// fsync). After a nil return the partition is durable.
+func (s *Store) commitPartitionFile(dir string, seq uint64, recs []iupt.Record) (committed bool, err error) {
 	buf, err := Encode(recs)
 	if err != nil {
-		return err
+		return false, err
 	}
 	final := filepath.Join(dir, partName(seq))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
-	return wal.SyncDir(dir)
+	return true, commitDirSync(dir)
 }
 
 // parseSeq converts a zero-padded decimal capture; the regexp guarantees it
@@ -278,8 +287,16 @@ func (s *Store) Seal() error {
 		return nil
 	}
 	newSeq := s.wal.Seq() + 1
-	if err := s.commitPartitionFile(s.dir, newSeq, head); err != nil {
-		return fmt.Errorf("parts: seal: %w", err)
+	committed, err := s.commitPartitionFile(s.dir, newSeq, head)
+	if err != nil {
+		err = fmt.Errorf("parts: seal: %w", err)
+		if committed {
+			// The rename succeeded, so recovery already treats the current
+			// segment as subsumed by part-newSeq even though the dir fsync
+			// failed; mirror wal.Store.Snapshot and refuse further appends.
+			s.wal.Poison(err)
+		}
+		return err
 	}
 	// The rename above is the commit point: recovery now treats the current
 	// segment as subsumed. Any failure before the rotation completes must

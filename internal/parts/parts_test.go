@@ -382,6 +382,39 @@ func TestStoreSealEmptyHead(t *testing.T) {
 	}
 }
 
+// TestStoreSealPoisonsAfterCommitPointFailure injects a dir-fsync failure
+// after the partition rename — the commit point — and asserts the store
+// poisons itself: the partition is already visible to recovery, which drops
+// the old segment as subsumed, so acknowledging further appends into it
+// would lose them on restart. Restart must then recover every sealed record.
+func TestStoreSealPoisonsAfterCommitPointFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, table := openStore(t, dir)
+	recs := testRecords(rand.New(rand.NewSource(11)), 40, 30)
+	ingest(t, s, table, recs)
+
+	commitDirSync = func(string) error { return fmt.Errorf("injected dir fsync failure") }
+	err := s.Seal()
+	commitDirSync = wal.SyncDir
+	if err == nil || !strings.Contains(err.Error(), "injected dir fsync failure") {
+		t.Fatalf("Seal error = %v, want injected dir fsync failure", err)
+	}
+	// The rename committed part-1 before the failure: the store must refuse
+	// further appends — recovery would drop the old segment as subsumed.
+	if err := s.AppendBatch(testRecords(rand.New(rand.NewSource(12)), 5, 30)); err == nil {
+		t.Fatal("AppendBatch succeeded on a store poisoned after seal commit point")
+	}
+	s.Close()
+
+	// Restart: the committed partition carries every acknowledged record.
+	s2, table2 := openStore(t, dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.Partitions != 1 {
+		t.Fatalf("recovered partitions=%d, want 1", st.Partitions)
+	}
+	sameRecords(t, "recovered after poisoned seal", sortedCopy(recs), table2.SortedRecords())
+}
+
 // TestStoreDropsSubsumedSegment plants a stale log segment older than the
 // newest partition — the leftover of a crash between seal commit and
 // cleanup — and asserts recovery drops it instead of replaying duplicates.

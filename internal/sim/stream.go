@@ -16,6 +16,12 @@ import (
 // a trajectory's records independent of when the merge interleaves it —
 // GenerateIUPT is built on the stream, so in-process generation, streamed
 // CSV and streamed binary all agree byte for byte for the same seed.
+//
+// The per-trajectory seeding is a deliberate break with the single shared
+// RNG of earlier releases: the same cfg.Seed produces a different (still
+// deterministic) dataset than it used to. This is generation scheme v2;
+// datasets or recorded expectations produced under the old scheme must be
+// regenerated (called out in cmd/gendata's docs and CHANGES.md).
 
 // RecordStream yields one trajectory-merged IUPT record per Next call.
 type RecordStream struct {
