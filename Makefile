@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json benchdiff lint fmt vet staticcheck vuln smoke smoke-cluster apicheck ci
+.PHONY: all build test race bench bench-json benchdiff fuzz cover lint fmt vet staticcheck vuln smoke smoke-cluster apicheck ci
 
 all: build
 
@@ -47,6 +47,23 @@ BENCH_NEW ?= bench.json
 BENCH_THRESHOLD ?= 0.50
 benchdiff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+
+# Fuzz smoke: both on-disk-format fuzzers (partition files, WAL segments)
+# for a short budget each, on top of their committed seed corpora in
+# testdata/fuzz/. CI runs this on every push; leave a crasher running
+# overnight with FUZZTIME=8h. New crash inputs land in the package's
+# testdata/fuzz/ directory — commit them, they become regression tests.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPartitionOpen$$' -fuzztime $(FUZZTIME) ./internal/parts
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
+
+# Coverage artifact: atomic-mode profile across every package, plus the
+# per-function summary CI posts into the job summary. Open the HTML view
+# with: go tool cover -html=cover.out
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 lint: fmt vet staticcheck vuln
 

@@ -122,6 +122,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fsyncInterval   = fs.Duration("fsync-interval", wal.DefaultSyncEvery, "fsync cadence for -fsync interval")
 		snapshotEvery   = fs.Int("snapshot-every", 100000, "auto-snapshot after N records ingested since the last snapshot (0 = off); bounds log growth and restart replay")
 		snapshotIvl     = fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = off)")
+		compactIvl      = fs.Duration("compact-interval", 0, "with -storage parts: background compaction cadence (0 = manual POST /v1/compact only)")
+		compactMin      = fs.Int("compact-min-inputs", 0, "with -storage parts: minimum adjacent small partitions before a compaction fires (0 = default)")
+		compactTarget   = fs.Int64("compact-target-bytes", 0, "with -storage parts: target merged partition size; partitions at or past it are never re-compacted (0 = default)")
 		pprofAddr       = fs.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty = off")
 		role            = fs.String("role", server.RoleStandalone, "serving role: standalone, shard or router")
 		topologyFile    = fs.String("topology", "", "cluster topology file (required for -role shard|router; every member must load the same file)")
@@ -201,6 +204,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		case "parts":
 			p, rec, err := tkplq.OpenPartitioned(tkplq.PartitionedOptions{
 				Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+				Compact: tkplq.CompactionPolicy{
+					MinInputs:   *compactMin,
+					TargetBytes: *compactTarget,
+					Interval:    *compactIvl,
+				},
 			})
 			if err != nil {
 				return err

@@ -71,6 +71,15 @@ type (
 	// PartitionVerify selects how much of each sealed partition
 	// OpenPartitioned checks (VerifyFull by default).
 	PartitionVerify = parts.VerifyMode
+	// CompactionPolicy configures PartitionedOptions.Compact: when the
+	// size-tiered background compactor merges runs of adjacent small
+	// partitions into one larger partition. The zero value enables manual
+	// compaction (PartitionedStore.Compact) with default thresholds and no
+	// background loop.
+	CompactionPolicy = parts.CompactionPolicy
+	// CompactResult describes one committed compaction
+	// (PartitionedStore.Compact).
+	CompactResult = parts.CompactResult
 )
 
 // Partition verification modes for PartitionedOptions.Verify.

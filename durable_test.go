@@ -45,7 +45,7 @@ func copyDataDir(t *testing.T, dir string) string {
 // durableTestBuilding regenerates the deterministic small synthetic world
 // shared by all systems in this test; identical seeds yield identical
 // buildings and tables.
-func durableTestBuilding(t *testing.T) (*tkplq.Building, *tkplq.Table) {
+func durableTestBuilding(t testing.TB) (*tkplq.Building, *tkplq.Table) {
 	t.Helper()
 	b, err := tkplq.GenerateBuilding(tkplq.DefaultBuildingConfig())
 	if err != nil {

@@ -104,9 +104,16 @@ func sequenceKey(oid iupt.ObjectID, seq iupt.Sequence) cacheKey {
 }
 
 // sequencesEqual reports bitwise equality of two positioning sequences.
+// Aliased slices — the steady state when the sealed-window cache serves
+// repeated windows, handing every query the same materialized sequences —
+// short-circuit on pointer identity, so cache-hit verification is O(1)
+// instead of O(sequence).
 func sequencesEqual(a, b iupt.Sequence) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
 	}
 	for i := range a {
 		if a[i].T != b[i].T || len(a[i].Samples) != len(b[i].Samples) {
@@ -240,6 +247,17 @@ type CacheStats struct {
 	// Options.DisableCache zeroes the fields above.
 	Coalesced int64
 	Flights   int64
+	// WindowEntries, WindowHits, WindowMisses and WindowBytes describe the
+	// sealed-window sequence cache: whole materialized query windows keyed by
+	// the identity set of the sealed partitions that answer them. A window
+	// hit skips rematerializing records out of the table entirely (the
+	// storage layer's materialized_records counter stays flat). All four are
+	// zero when Options.DisableCache is set; misses also count windows that
+	// were cacheable but not yet stored.
+	WindowEntries int
+	WindowHits    int64
+	WindowMisses  int64
+	WindowBytes   int64
 }
 
 // CacheStats returns a snapshot of the engine's presence cache and request
@@ -253,6 +271,9 @@ func (e *Engine) CacheStats() CacheStats {
 		out.Misses = c.misses
 		out.Invalidations = c.invalidations
 		c.mu.Unlock()
+	}
+	if wc := e.wcache; wc != nil {
+		out.WindowEntries, out.WindowHits, out.WindowMisses, out.WindowBytes = wc.snapshot()
 	}
 	if co := e.coal; co != nil {
 		co.mu.Lock()

@@ -211,11 +211,12 @@ func (o Options) workerCount() int {
 // per-query state lives in the query functions, and the presence cache is
 // internally synchronized.
 type Engine struct {
-	space *indoor.Space
-	opts  Options
-	cache *summaryCache // nil when Options.DisableCache is set
-	coal  *coalescer    // nil when Options.DisableCoalescing is set
-	mons  *monitorRegistry
+	space  *indoor.Space
+	opts   Options
+	cache  *summaryCache // nil when Options.DisableCache is set
+	wcache *windowCache  // nil when Options.DisableCache is set
+	coal   *coalescer    // nil when Options.DisableCoalescing is set
+	mons   *monitorRegistry
 
 	// scratch pools per-worker summarizeScratch arenas so the reduce →
 	// summarize hot path reuses its working memory across objects. A shared
@@ -229,6 +230,7 @@ func NewEngine(space *indoor.Space, opts Options) *Engine {
 	e := &Engine{space: space, opts: opts, scratch: &sync.Pool{}, mons: newMonitorRegistry()}
 	if !opts.DisableCache {
 		e.cache = newSummaryCache(opts.CacheCapacity)
+		e.wcache = newWindowCache()
 	}
 	if !opts.DisableCoalescing {
 		e.coal = newCoalescer()
@@ -242,8 +244,32 @@ func (e *Engine) Space() *indoor.Space { return e.space }
 // sequences fetches the per-object positioning sequences of [ts, te],
 // sharding the per-object sorting across the worker pool. A canceled ctx
 // aborts the fetch and returns ctx.Err().
+//
+// Windows fully answered by immutable sealed partitions are served from the
+// sealed-window cache when possible: the table's partition identity set over
+// the window keys the entry, so any data change that could alter the answer
+// forces a rematerialization (see windowCache). Cached maps are shared across
+// queries — callers must treat the result as read-only, which every consumer
+// in this package does.
 func (e *Engine) sequences(ctx context.Context, table *iupt.Table, ts, te iupt.Time) (map[iupt.ObjectID]iupt.Sequence, error) {
-	return table.SequencesInRangeSharded(ctx, ts, te, e.opts.workerCount())
+	wc := e.wcache
+	if wc == nil {
+		return table.SequencesInRangeSharded(ctx, ts, te, e.opts.workerCount())
+	}
+	ids, sealed := table.SealedWindow(ts, te)
+	if !sealed {
+		return table.SequencesInRangeSharded(ctx, ts, te, e.opts.workerCount())
+	}
+	key := windowKey{table: table, ts: ts, te: te}
+	if seqs, ok := wc.lookup(key, ids); ok {
+		return seqs, nil
+	}
+	seqs, err := table.SequencesInRangeSharded(ctx, ts, te, e.opts.workerCount())
+	if err != nil {
+		return nil, err
+	}
+	wc.store(key, ids, seqs)
+	return seqs, nil
 }
 
 // Options returns the engine's options.

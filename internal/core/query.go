@@ -112,6 +112,7 @@ func (e *Engine) view(q Query) *Engine {
 	}
 	if q.DisableCache {
 		v.cache = nil
+		v.wcache = nil
 	}
 	if q.DisableCoalescing {
 		v.coal = nil

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+
+	"tkplq/internal/iupt"
+)
+
+// windowCache is the engine's sealed-window sequence cache, layered in front
+// of the per-object summaryCache. Where summaryCache shares reductions and
+// presence summaries across queries, it still pays an O(window) rematerialize
+// (decode records out of the table, group and sort per object) on every query
+// just to produce the sequences it verifies hits against. For windows that
+// are fully answered by immutable sealed partitions, that rematerialization
+// is pure waste: the bytes on disk cannot change, so neither can the
+// sequences.
+//
+// An entry keys on (table, window) and is guarded by the exact identity set
+// of the sealed partitions that answer the window (iupt.Table.SealedWindow).
+// Partition identities are seal-sequence ranges, never reused within a store,
+// so a hit proves the window reads exactly the bytes it read when the entry
+// was stored. Any change that could alter the answer — a record ingested
+// into the window, a new seal overlapping it, a compaction replacing inputs
+// with a range partition — changes the identity set (or un-seals the window)
+// and turns the lookup into a miss; stale entries then age out through the
+// generations. Correctness never depends on that eviction.
+//
+// A hit returns the stored map itself, not a copy: every consumer of
+// Engine.sequences treats the map and its sequences as read-only, and the
+// aliasing is what makes repeated windows cheap downstream — summaryCache
+// verification sees the very slices it stored and short-circuits on pointer
+// equality instead of re-hashing content (see sequencesEqual).
+//
+// Eviction mirrors summaryCache's two-generation clock. All methods are safe
+// for concurrent use; entries are immutable once stored.
+type windowCache struct {
+	mu   sync.Mutex
+	cap  int
+	cur  map[windowKey]*windowEntry
+	prev map[windowKey]*windowEntry
+
+	hits, misses int64
+}
+
+// windowKey identifies one query window on one table. The table pointer is
+// part of the key: partition identities are only unique within a single
+// store, so two tables could legitimately present equal identity sets over
+// equal windows with different data.
+type windowKey struct {
+	table *iupt.Table
+	ts    iupt.Time
+	te    iupt.Time
+}
+
+type windowEntry struct {
+	ids   []uint64 // sealed-partition identity set, in seal order
+	seqs  map[iupt.ObjectID]iupt.Sequence
+	bytes int64 // estimated live size of seqs
+}
+
+// DefaultWindowCacheCapacity is the per-generation entry cap of the sealed-
+// window cache. Entries are whole materialized windows, so the cap is far
+// smaller than the per-object summary cache's.
+const DefaultWindowCacheCapacity = 64
+
+func newWindowCache() *windowCache {
+	return &windowCache{cap: DefaultWindowCacheCapacity, cur: make(map[windowKey]*windowEntry)}
+}
+
+// lookup returns the cached sequences for the window iff the stored identity
+// set matches ids exactly.
+func (c *windowCache) lookup(key windowKey, ids []uint64) (map[iupt.ObjectID]iupt.Sequence, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en, ok := c.cur[key]
+	if !ok && c.prev != nil {
+		if en, ok = c.prev[key]; ok {
+			delete(c.prev, key)
+			c.insertLocked(key, en)
+		}
+	}
+	if ok && idsEqual(en.ids, ids) {
+		c.hits++
+		return en.seqs, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// store inserts the materialized window under its identity set.
+func (c *windowCache) store(key windowKey, ids []uint64, seqs map[iupt.ObjectID]iupt.Sequence) {
+	en := &windowEntry{
+		ids:   append([]uint64(nil), ids...),
+		seqs:  seqs,
+		bytes: sequencesBytes(seqs),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, en)
+}
+
+func (c *windowCache) insertLocked(key windowKey, en *windowEntry) {
+	if len(c.cur) >= c.cap {
+		c.prev = c.cur
+		c.cur = make(map[windowKey]*windowEntry, c.cap/4)
+	}
+	c.cur[key] = en
+}
+
+func idsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sequencesBytes estimates the live memory pinned by one materialized window:
+// per-object map slot + sequence header, per-record TimedSampleSet header,
+// per-sample payload.
+func sequencesBytes(seqs map[iupt.ObjectID]iupt.Sequence) int64 {
+	var b int64
+	for _, seq := range seqs {
+		b += 48 // map slot + slice header, rounded
+		for _, ts := range seq {
+			b += 32 + 16*int64(len(ts.Samples))
+		}
+	}
+	return b
+}
+
+// snapshot reports the cache's counters for CacheStats.
+func (c *windowCache) snapshot() (entries int, hits, misses, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries = len(c.cur) + len(c.prev)
+	hits, misses = c.hits, c.misses
+	for _, en := range c.cur {
+		bytes += en.bytes
+	}
+	for _, en := range c.prev {
+		bytes += en.bytes
+	}
+	return entries, hits, misses, bytes
+}

@@ -252,7 +252,15 @@ func (t *Table) Objects() []ObjectID {
 	t.mu.RLock()
 	recs := t.records
 	sealed := t.sealed
+	for _, p := range sealed {
+		p.Retain()
+	}
 	t.mu.RUnlock()
+	defer func() {
+		for _, p := range sealed {
+			p.Release()
+		}
+	}()
 	seen := make(map[ObjectID]bool)
 	var out []ObjectID
 	for i := range recs {
@@ -319,7 +327,8 @@ func (t *Table) sortedRecords() []Record {
 // backed table it materializes the full merge, so full-table consumers
 // (WriteCSV, ComputeStats) pay O(table) while windowed reads stay pruned.
 func (t *Table) allRecords() []Record {
-	head, sealed := t.view()
+	head, sealed, release := t.retainView()
+	defer release()
 	if len(sealed) == 0 {
 		return head
 	}
@@ -373,7 +382,8 @@ func (t *Table) SortedRecords() []Record {
 // with each part's contribution found by binary search and the sources
 // k-way merged in canonical order (sealed.go).
 func (t *Table) RecordsInRange(ts, te Time) []Record {
-	head, sealed := t.view()
+	head, sealed, release := t.retainView()
+	defer release()
 	if len(sealed) == 0 {
 		return rangeSubslice(head, ts, te)
 	}

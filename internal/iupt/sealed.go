@@ -35,6 +35,17 @@ type SealedPart interface {
 	// Objects returns the part's distinct object ids, ascending. The result
 	// is shared and must not be modified.
 	Objects() []ObjectID
+	// Identity returns a value unique to this part's immutable contents
+	// within its store's lifetime — compaction produces a part with a new
+	// identity. Caches key on it: identical identity implies identical bytes.
+	Identity() uint64
+	// Retain and Release bracket reads. A part's backing storage (e.g. an
+	// mmap) stays valid while any retain is outstanding; the owner's final
+	// release frees it. The table retains parts inside its lock before
+	// handing them to readers, so a concurrent compaction swap can never
+	// unmap a part mid-read.
+	Retain()
+	Release()
 }
 
 // NewBackedTable returns a table whose reads plan over the sealed parts plus
@@ -94,11 +105,102 @@ func (t *Table) CommitSeal(part SealedPart, headLen int) error {
 }
 
 // view returns a consistent (head, sealed) snapshot with the head sorted.
+// The sealed parts are NOT retained: callers may only touch part metadata
+// (Len, Span, Identity) — use retainView before decoding part records.
 func (t *Table) view() (head []Record, sealed []SealedPart) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.ensureSortedLocked()
 	return t.records, t.sealed
+}
+
+// retainView returns a consistent (head, sealed) snapshot with every sealed
+// part retained, so a compaction swap racing the caller can never release a
+// part's backing storage mid-read. The caller must call release exactly once
+// when done with the parts' records.
+func (t *Table) retainView() (head []Record, sealed []SealedPart, release func()) {
+	t.mu.Lock()
+	t.ensureSortedLocked()
+	head, sealed = t.records, t.sealed
+	for _, p := range sealed {
+		p.Retain()
+	}
+	t.mu.Unlock()
+	return head, sealed, func() {
+		for _, p := range sealed {
+			p.Release()
+		}
+	}
+}
+
+// ReplaceSealedRun atomically swaps a contiguous run of sealed parts for a
+// single merged part — the table side of a compaction commit. olds must be a
+// non-empty contiguous run of the current sealed list (matched by identity)
+// and neu must hold exactly their records; reads racing the swap see either
+// the old run or the merged part, never both. The caller owns the retirement
+// of the old parts (releasing their backing storage once no reader holds
+// them — the retainView discipline above).
+func (t *Table) ReplaceSealedRun(olds []SealedPart, neu SealedPart) error {
+	if len(olds) == 0 {
+		return fmt.Errorf("iupt: ReplaceSealedRun with no input parts")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := -1
+	for i, p := range t.sealed {
+		if p == olds[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start+len(olds) > len(t.sealed) {
+		return fmt.Errorf("iupt: ReplaceSealedRun inputs are not in the sealed list")
+	}
+	total := 0
+	for i, p := range olds {
+		if t.sealed[start+i] != p {
+			return fmt.Errorf("iupt: ReplaceSealedRun inputs are not a contiguous sealed run")
+		}
+		total += p.Len()
+	}
+	if neu.Len() != total {
+		return fmt.Errorf("iupt: merged part holds %d records, inputs hold %d", neu.Len(), total)
+	}
+	// Splice into a fresh slice: readers holding a sealed snapshot from
+	// view/retainView keep iterating the old list unchanged.
+	next := make([]SealedPart, 0, len(t.sealed)-len(olds)+1)
+	next = append(next, t.sealed[:start]...)
+	next = append(next, neu)
+	next = append(next, t.sealed[start+len(olds):]...)
+	t.sealed = next
+	return nil
+}
+
+// SealedWindow reports whether [ts, te] is fully answered by sealed parts:
+// ok is true only when at least one sealed part overlaps the window and no
+// head record falls inside it. When ok, ids holds the identities of the
+// overlapping parts in seal order — a cache key that is stable exactly as
+// long as the window's contents are: sealing moves head records into a new
+// identity and compaction replaces identities, so a key match implies
+// bit-identical window contents.
+func (t *Table) SealedWindow(ts, te Time) (ids []uint64, ok bool) {
+	if te < ts {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureSortedLocked()
+	if len(rangeSubslice(t.records, ts, te)) > 0 {
+		return nil, false
+	}
+	for _, p := range t.sealed {
+		lo, hi := p.Span()
+		if hi < ts || lo > te {
+			continue
+		}
+		ids = append(ids, p.Identity())
+	}
+	return ids, len(ids) > 0
 }
 
 // mergeRange plans [ts, te] over the sealed parts and the head: only parts

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"sync/atomic"
 	"testing"
 
 	"tkplq/internal/indoor"
@@ -16,9 +17,16 @@ import (
 type memPart struct {
 	recs []Record // canonical (T, arrival) order
 	oids []ObjectID
+	id   uint64
 	// touched counts AppendRange calls, for pruning assertions.
 	touched int
+	// refs tracks Retain/Release balance (owner ref included), for the
+	// retained-view assertions.
+	refs int64
 }
+
+// memPartID hands each memPart a distinct identity.
+var memPartID uint64
 
 func newMemPart(recs []Record) *memPart {
 	if len(recs) == 0 {
@@ -33,7 +41,7 @@ func newMemPart(recs []Record) *memPart {
 		}
 	}
 	slices.Sort(oids)
-	return &memPart{recs: recs, oids: oids}
+	return &memPart{recs: recs, oids: oids, id: atomic.AddUint64(&memPartID, 1), refs: 1}
 }
 
 func (p *memPart) Len() int { return len(p.recs) }
@@ -46,6 +54,16 @@ func (p *memPart) AppendRange(dst []Record, ts, te Time) []Record {
 }
 
 func (p *memPart) Objects() []ObjectID { return p.oids }
+
+func (p *memPart) Identity() uint64 { return p.id }
+
+func (p *memPart) Retain() { atomic.AddInt64(&p.refs, 1) }
+
+func (p *memPart) Release() {
+	if atomic.AddInt64(&p.refs, -1) < 0 {
+		panic("memPart: release without retain")
+	}
+}
 
 func testSamples(r *rand.Rand) SampleSet {
 	n := 1 + r.Intn(3)
@@ -277,5 +295,138 @@ func TestBackedTableAppendAfterSeal(t *testing.T) {
 	fst, bst := flat.ComputeStats(), backed.ComputeStats()
 	if fst != bst {
 		t.Fatalf("ComputeStats: %+v vs %+v", fst, bst)
+	}
+}
+
+// TestReplaceSealedRun asserts the compaction swap primitive: a contiguous
+// sealed run is replaced by a merged part with reads unchanged, and every
+// malformed swap is refused without mutating the table.
+func TestReplaceSealedRun(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	recs := randomRecords(r, 120, Time(25))
+	flat, backed := buildPair(t, recs, []int{30, 60, 90, 120})
+	sealed := backed.Sealed()
+	if len(sealed) != 4 {
+		t.Fatalf("want 4 sealed parts, got %d", len(sealed))
+	}
+
+	// Merge parts 1 and 2 the way a compaction would: concatenate their
+	// canonical-order records (adjacent seal runs, so concatenation in span
+	// order then a stable sort by T is the canonical merge).
+	var merged []Record
+	merged = sealed[1].AppendRange(merged, Time(math.MinInt64/2), Time(math.MaxInt64/2))
+	merged = sealed[2].AppendRange(merged, Time(math.MinInt64/2), Time(math.MaxInt64/2))
+	slices.SortStableFunc(merged, func(a, b Record) int {
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		}
+		return 0
+	})
+	neu := newMemPart(merged)
+
+	// Malformed swaps are refused.
+	if err := backed.ReplaceSealedRun(nil, neu); err == nil {
+		t.Fatal("accepted an empty input run")
+	}
+	if err := backed.ReplaceSealedRun([]SealedPart{sealed[1], sealed[3]}, neu); err == nil {
+		t.Fatal("accepted a non-contiguous run")
+	}
+	if err := backed.ReplaceSealedRun([]SealedPart{neu}, neu); err == nil {
+		t.Fatal("accepted inputs not in the sealed list")
+	}
+	if err := backed.ReplaceSealedRun([]SealedPart{sealed[1]}, neu); err == nil {
+		t.Fatal("accepted a record-count mismatch")
+	}
+	if got := backed.Sealed(); len(got) != 4 {
+		t.Fatalf("failed swaps mutated the sealed list: %d parts", len(got))
+	}
+
+	if err := backed.ReplaceSealedRun([]SealedPart{sealed[1], sealed[2]}, neu); err != nil {
+		t.Fatalf("ReplaceSealedRun: %v", err)
+	}
+	if got := backed.Sealed(); len(got) != 3 || got[1] != SealedPart(neu) {
+		t.Fatalf("sealed list after swap: %d parts", len(got))
+	}
+	if err := recordsEqual(flat.SortedRecords(), backed.SortedRecords()); err != nil {
+		t.Fatalf("after swap: %v", err)
+	}
+	for q := 0; q < 20; q++ {
+		ts := Time(r.Intn(30)) - 2
+		te := ts + Time(r.Intn(20))
+		if err := recordsEqual(flat.RecordsInRange(ts, te), backed.RecordsInRange(ts, te)); err != nil {
+			t.Fatalf("window [%d,%d] after swap: %v", ts, te, err)
+		}
+	}
+}
+
+// TestRetainedViewBalance asserts every read that decodes sealed records
+// retains and releases each part symmetrically, leaving only the owner ref.
+func TestRetainedViewBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	recs := randomRecords(r, 80, Time(20))
+	_, backed := buildPair(t, recs, []int{40, 80})
+	backed.Append(Record{OID: 1, T: 5, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+
+	backed.SortedRecords()
+	backed.RecordsInRange(0, 20)
+	backed.Objects()
+	backed.RangeQuery(0, 20, func(Record) bool { return true })
+	if _, err := backed.SequencesInRangeSharded(context.Background(), 0, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range backed.Sealed() {
+		mp := p.(*memPart)
+		if got := atomic.LoadInt64(&mp.refs); got != 1 {
+			t.Fatalf("part %d holds %d refs after reads, want 1 (owner only)", i, got)
+		}
+	}
+}
+
+// TestSealedWindow asserts the cache-key predicate: ok only for windows
+// fully answered by sealed parts, with identities tracking seal/compaction.
+func TestSealedWindow(t *testing.T) {
+	mk := func(lo, hi Time) *memPart {
+		var recs []Record
+		for ts := lo; ts <= hi; ts++ {
+			recs = append(recs, Record{OID: 1, T: ts, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+		}
+		return newMemPart(recs)
+	}
+	a, b := mk(0, 9), mk(10, 19)
+	tab := NewBackedTable([]SealedPart{a, b})
+
+	ids, ok := tab.SealedWindow(0, 19)
+	if !ok || len(ids) != 2 || ids[0] != a.id || ids[1] != b.id {
+		t.Fatalf("fully sealed window: ids=%v ok=%v", ids, ok)
+	}
+	if ids, ok := tab.SealedWindow(12, 15); !ok || len(ids) != 1 || ids[0] != b.id {
+		t.Fatalf("single-part window: ids=%v ok=%v", ids, ok)
+	}
+	if _, ok := tab.SealedWindow(25, 30); ok {
+		t.Fatal("window past the sealed span reported ok")
+	}
+	if _, ok := tab.SealedWindow(5, 3); ok {
+		t.Fatal("inverted window reported ok")
+	}
+
+	// A head record inside the window disables caching for that window only.
+	tab.Append(Record{OID: 2, T: 15, Samples: SampleSet{{Loc: 1, Prob: 1}}})
+	if _, ok := tab.SealedWindow(0, 19); ok {
+		t.Fatal("window overlapping a head record reported ok")
+	}
+	if ids, ok := tab.SealedWindow(0, 9); !ok || len(ids) != 1 || ids[0] != a.id {
+		t.Fatalf("head-free window: ids=%v ok=%v", ids, ok)
+	}
+
+	// Compaction changes the window's identity vector.
+	merged := mk(0, 19)
+	if err := tab.ReplaceSealedRun([]SealedPart{a, b}, merged); err != nil {
+		t.Fatalf("ReplaceSealedRun: %v", err)
+	}
+	if ids, ok := tab.SealedWindow(0, 9); !ok || len(ids) != 1 || ids[0] != merged.id {
+		t.Fatalf("post-compaction window: ids=%v ok=%v", ids, ok)
 	}
 }

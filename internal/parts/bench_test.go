@@ -136,6 +136,37 @@ func BenchmarkSeal(b *testing.B) {
 	b.ReportMetric(float64(3200*b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkCompact measures one full compaction cycle: planning, an 8-way
+// streaming merge of 3200-record partitions, commit (tmp + fsync + rename +
+// dir fsync), live-set swap, and input deletion.
+func BenchmarkCompact(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		seedPartitionedDir(b, dir, 8, 3200, 0)
+		s, _, err := Open(Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := s.Compact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Inputs != 8 || res.Records != 8*3200 {
+			b.Fatalf("compacted %d inputs / %d records", res.Inputs, res.Records)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(8*3200*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
 // BenchmarkPartitionAppendRange measures the sealed read path: decoding a
 // 1000-record window out of an mmap'd 32000-record partition.
 func BenchmarkPartitionAppendRange(b *testing.B) {

@@ -1,0 +1,517 @@
+package parts
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tkplq/internal/iupt"
+	"tkplq/internal/wal"
+)
+
+// sealedStore builds a store with nParts sealed partitions (each from one
+// ingested batch) plus one unsealed tail batch, returning the flat reference
+// ordering of everything ingested.
+func sealedStore(t *testing.T, dir string, seed int64, nParts int) (*Store, *iupt.Table, []iupt.Record) {
+	t.Helper()
+	s, table := openStore(t, dir)
+	r := rand.New(rand.NewSource(seed))
+	var all []iupt.Record
+	for i := 0; i < nParts; i++ {
+		b := testRecords(r, 60+r.Intn(60), 100)
+		ingest(t, s, table, b)
+		all = append(all, b...)
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := testRecords(r, 25, 100)
+	ingest(t, s, table, tail)
+	all = append(all, tail...)
+	return s, table, sortedCopy(all)
+}
+
+func TestPlanRun(t *testing.T) {
+	mk := func(sizes ...int64) []*Partition {
+		ps := make([]*Partition, len(sizes))
+		for i, sz := range sizes {
+			ps[i] = &Partition{data: make([]byte, sz)}
+		}
+		return ps
+	}
+	pol := CompactionPolicy{MinInputs: 2, TargetBytes: 100}
+	cases := []struct {
+		name  string
+		parts []*Partition
+		i, j  int
+		ok    bool
+	}{
+		{"empty", nil, 0, 0, false},
+		{"one small", mk(10), 0, 0, false},
+		{"two small merge", mk(10, 20), 0, 2, true},
+		{"big blocks run start", mk(100, 10, 20), 1, 3, true},
+		{"run stops at target", mk(40, 40, 40, 40), 0, 2, true},
+		{"all at target", mk(100, 100, 100), 0, 0, false},
+		{"oldest run wins", mk(10, 10, 100, 10, 10), 0, 2, true},
+		{"run resumes past big", mk(100, 100, 30, 30), 2, 4, true},
+	}
+	for _, tc := range cases {
+		i, j, ok := planRun(tc.parts, pol)
+		if i != tc.i || j != tc.j || ok != tc.ok {
+			t.Errorf("%s: planRun = (%d,%d,%v), want (%d,%d,%v)", tc.name, i, j, ok, tc.i, tc.j, tc.ok)
+		}
+	}
+	// Deterministic: same set, same plan.
+	ps := mk(10, 20, 30, 40)
+	i1, j1, _ := planRun(ps, pol)
+	i2, j2, _ := planRun(ps, pol)
+	if i1 != i2 || j1 != j2 {
+		t.Fatalf("planRun not deterministic: (%d,%d) vs (%d,%d)", i1, j1, i2, j2)
+	}
+}
+
+// TestMergeEncodeEquivalence proves the streaming k-way merge byte-identical
+// to re-encoding the concatenated records from scratch: same canonical
+// (T, arrival) order, same float bits, same CRCs.
+func TestMergeEncodeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	dir := t.TempDir()
+	var inputs []*Partition
+	var all []iupt.Record
+	for i := 0; i < 4; i++ {
+		b := sortedCopy(testRecords(r, 30+r.Intn(50), 80))
+		path := filepath.Join(dir, fmt.Sprintf("part-%08d.tkp", i+1))
+		writePartFile(t, path, b)
+		p, err := OpenFile(path, VerifyFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		inputs = append(inputs, p)
+		all = append(all, b...)
+	}
+	merged, err := mergeEncode(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference: append batches to a table in the same arrival order and
+	// encode its canonical sort. mergeEncode must reproduce it bit for bit.
+	want, err := Encode(sortedCopy(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d bytes, want %d", len(merged), len(want))
+	}
+	for i := range merged {
+		if merged[i] != want[i] {
+			t.Fatalf("merged image differs from flat re-encode at byte %d", i)
+		}
+	}
+}
+
+func TestStoreCompactEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s, table, ref := sealedStore(t, dir, 31, 5)
+	defer s.Close()
+	sameRecords(t, "before compact", ref, table.SortedRecords())
+
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inputs != 5 {
+		t.Fatalf("Inputs = %d, want 5", res.Inputs)
+	}
+	if res.SeqLo != 1 || res.SeqHi != 5 {
+		t.Fatalf("seq range = [%d,%d], want [1,5]", res.SeqLo, res.SeqHi)
+	}
+	st := s.Stats()
+	if st.Partitions != 1 || st.Compactions != 1 || st.CompactedPartitions != 5 {
+		t.Fatalf("partitions=%d compactions=%d compacted=%d, want 1/1/5",
+			st.Partitions, st.Compactions, st.CompactedPartitions)
+	}
+	sameRecords(t, "after compact", ref, table.SortedRecords())
+	r := rand.New(rand.NewSource(32))
+	for q := 0; q < 30; q++ {
+		ts := iupt.Time(r.Intn(110)) - 5
+		te := ts + iupt.Time(r.Intn(50))
+		var want []iupt.Record
+		for _, rec := range ref {
+			if rec.T >= ts && rec.T <= te {
+				want = append(want, rec)
+			}
+		}
+		sameRecords(t, fmt.Sprintf("window [%d,%d]", ts, te), want, table.RecordsInRange(ts, te))
+	}
+
+	// On disk: the range file replaced the inputs.
+	if _, err := os.Stat(filepath.Join(dir, "part-00000001-00000005.tkp")); err != nil {
+		t.Fatalf("range partition missing: %v", err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("part-%08d.tkp", i))); !os.IsNotExist(err) {
+			t.Fatalf("input partition %d survives compaction", i)
+		}
+	}
+
+	// Sealing after a compaction continues the sequence from the range hi.
+	ingest(t, s, table, testRecords(rand.New(rand.NewSource(33)), 10, 100))
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "part-00000006.tkp")); err != nil {
+		t.Fatalf("post-compact seal did not continue the sequence: %v", err)
+	}
+
+	// kill -9 equivalent: reopen serves the same records, still O(tail).
+	ref2 := table.SortedRecords()
+	s.Close()
+	s2, table2 := openStore(t, dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.Partitions != 2 || st.MaterializedRecords != 0 {
+		t.Fatalf("recovered partitions=%d materialized=%d, want 2/0", st.Partitions, st.MaterializedRecords)
+	}
+	sameRecords(t, "recovered", ref2, table2.SortedRecords())
+}
+
+// TestStoreCompactNoop: a store without a qualifying run answers Compact with
+// a zero result, not an error.
+func TestStoreCompactNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := sealedStore(t, dir, 41, 2) // default MinInputs is 4
+	defer s.Close()
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inputs != 0 {
+		t.Fatalf("Inputs = %d, want 0 (policy should not fire on 2 partitions)", res.Inputs)
+	}
+	if st := s.Stats(); st.Compactions != 0 {
+		t.Fatalf("Compactions = %d, want 0", st.Compactions)
+	}
+}
+
+// TestCompactCrashSweep fails each step of the compaction commit protocol in
+// turn — tmp write, tmp fsync, rename, post-rename dir fsync, input delete —
+// and asserts the invariant the protocol promises: after a restart the store
+// serves either the old partition set or the new one, bit-identically to the
+// flat reference. Never a partial mix, never a silent loss.
+func TestCompactCrashSweep(t *testing.T) {
+	restore := func() {
+		writeFile = func(f *os.File, b []byte) (int, error) { return f.Write(b) }
+		syncFile = func(f *os.File) error { return f.Sync() }
+		renameFile = os.Rename
+		removeFile = os.Remove
+		commitDirSync = wal.SyncDir
+	}
+	defer restore()
+
+	const nParts = 4
+	cases := []struct {
+		name string
+		// inject arms the failure; hits counts how often the failing step ran.
+		inject func(hits *int)
+		// committed: the failure lands at or past the rename commit point, so
+		// the restarted store must serve the NEW set (1 range partition).
+		committed bool
+		// poisons: the live store must refuse further appends.
+		poisons bool
+		// compactErr: Compact must surface an error.
+		compactErr bool
+	}{
+		{
+			name: "tmp write fails",
+			inject: func(hits *int) {
+				writeFile = func(f *os.File, b []byte) (int, error) {
+					if strings.Contains(f.Name(), ".tkp.tmp") {
+						*hits++
+						return 0, fmt.Errorf("injected write failure")
+					}
+					return f.Write(b)
+				}
+			},
+			committed: false, poisons: false, compactErr: true,
+		},
+		{
+			name: "tmp fsync fails",
+			inject: func(hits *int) {
+				syncFile = func(f *os.File) error {
+					if strings.Contains(f.Name(), ".tkp.tmp") {
+						*hits++
+						return fmt.Errorf("injected fsync failure")
+					}
+					return f.Sync()
+				}
+			},
+			committed: false, poisons: false, compactErr: true,
+		},
+		{
+			name: "rename fails",
+			inject: func(hits *int) {
+				renameFile = func(old, new string) error {
+					if strings.HasSuffix(new, ".tkp") {
+						*hits++
+						return fmt.Errorf("injected rename failure")
+					}
+					return os.Rename(old, new)
+				}
+			},
+			committed: false, poisons: false, compactErr: true,
+		},
+		{
+			name: "post-rename dir fsync fails",
+			inject: func(hits *int) {
+				n := 0
+				commitDirSync = func(dir string) error {
+					n++
+					if n == 1 { // the commit fsync, before input deletes
+						*hits++
+						return fmt.Errorf("injected dir fsync failure")
+					}
+					return wal.SyncDir(dir)
+				}
+			},
+			committed: true, poisons: true, compactErr: true,
+		},
+		{
+			name: "input delete fails",
+			inject: func(hits *int) {
+				removeFile = func(path string) error {
+					if strings.HasSuffix(path, ".tkp") {
+						*hits++
+						return fmt.Errorf("injected unlink failure")
+					}
+					return os.Remove(path)
+				}
+			},
+			committed: true, poisons: false, compactErr: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer restore()
+			dir := t.TempDir()
+			s, table, ref := sealedStore(t, dir, 51, nParts)
+			sameRecords(t, "pre-compact", ref, table.SortedRecords())
+
+			hits := 0
+			tc.inject(&hits)
+			_, err := s.Compact()
+			restore()
+			if tc.compactErr && err == nil {
+				t.Fatal("Compact succeeded with an injected failure armed")
+			}
+			if hits == 0 {
+				t.Fatal("injected failure never fired — the sweep is not testing this step")
+			}
+
+			probe := testRecords(rand.New(rand.NewSource(52)), 3, 100)
+			appendErr := s.AppendBatch(probe)
+			if tc.poisons && appendErr == nil {
+				t.Fatal("store accepted appends after a post-commit-point failure")
+			}
+			if !tc.poisons && appendErr != nil {
+				t.Fatalf("store poisoned by a pre-commit-point failure: %v", appendErr)
+			}
+			s.Close()
+
+			// kill -9 equivalent: reopen from disk only. The probe batch is
+			// part of the reference only when it was acknowledged. Appending
+			// it after the original arrival order and re-sorting stably
+			// reproduces the canonical order the restarted table must serve.
+			if appendErr == nil {
+				ref = sortedCopy(append(append([]iupt.Record{}, ref...), probe...))
+			}
+			s2, table2 := openStore(t, dir)
+			defer s2.Close()
+			st := s2.Stats()
+			// Old set: nParts sealed inputs. New set: one range partition.
+			// Anything else is a partial mix.
+			wantParts := nParts
+			if tc.committed {
+				wantParts = 1
+			}
+			if st.Partitions != wantParts {
+				t.Fatalf("recovered %d partitions, want %d (%s must leave the %s set)",
+					st.Partitions, wantParts, tc.name, map[bool]string{true: "new", false: "old"}[tc.committed])
+			}
+			sameRecords(t, "recovered after "+tc.name, ref, table2.SortedRecords())
+
+			// No stray tmp files survive recovery.
+			if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+				t.Fatalf("tmp files survive recovery: %v", tmps)
+			}
+			// The recovered store still works: it accepts and seals new data.
+			b := testRecords(rand.New(rand.NewSource(53)), 5, 100)
+			ingest(t, s2, table2, b)
+			if err := s2.Seal(); err != nil {
+				t.Fatalf("post-recovery seal: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompactCrashBetweenCommitAndDelete simulates the on-disk state of a
+// crash after the range partition committed but before the inputs were
+// deleted: both sets coexist. Recovery must keep exactly the new set.
+func TestCompactCrashBetweenCommitAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, _, ref := sealedStore(t, dir, 61, 4)
+	// Freeze the input files next to the committed range file by making
+	// deletion a silent no-op — the on-disk state of a crash mid-retire.
+	removeFile = func(path string) error { return nil }
+	_, err := s.Compact()
+	removeFile = os.Remove
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.Close()
+
+	// Both the range file and all four inputs are on disk.
+	files, _ := filepath.Glob(filepath.Join(dir, "part-*.tkp"))
+	if len(files) != 5 {
+		t.Fatalf("fixture broken: %d partition files on disk, want 5 (range + 4 inputs)", len(files))
+	}
+
+	s2, table2 := openStore(t, dir)
+	defer s2.Close()
+	// sealedStore leaves an unsealed tail, so the sealed set is exactly the
+	// range partition; the inputs it subsumes must be gone.
+	if st := s2.Stats(); st.Partitions != 1 {
+		t.Fatalf("recovered %d partitions, want 1 (the range file)", st.Partitions)
+	}
+	sameRecords(t, "recovered", ref, table2.SortedRecords())
+	for i := 1; i <= 4; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("part-%08d.tkp", i))); !os.IsNotExist(err) {
+			t.Fatalf("subsumed input %d survives recovery", i)
+		}
+	}
+}
+
+// TestRecoveryRefusesPartialOverlap: a range file that overlaps another
+// partition without containing it cannot be the product of the commit
+// protocol — recovery must refuse the directory rather than guess.
+func TestRecoveryRefusesPartialOverlap(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	dir := t.TempDir()
+	s, table := openStore(t, dir)
+	for i := 0; i < 3; i++ {
+		ingest(t, s, table, testRecords(r, 20, 50))
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Two range files sharing seq 2: each subsumes single-seal partitions,
+	// but neither contains the other — a state no commit-protocol history can
+	// produce. Recovery must refuse rather than pick one.
+	writePartFile(t, filepath.Join(dir, "part-00000001-00000002.tkp"), sortedCopy(testRecords(r, 5, 50)))
+	writePartFile(t, filepath.Join(dir, "part-00000002-00000003.tkp"), sortedCopy(testRecords(r, 5, 50)))
+	if s2, _, err := Open(Options{Dir: dir}); err == nil {
+		s2.Close()
+		t.Fatal("store opened over partially overlapping partition ranges")
+	} else if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("refusal does not name the overlap: %v", err)
+	}
+}
+
+// TestCompactConcurrentReads races window reads against a live compaction
+// (run with -race): every read must return the flat reference answer whether
+// it lands before, during or after the swap, and the retained old mappings
+// must drain to a refcount of one owner afterwards.
+func TestCompactConcurrentReads(t *testing.T) {
+	dir := t.TempDir()
+	s, table, ref := sealedStore(t, dir, 81, 6)
+	defer s.Close()
+
+	windows := [][2]iupt.Time{{0, 100}, {10, 40}, {55, 90}, {0, 9}, {95, 100}}
+	want := make([][]iupt.Record, len(windows))
+	for i, w := range windows {
+		for _, rec := range ref {
+			if rec.T >= w[0] && rec.T <= w[1] {
+				want[i] = append(want[i], rec)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wi := (g + i) % len(windows)
+				got := table.RecordsInRange(windows[wi][0], windows[wi][1])
+				if len(got) != len(want[wi]) {
+					errc <- fmt.Errorf("window %v: %d records, want %d", windows[wi], len(got), len(want[wi]))
+					return
+				}
+				for k := range got {
+					if got[k].OID != want[wi][k].OID || got[k].T != want[wi][k].T {
+						errc <- fmt.Errorf("window %v: record %d differs", windows[wi], k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let readers overlap the post-swap state
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	sameRecords(t, "post-race", ref, table.SortedRecords())
+}
+
+// TestCompactBackgroundLoop: a store opened with a compaction interval merges
+// the small partitions on its own.
+func TestCompactBackgroundLoop(t *testing.T) {
+	dir := t.TempDir()
+	s, table, err := Open(Options{Dir: dir, Compact: CompactionPolicy{Interval: 5 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := rand.New(rand.NewSource(91))
+	var all []iupt.Record
+	for i := 0; i < 5; i++ {
+		b := testRecords(r, 40, 100)
+		ingest(t, s, table, b)
+		all = append(all, b...)
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background compactor never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sameRecords(t, "after background compaction", sortedCopy(all), table.SortedRecords())
+	if st := s.Stats(); st.Partitions >= 5 {
+		t.Fatalf("partitions=%d after background compaction, want < 5", st.Partitions)
+	}
+}

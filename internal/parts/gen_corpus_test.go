@@ -1,0 +1,50 @@
+package parts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tkplq/internal/iupt"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate the committed seed corpus")
+	}
+	r := rand.New(rand.NewSource(1))
+	valid, err := Encode(sortedCopy(testRecords(r, 20, 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	small, err := Encode([]iupt.Record{{OID: 1, T: 1, Samples: iupt.SampleSet{{Loc: 1, Prob: 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := append([]byte(nil), small...)
+	ft := huge[len(huge)-footerLen:]
+	binary.LittleEndian.PutUint64(ft[0:], 1<<60)
+	binary.LittleEndian.PutUint32(ft[48:], crc32.Checksum(ft[:48], crcTable))
+	seeds := map[string][]byte{
+		"valid":      valid,
+		"truncated":  valid[:len(valid)/2],
+		"flipped":    flipped,
+		"empty":      {},
+		"magic-only": []byte("TKPT"),
+		"small":      small,
+		"huge-count": huge,
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzPartitionOpen")
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -161,11 +161,17 @@ const (
 
 // Partition is one sealed, immutable partition, opened read-only over a
 // memory mapping (or a heap copy on platforms without mmap). It implements
-// iupt.SealedPart. A Partition is safe for concurrent use; Close unmaps it
-// and must only be called once no reader holds records decoded from it.
+// iupt.SealedPart. A Partition is safe for concurrent use.
+//
+// The mapping is reference-counted: OpenFile hands the caller the owner
+// reference, readers bracket decodes with Retain/Release (iupt.Table does
+// this inside its lock), and Close drops the owner reference — the mapping
+// is released only when the last reference goes, so a compaction can retire
+// a partition while in-flight queries still read their retained snapshot.
 type Partition struct {
 	path   string
-	seq    uint64
+	seqLo  uint64 // first seal sequence covered (== seqHi for uncompacted)
+	seqHi  uint64 // last seal sequence covered
 	data   []byte
 	mapped bool
 	l      layout
@@ -175,6 +181,11 @@ type Partition struct {
 	tMax   iupt.Time
 	oidMin iupt.ObjectID
 	oidMax iupt.ObjectID
+
+	// refs counts outstanding references: the owner's (from OpenFile) plus
+	// one per in-flight Retain. closed makes Close idempotent.
+	refs   atomic.Int64
+	closed atomic.Bool
 
 	objOnce sync.Once
 	objects []iupt.ObjectID
@@ -228,6 +239,7 @@ func OpenFile(path string, mode VerifyMode) (*Partition, error) {
 		return nil, fmt.Errorf("parts: %s: %w", path, err)
 	}
 	p := &Partition{path: path, data: data, mapped: mapped}
+	p.refs.Store(1) // the owner reference; Close drops it
 	if err := p.verify(mode); err != nil {
 		p.Close()
 		return nil, fmt.Errorf("parts: %s: %w", path, err)
@@ -249,10 +261,19 @@ func (p *Partition) verify(mode VerifyMode) error {
 	if ft.records == 0 {
 		return fmt.Errorf("partition holds zero records")
 	}
+	// Bound the untrusted counts by the file size BEFORE computing the
+	// layout: a record costs at least 12 bytes (T + OID) and a sample at
+	// least 12 (LOC + PROB), so any declared count past size/12 is corrupt.
+	// Without this, a huge uint64 count could wrap the layout arithmetic so
+	// the size check below passes and the column loops index out of range.
+	size := int64(len(p.data))
+	if ft.records > uint64(size)/12 || ft.samples > uint64(size)/12 {
+		return fmt.Errorf("footer declares %d records / %d samples — more than %d bytes can hold", ft.records, ft.samples, size)
+	}
 	p.n = int64(ft.records)
 	p.s = int64(ft.samples)
 	p.l = computeLayout(p.n, p.s)
-	if p.l.size != int64(len(p.data)) {
+	if p.l.size != size {
 		return fmt.Errorf("footer declares %d records / %d samples (%d bytes), file has %d — truncated or corrupt partition", ft.records, ft.samples, p.l.size, len(p.data))
 	}
 	p.tMin, p.tMax = iupt.Time(ft.tMin), iupt.Time(ft.tMax)
@@ -292,21 +313,50 @@ func (p *Partition) verify(mode VerifyMode) error {
 	return nil
 }
 
-// Close releases the mapping. The partition must not be used afterwards.
+// Close drops the owner reference taken at OpenFile; the mapping is
+// released once every outstanding Retain has been Released too. Close is
+// idempotent. Callers must not start new reads after Close.
 func (p *Partition) Close() error {
-	data := p.data
-	p.data = nil
-	if p.mapped && data != nil {
-		return unmapFile(data)
+	if p.closed.Swap(true) {
+		return nil
 	}
+	p.Release()
 	return nil
 }
+
+// Retain implements iupt.SealedPart: it pins the mapping for a read.
+func (p *Partition) Retain() { p.refs.Add(1) }
+
+// Release implements iupt.SealedPart: it drops one reference and releases
+// the mapping when the last one goes.
+func (p *Partition) Release() {
+	if n := p.refs.Add(-1); n == 0 {
+		data := p.data
+		p.data = nil
+		if p.mapped && data != nil {
+			_ = unmapFile(data)
+		}
+	} else if n < 0 {
+		panic("parts: Partition released more times than retained")
+	}
+}
+
+// Identity implements iupt.SealedPart: the seal-sequence range packs into
+// one comparable value. Sequences are per-directory and never reused, and a
+// compacted partition covers a multi-sequence range no single seal can, so
+// within a store's lifetime identical identity implies identical bytes.
+func (p *Partition) Identity() uint64 { return p.seqLo<<32 | p.seqHi&0xffffffff }
 
 // Path returns the partition's file path.
 func (p *Partition) Path() string { return p.path }
 
-// Seq returns the partition's seal sequence number (from its file name).
-func (p *Partition) Seq() uint64 { return p.seq }
+// Seq returns the partition's newest seal sequence (from its file name).
+// For a compacted partition this is the range's upper bound.
+func (p *Partition) Seq() uint64 { return p.seqHi }
+
+// SeqRange returns the inclusive seal-sequence range the partition covers.
+// An uncompacted partition covers [seq, seq].
+func (p *Partition) SeqRange() (lo, hi uint64) { return p.seqLo, p.seqHi }
 
 // SizeBytes returns the on-disk (and mapped) size.
 func (p *Partition) SizeBytes() int64 { return int64(len(p.data)) }

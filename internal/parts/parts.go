@@ -20,9 +20,9 @@ import (
 // snapshot:
 //
 //	data/
-//	  part-00000001.tkp   // sealed partitions, one per seal, never deleted
-//	  part-00000002.tkp
-//	  wal-00000002.log    // the head: batches accepted since the last seal
+//	  part-00000001-00000002.tkp  // compacted: seals 1..2 merged
+//	  part-00000003.tkp           // sealed partitions, one per seal
+//	  wal-00000003.log    // the head: batches accepted since the last seal
 //	  LOCK
 //
 // The active segment's sequence equals the newest partition's. Sealing at
@@ -34,17 +34,42 @@ import (
 // the WAL tail, never the table. A flat snapshot-N.bin found in the
 // directory is migrated on open: its records become part-N.tkp and the
 // snapshot is removed (one-way; see docs/OPERATIONS.md).
+//
+// Compaction (compact.go) merges a run of adjacent partitions into one
+// range-named file part-<lo>-<hi>.tkp covering seal sequences [lo, hi]; the
+// rename is the commit point, after which the inputs are deleted. Recovery
+// drops (and deletes) any partition whose sequence range is contained in
+// another's — so a crash anywhere in a compaction recovers to either the
+// old set or the new set, never a mix — and refuses partially-overlapping
+// ranges loudly. The WAL is never involved: a compaction rewrites only
+// sealed bytes, in the same canonical order, so it is answer-invariant.
 
 var (
-	partRE = regexp.MustCompile(`^part-(\d{8})\.tkp$`)
+	partRE = regexp.MustCompile(`^part-(\d{8})(?:-(\d{8}))?\.tkp$`)
 	snapRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
 )
 
-// commitDirSync is wal.SyncDir, indirected so tests can inject a failure
-// after the rename commit point.
-var commitDirSync = wal.SyncDir
+// Filesystem indirections, so the crash-point fault-injection tests can fail
+// each step of a partition commit in turn. commitDirSync failures after a
+// rename are the poison path (the commit may not be durable yet).
+var (
+	commitDirSync = wal.SyncDir
+	renameFile    = os.Rename
+	removeFile    = os.Remove
+	syncFile      = func(f *os.File) error { return f.Sync() }
+	writeFile     = func(f *os.File, b []byte) (int, error) { return f.Write(b) }
+)
 
 func partName(seq uint64) string { return fmt.Sprintf("part-%08d.tkp", seq) }
+
+// partRangeName names a compacted partition covering seal sequences
+// [lo, hi]. Single-sequence partitions keep the short name.
+func partRangeName(lo, hi uint64) string {
+	if lo == hi {
+		return partName(lo)
+	}
+	return fmt.Sprintf("part-%08d-%08d.tkp", lo, hi)
+}
 
 // Options parametrizes Open.
 type Options struct {
@@ -56,6 +81,47 @@ type Options struct {
 	// Verify selects how much of each sealed partition Open checks
 	// (default VerifyFull).
 	Verify VerifyMode
+	// Compact configures compaction (compact.go). The zero value applies
+	// the documented defaults and leaves the background loop off; Compact
+	// remains callable manually either way.
+	Compact CompactionPolicy
+}
+
+// CompactionPolicy tunes the size-tiered compaction planner.
+type CompactionPolicy struct {
+	// MinInputs is the smallest run of adjacent small partitions worth
+	// merging (default 4, minimum 2).
+	MinInputs int
+	// TargetBytes caps the merged output: partitions at or above it are
+	// never inputs, and a run stops growing before exceeding it
+	// (default 64 MiB).
+	TargetBytes int64
+	// Interval enables the background loop: every Interval the store plans
+	// and, if the policy fires, runs one compaction. Zero leaves background
+	// compaction off (manual Compact / POST /v1/compact still work).
+	Interval time.Duration
+}
+
+const (
+	defaultCompactMinInputs   = 4
+	defaultCompactTargetBytes = 64 << 20
+)
+
+func (p CompactionPolicy) minInputs() int {
+	if p.MinInputs >= 2 {
+		return p.MinInputs
+	}
+	if p.MinInputs != 0 {
+		return 2
+	}
+	return defaultCompactMinInputs
+}
+
+func (p CompactionPolicy) targetBytes() int64 {
+	if p.TargetBytes > 0 {
+		return p.TargetBytes
+	}
+	return defaultCompactTargetBytes
 }
 
 // Stats is a snapshot of a partitioned store's counters.
@@ -68,6 +134,10 @@ type Stats struct {
 	SealedBytes   int64
 	// Seals counts seals committed by this store (this process).
 	Seals int64
+	// Compactions counts compactions committed by this store, and
+	// CompactedPartitions the input partitions they consumed.
+	Compactions         int64
+	CompactedPartitions int64
 	// MigratedRecords counts records converted from a flat snapshot at Open.
 	MigratedRecords int64
 	// MaterializedRecords counts records decoded out of sealed partitions
@@ -93,11 +163,18 @@ type Store struct {
 
 	// mu guards the partition bookkeeping below. Seal is serialized with
 	// ingest by the caller, but Stats/Partitions are probed concurrently by
-	// the server's stats handler.
-	mu       sync.Mutex
-	parts    []*Partition
-	seals    int64
-	migrated int64
+	// the server's stats handler and by compactions.
+	mu          sync.Mutex
+	parts       []*Partition
+	seals       int64
+	migrated    int64
+	compactions int64
+	compacted   int64 // input partitions consumed by compactions
+
+	// compactMu serializes compactions (manual and background).
+	compactMu sync.Mutex
+	stopBg    chan struct{}
+	bgDone    sync.WaitGroup
 }
 
 // Open opens (or initializes) a partitioned data directory: it maps every
@@ -123,6 +200,11 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 	}
 	s.wal = w
 	s.table = table
+	if opts.Compact.Interval > 0 {
+		s.stopBg = make(chan struct{})
+		s.bgDone.Add(1)
+		go s.compactLoop(opts.Compact.Interval)
+	}
 	return s, table, nil
 }
 
@@ -134,24 +216,65 @@ func (s *Store) recoverBase(dir string) (*iupt.Table, uint64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("parts: %w", err)
 	}
-	partPaths := map[uint64]string{}
+	type partFile struct {
+		lo, hi uint64
+		path   string
+	}
+	var found []partFile
 	snapPaths := map[uint64]string{}
-	var partSeqs []uint64
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case partRE.MatchString(name):
-			seq := parseSeq(partRE.FindStringSubmatch(name)[1])
-			partPaths[seq] = filepath.Join(dir, name)
-			partSeqs = append(partSeqs, seq)
+			m := partRE.FindStringSubmatch(name)
+			lo := parseSeq(m[1])
+			hi := lo
+			if m[2] != "" {
+				hi = parseSeq(m[2])
+			}
+			if hi < lo {
+				return nil, 0, fmt.Errorf("parts: %s: inverted sequence range", name)
+			}
+			found = append(found, partFile{lo: lo, hi: hi, path: filepath.Join(dir, name)})
 		case snapRE.MatchString(name):
 			snapPaths[parseSeq(snapRE.FindStringSubmatch(name)[1])] = filepath.Join(dir, name)
 		}
 	}
+
+	// Drop (and delete) partitions whose sequence range is contained in
+	// another's: they are compaction inputs whose merged output committed
+	// before the crash could delete them. This is what makes the compaction
+	// commit atomic across crashes — either the range file exists and the
+	// inputs are (re)deleted here, or it doesn't and the inputs serve.
+	live := make([]partFile, 0, len(found))
+	for _, pf := range found {
+		subsumed := false
+		for _, other := range found {
+			if other.path == pf.path {
+				continue
+			}
+			if other.lo <= pf.lo && pf.hi <= other.hi {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			_ = removeFile(pf.path)
+			continue
+		}
+		live = append(live, pf)
+	}
+	found = live
+	sort.Slice(found, func(i, j int) bool { return found[i].lo < found[j].lo })
 	var baseSeq uint64
-	for seq := range partPaths {
-		if seq > baseSeq {
-			baseSeq = seq
+	for i, pf := range found {
+		if i > 0 && pf.lo <= found[i-1].hi {
+			// Partially overlapping ranges can only come from outside
+			// interference; serving either would double-count records.
+			return nil, 0, fmt.Errorf("parts: partitions %s and %s overlap in sequence range — corrupt data directory", found[i-1].path, pf.path)
+		}
+		if pf.hi > baseSeq {
+			baseSeq = pf.hi
 		}
 	}
 
@@ -173,8 +296,7 @@ func (s *Store) recoverBase(dir string) (*iupt.Table, uint64, error) {
 				return nil, 0, err
 			}
 			if migrated {
-				partPaths[snapSeq] = filepath.Join(dir, partName(snapSeq))
-				partSeqs = append(partSeqs, snapSeq)
+				found = append(found, partFile{lo: snapSeq, hi: snapSeq, path: filepath.Join(dir, partName(snapSeq))})
 			}
 			baseSeq = snapSeq
 		}
@@ -185,15 +307,14 @@ func (s *Store) recoverBase(dir string) (*iupt.Table, uint64, error) {
 
 	// Map the sealed set in sequence order — seal order IS arrival order,
 	// the property the canonical k-way merge stands on.
-	sort.Slice(partSeqs, func(i, j int) bool { return partSeqs[i] < partSeqs[j] })
-	sealed := make([]iupt.SealedPart, 0, len(partSeqs))
-	for _, seq := range partSeqs {
-		p, err := OpenFile(partPaths[seq], s.opts.Verify)
+	sealed := make([]iupt.SealedPart, 0, len(found))
+	for _, pf := range found {
+		p, err := OpenFile(pf.path, s.opts.Verify)
 		if err != nil {
 			s.closeParts()
 			return nil, 0, err
 		}
-		p.seq = seq
+		p.seqLo, p.seqHi = pf.lo, pf.hi
 		s.parts = append(s.parts, p)
 		sealed = append(sealed, p)
 	}
@@ -237,18 +358,24 @@ func (s *Store) commitPartitionFile(dir string, seq uint64, recs []iupt.Record) 
 	if err != nil {
 		return false, err
 	}
-	final := filepath.Join(dir, partName(seq))
+	return s.commitPartitionBytes(dir, partName(seq), buf)
+}
+
+// commitPartitionBytes writes a ready-made partition image to dir/name via
+// the tmp + fsync + rename + dir fsync protocol. See commitPartitionFile.
+func (s *Store) commitPartitionBytes(dir, name string, buf []byte) (committed bool, err error) {
+	final := filepath.Join(dir, name)
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return false, err
 	}
-	if _, err := f.Write(buf); err != nil {
+	if _, err := writeFile(f, buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return false, err
 	}
-	if err := f.Sync(); err != nil {
+	if err := syncFile(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return false, err
@@ -257,7 +384,7 @@ func (s *Store) commitPartitionFile(dir string, seq uint64, recs []iupt.Record) 
 		os.Remove(tmp)
 		return false, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := renameFile(tmp, final); err != nil {
 		os.Remove(tmp)
 		return false, err
 	}
@@ -308,7 +435,7 @@ func (s *Store) Seal() error {
 		s.wal.Poison(err)
 		return err
 	}
-	p.seq = newSeq
+	p.seqLo, p.seqHi = newSeq, newSeq
 	if err := s.table.CommitSeal(p, len(head)); err != nil {
 		p.Close()
 		err = fmt.Errorf("parts: seal committed %s but the table refused it: %w", partName(newSeq), err)
@@ -347,9 +474,11 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		WAL:             s.wal.Stats(),
-		Seals:           s.seals,
-		MigratedRecords: s.migrated,
+		WAL:                 s.wal.Stats(),
+		Seals:               s.seals,
+		Compactions:         s.compactions,
+		CompactedPartitions: s.compacted,
+		MigratedRecords:     s.migrated,
 	}
 	st.Seq = st.WAL.SnapshotSeq
 	for _, p := range s.parts {
@@ -370,10 +499,15 @@ func (s *Store) closeParts() {
 	s.parts = nil
 }
 
-// Close fsyncs and closes the head WAL and releases the partition mappings.
-// The backed table must not be queried after Close — its sealed records
-// live in the mappings.
+// Close stops the background compactor, fsyncs and closes the head WAL and
+// releases the partition mappings. The backed table must not be queried
+// after Close — its sealed records live in the mappings.
 func (s *Store) Close() error {
+	if s.stopBg != nil {
+		close(s.stopBg)
+		s.bgDone.Wait()
+		s.stopBg = nil
+	}
 	var err error
 	if s.wal != nil {
 		err = s.wal.Close()

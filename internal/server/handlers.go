@@ -165,6 +165,18 @@ type StorageStatsJSON struct {
 	Seals               int64  `json:"seals"`
 	MigratedRecords     int64  `json:"migrated_records"`
 	MaterializedRecords int64  `json:"materialized_records"`
+	// Compactions counts committed compactions; CompactedPartitions the
+	// input partitions they retired.
+	Compactions         int64 `json:"compactions"`
+	CompactedPartitions int64 `json:"compacted_partitions"`
+	// The window_* fields describe the engine's sealed-window summary cache:
+	// whole materialized query windows keyed by sealed-partition identity. A
+	// window hit answers a repeated window without touching the partition
+	// files at all — materialized_records stays flat.
+	WindowEntries int   `json:"window_entries"`
+	WindowHits    int64 `json:"window_hits"`
+	WindowMisses  int64 `json:"window_misses"`
+	WindowBytes   int64 `json:"window_bytes"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -479,6 +491,53 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// CompactResponse is the body of a successful POST /v1/compact. A zero
+// Inputs means the size-tiered policy found nothing worth merging — the
+// request succeeded and did nothing.
+type CompactResponse struct {
+	// Inputs is the number of partitions merged (0 = no-op).
+	Inputs int `json:"inputs"`
+	// Records and Bytes describe the merged output partition.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// SeqLo and SeqHi are the seal-sequence range the output covers.
+	SeqLo uint64 `json:"seq_lo"`
+	SeqHi uint64 `json:"seq_hi"`
+	// ElapsedMS is the merge + commit + swap time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleCompact serves POST /v1/compact: one on-demand, policy-driven
+// partition compaction. Requires partitioned storage; plain flat persistence
+// answers 501.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		errorJSON(w, http.StatusNotImplemented, "compaction is per-shard (POST /v1/compact on each shard)")
+		return
+	}
+	st, ok := s.cfg.Store.(interface {
+		Compact() (parts.CompactResult, error)
+	})
+	if !ok {
+		errorJSON(w, http.StatusNotImplemented, "compaction requires partitioned storage (start tkplqd with -storage parts)")
+		return
+	}
+	started := time.Now()
+	res, err := st.Compact()
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, CompactResponse{
+		Inputs:    res.Inputs,
+		Records:   res.Records,
+		Bytes:     res.Bytes,
+		SeqLo:     res.SeqLo,
+		SeqHi:     res.SeqHi,
+		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
 // writeJSON400Ingest writes the structured rejection envelope for one
 // *tkplq.IngestError.
 func writeJSON400Ingest(w http.ResponseWriter, ie *tkplq.IngestError) {
@@ -556,6 +615,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Seals:               ps.Seals,
 				MigratedRecords:     ps.MigratedRecords,
 				MaterializedRecords: ps.MaterializedRecords,
+				Compactions:         ps.Compactions,
+				CompactedPartitions: ps.CompactedPartitions,
+				WindowEntries:       cs.WindowEntries,
+				WindowHits:          cs.WindowHits,
+				WindowMisses:        cs.WindowMisses,
+				WindowBytes:         cs.WindowBytes,
 			}
 		}
 		ws := s.storeWALStats()

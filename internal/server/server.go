@@ -199,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v2/subscribe", s.method(http.MethodGet, s.handleSubscribe))
 	mux.HandleFunc("/v1/ingest", s.method(http.MethodPost, s.handleIngest))
 	mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
+	mux.HandleFunc("/v1/compact", s.method(http.MethodPost, s.handleCompact))
 	mux.HandleFunc("/v2/partial", s.method(http.MethodPost, s.handlePartial))
 	mux.HandleFunc("/v2/span", s.method(http.MethodGet, s.handleSpan))
 	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tkplq/internal/indoor"
+	"tkplq/internal/iupt"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate the committed seed corpus")
+	}
+	recs := []iupt.Record{
+		{OID: 1, T: 10, Samples: iupt.SampleSet{{Loc: indoor.PLocID(3), Prob: 0.5}, {Loc: indoor.PLocID(4), Prob: 0.5}}},
+		{OID: 2, T: 11, Samples: iupt.SampleSet{{Loc: indoor.PLocID(5), Prob: 1}}},
+	}
+	valid := fuzzSegment(t, recs[:1], recs[1:])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	bomb := fuzzSegment(t)
+	bomb = binary.LittleEndian.AppendUint32(bomb, maxFrameLen-1)
+	bomb = binary.LittleEndian.AppendUint32(bomb, 0)
+	seeds := map[string][]byte{
+		"valid":       valid,
+		"torn":        valid[:len(valid)-3],
+		"corrupt":     corrupt,
+		"empty":       {},
+		"magic-only":  []byte(segMagic),
+		"header-only": fuzzSegment(t),
+		"len-bomb":    bomb,
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

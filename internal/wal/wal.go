@@ -147,10 +147,11 @@ var errShortSegment = errors.New("segment shorter than its header")
 var (
 	snapshotRE = regexp.MustCompile(`^snapshot-(\d{8})\.bin$`)
 	segmentRE  = regexp.MustCompile(`^wal-(\d{8})\.log$`)
-	// partitionRE recognizes internal/parts' sealed partitions so a flat
-	// open can refuse a partitioned directory instead of silently serving
-	// the WAL tail without the sealed records.
-	partitionRE = regexp.MustCompile(`^part-(\d{8})\.tkp$`)
+	// partitionRE recognizes internal/parts' sealed partitions — both
+	// single-seal part-N.tkp and compacted part-N-M.tkp range files — so a
+	// flat open can refuse a partitioned directory instead of silently
+	// serving the WAL tail without the sealed records.
+	partitionRE = regexp.MustCompile(`^part-(\d{8})(?:-(\d{8}))?\.tkp$`)
 )
 
 func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.bin", seq) }

@@ -270,6 +270,60 @@ if [ "${P_BEFORE}" != "${P_AFTER}" ]; then
 fi
 echo "partitioned restart: rankings identical across kill -9"
 
+echo "== compaction: ingest past several more seals"
+for round in 1 2 3; do
+    curl -fsS -X POST "http://${ADDR}/v1/ingest" -H 'Content-Type: application/json' \
+        -d "{\"records\":[{\"oid\":910${round},\"t\":$((240 + round * 30)),\"samples\":[{\"ploc\":0,\"prob\":1.0}]}]}" >/dev/null
+    curl -fsS -X POST "http://${ADDR}/v1/snapshot" >/dev/null
+done
+C_PARTS_BEFORE=$(curl -fsS "http://${ADDR}/v1/stats" | jq -r .storage.partitions)
+[ "${C_PARTS_BEFORE}" -ge 5 ]
+C_BEFORE=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}' | jq -c .results)
+
+echo "== compaction: POST /v1/compact merges the small-partition run"
+COMPACT=$(curl -fsS -X POST "http://${ADDR}/v1/compact")
+echo "${COMPACT}"
+[ "$(echo "${COMPACT}" | jq -r .inputs)" -ge 2 ]
+CSTATS=$(curl -fsS "http://${ADDR}/v1/stats")
+echo "${CSTATS}" | jq .storage
+C_PARTS_AFTER=$(echo "${CSTATS}" | jq -r .storage.partitions)
+if [ "${C_PARTS_AFTER}" -ge "${C_PARTS_BEFORE}" ]; then
+    echo "compaction did not shrink the live set: ${C_PARTS_BEFORE} -> ${C_PARTS_AFTER}"
+    exit 1
+fi
+echo "${CSTATS}" | jq -e '.storage.compactions == 1 and .storage.compacted_partitions >= 2' >/dev/null
+C_AFTER=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}' | jq -c .results)
+if [ "${C_BEFORE}" != "${C_AFTER}" ]; then
+    echo "compaction changed the answer:"
+    echo "before: ${C_BEFORE}"
+    echo "after:  ${C_AFTER}"
+    exit 1
+fi
+
+echo "== compaction: kill -9, restart recovers the compacted set"
+kill -9 "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2>/dev/null || true
+DAEMON_PID=""
+"${WORKDIR}/tkplqd" "${PARTS_ARGS[@]}" > "${WORKDIR}/tkplqd-compact.log" 2>&1 &
+DAEMON_PID=$!
+wait_healthy "${WORKDIR}/tkplqd-compact.log"
+CSTATS2=$(curl -fsS "http://${ADDR}/v1/stats")
+echo "${CSTATS2}" | jq -e ".storage.partitions == ${C_PARTS_AFTER}" >/dev/null
+C_RESTART=$(curl -fsS -X POST "http://${ADDR}/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"kind":"topk","algorithm":"bf","k":5}' | jq -c .results)
+if [ "${C_AFTER}" != "${C_RESTART}" ]; then
+    echo "restart after compaction changed the answer:"
+    echo "before: ${C_AFTER}"
+    echo "after:  ${C_RESTART}"
+    exit 1
+fi
+echo "compaction: ${C_PARTS_BEFORE} partitions -> ${C_PARTS_AFTER}, rankings identical across compact + kill -9"
+
 echo "== graceful shutdown (partitioned)"
 kill "${DAEMON_PID}"
 wait "${DAEMON_PID}"
