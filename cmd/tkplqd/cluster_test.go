@@ -131,6 +131,10 @@ func TestDaemonClusterFlagValidation(t *testing.T) {
 		{"unknown role", []string{"-role", "proxy"}, "unknown -role"},
 		{"router with data-dir", []string{"-role", "router", "-topology", topoFile, "-data-dir", t.TempDir()}, "router holds no records"},
 		{"missing topology file", []string{"-role", "router", "-topology", filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+		{"replica-of without data-dir", []string{"-replica-of", "127.0.0.1:9"}, "requires -data-dir and -storage parts"},
+		{"replica-of flat storage", []string{"-replica-of", "127.0.0.1:9", "-data-dir", t.TempDir()}, "requires -data-dir and -storage parts"},
+		{"router with replica-of", []string{"-role", "router", "-topology", topoFile,
+			"-replica-of", "127.0.0.1:9", "-data-dir", t.TempDir(), "-storage", "parts"}, "router holds no records to replicate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

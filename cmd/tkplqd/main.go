@@ -53,6 +53,18 @@
 // over the same dataset — and splits /v1/ingest batches to the owning
 // shards. See docs/OPERATIONS.md § Running a cluster.
 //
+// With -replica-of the daemon boots as a live follower of another member:
+// it bootstraps its data directory from the primary's sealed partitions
+// byte-for-byte over POST /v2/replicate, then tails the primary's committed
+// WAL, applying every batch through the same ingest path — a caught-up
+// follower answers queries bit-identically to its primary. Followers are
+// read-only (ingest/snapshot/compact answer 503) and report not-ready on
+// /readyz until synced; POST /v2/promote flips one to primary during
+// failover. A router probes every replica member's /readyz, load-balances
+// idempotent reads across caught-up members, and fails a dead primary over
+// to the most-caught-up follower — so kill -9 of any single process leaves
+// the cluster serving. See docs/OPERATIONS.md § Replication & failover.
+//
 // Usage:
 //
 //	tkplqd [-addr HOST:PORT] [-dataset syn|rd] [-iupt FILE] [-format csv|bin]
@@ -62,7 +74,9 @@
 //	       [-fsync always|interval] [-fsync-interval DUR]
 //	       [-snapshot-every N] [-snapshot-interval DUR] [-pprof HOST:PORT]
 //	       [-role standalone|shard|router] [-topology FILE]
-//	       [-shard-index N] [-shard-timeout DUR]
+//	       [-shard-index N] [-shard-timeout DUR] [-health-interval DUR]
+//	       [-replica-of HOST:PORT[,HOST:PORT...]] [-advertise HOST:PORT]
+//	       [-repl-heartbeat DUR] [-repl-window BYTES] [-keep-segments N]
 //
 // -pprof serves net/http/pprof (CPU, heap, goroutine, trace profiles) on a
 // *separate* listener, off by default so profiling endpoints are never
@@ -81,12 +95,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tkplq"
 	"tkplq/internal/cluster"
 	"tkplq/internal/iupt"
+	"tkplq/internal/repl"
 	"tkplq/internal/server"
 	"tkplq/internal/sim"
 	"tkplq/internal/wal"
@@ -129,7 +145,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		role            = fs.String("role", server.RoleStandalone, "serving role: standalone, shard or router")
 		topologyFile    = fs.String("topology", "", "cluster topology file (required for -role shard|router; every member must load the same file)")
 		shardIndex      = fs.Int("shard-index", -1, "this shard's index in the topology (required for -role shard)")
-		shardTimeout    = fs.Duration("shard-timeout", server.DefaultShardTimeout, "router: per-shard attempt budget (one retry within the request budget)")
+		shardTimeout    = fs.Duration("shard-timeout", server.DefaultShardTimeout, "router: per-shard attempt budget (reads retry across replicas under backoff within the request budget)")
+		healthInterval  = fs.Duration("health-interval", server.DefaultHealthInterval, "router: /readyz probe cadence driving read load-balancing and failover (negative = off)")
+		replicaOf       = fs.String("replica-of", "", "boot as a live follower replicating from these candidate primaries (host:port, comma-separated); requires -data-dir and -storage parts")
+		advertise       = fs.String("advertise", "", "this member's advertised address — its replication identity (default: -addr)")
+		replHeartbeat   = fs.Duration("repl-heartbeat", time.Second, "primary: replication heartbeat cadence on idle streams")
+		replWindow      = fs.Int64("repl-window", 4<<20, "primary: max unacknowledged replication bytes per follower before the stream waits for acks")
+		keepSegments    = fs.Int("keep-segments", -1, "with -storage parts: rotated WAL segments retained for follower catch-up (-1 = 4 on replicated members, 0 elsewhere)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +163,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *storage == "parts" && *dataDir == "" {
 		return fmt.Errorf("-storage parts requires -data-dir")
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" || *storage != "parts" {
+			return fmt.Errorf("-replica-of requires -data-dir and -storage parts (replication ships sealed partitions + WAL)")
+		}
+		if *role == server.RoleRouter {
+			return fmt.Errorf("-replica-of is for shard/standalone members: the router holds no records to replicate")
+		}
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = *addr
 	}
 
 	var topo *cluster.Topology
@@ -175,8 +209,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		own = func(oid iupt.ObjectID) bool { return topo.Owns(oid, idx) }
 	}
 
+	// WAL segment retention: replicated members keep a few rotated segments
+	// so a briefly-disconnected follower can catch up from the log instead
+	// of re-bootstrapping the whole partition set.
+	replicated := *replicaOf != "" ||
+		(topo != nil && *role == server.RoleShard && topo.NumMembers(*shardIndex) > 1)
+	keep := *keepSegments
+	if keep < 0 {
+		keep = 0
+		if replicated {
+			keep = 4
+		}
+	}
+
 	var store daemonStore
 	var sys *tkplq.System
+	var fol *repl.Follower
+	var folErrCh chan error
 	if *role == server.RoleRouter {
 		b, err := buildSpace(*dataset)
 		if err != nil {
@@ -186,6 +235,69 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	} else if *replicaOf != "" {
+		// Follower boot: the replication stream owns the data directory — it
+		// may wipe it and receive the primary's partitions byte-for-byte —
+		// so the store opens inside the follower's Open callback, once the
+		// primary's manifest has pinned the start position. The initial
+		// dataset is never generated here: partition 1 arrives from the
+		// primary, which is what makes the follower bit-identical.
+		policy, err := parseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		b, err := buildSpace(*dataset)
+		if err != nil {
+			return err
+		}
+		fol, err = repl.NewFollower(repl.FollowerConfig{
+			Dir:       *dataDir,
+			Self:      adv,
+			Primaries: strings.Split(*replicaOf, ","),
+			Open: func(startSeq uint64, startOff int64) (repl.Applier, error) {
+				p, rec, err := tkplq.OpenPartitioned(tkplq.PartitionedOptions{
+					Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+					KeepSegments: keep,
+					// No background compaction: a follower's partition set
+					// must stay a byte-for-byte copy of what was shipped.
+				})
+				if err != nil {
+					return nil, err
+				}
+				s2, err := tkplq.NewSystem(b.Space, rec, tkplq.Options{Workers: *workers})
+				if err != nil {
+					p.Close()
+					return nil, err
+				}
+				s2.SetPersister(p)
+				sys, store = s2, p
+				return repl.NewSystemApplier(s2, p), nil
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		folErrCh = make(chan error, 1)
+		go func() { folErrCh <- fol.Run(ctx) }()
+		// Serve only once the store is open and the table recovered; a
+		// half-bootstrapped follower would silently answer from an empty
+		// table.
+		select {
+		case <-fol.Opened():
+		case err := <-folErrCh:
+			if err == nil {
+				err = errors.New("follower exited before opening its store")
+			}
+			return fmt.Errorf("replication bootstrap from %s: %w", *replicaOf, err)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer store.Close()
+		fmt.Fprintf(out, "tkplqd: following %s into %s (%d records replicated so far)\n",
+			*replicaOf, *dataDir, sys.Table().Len())
 	} else if *dataDir != "" {
 		policy, err := parseFsyncPolicy(*fsyncPolicy)
 		if err != nil {
@@ -204,6 +316,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		case "parts":
 			p, rec, err := tkplq.OpenPartitioned(tkplq.PartitionedOptions{
 				Dir: *dataDir, Policy: policy, SyncEvery: *fsyncInterval,
+				KeepSegments: keep,
 				Compact: tkplq.CompactionPolicy{
 					MinInputs:   *compactMin,
 					TargetBytes: *compactTarget,
@@ -304,6 +417,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer stopProf()
 	}
 
+	// Every parts-store member serves the replication stream: primaries
+	// feed their followers, and a promoted follower must be able to feed a
+	// rejoining sibling.
+	var replCfg *server.ReplConfig
+	if ps, ok := store.(*tkplq.PartitionedStore); ok && *role != server.RoleRouter {
+		src := repl.NewSource(repl.SourceConfig{
+			Store:          ps,
+			HeartbeatEvery: *replHeartbeat,
+			WindowBytes:    *replWindow,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		replCfg = &server.ReplConfig{Source: src, Follower: fol, Store: ps, Self: adv}
+	}
+
 	srv, err := server.New(server.Config{
 		System:         sys,
 		Addr:           *addr,
@@ -314,6 +443,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Topology:       topo,
 		ShardIndex:     *shardIndex,
 		ShardTimeout:   *shardTimeout,
+		HealthInterval: *healthInterval,
+		Replication:    replCfg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},
@@ -338,6 +469,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				case <-ctx.Done():
 					return
 				case <-t.C:
+					if srv.Following() {
+						// Seal boundaries come from the primary's stream; a
+						// local seal would diverge the partition sets.
+						continue
+					}
 					if store.RecordsSinceSnapshot() == 0 {
 						continue // nothing new to compact
 					}
@@ -351,9 +487,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve() }()
-	select {
-	case <-ctx.Done():
-		fmt.Fprintln(out, "tkplqd: shutting down")
+	shutdown := func() error {
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
@@ -369,8 +503,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 		}
 		return nil
-	case err := <-errCh:
-		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out, "tkplqd: shutting down")
+			return shutdown()
+		case err := <-errCh:
+			return err
+		case err := <-folErrCh:
+			folErrCh = nil // one-shot: Run never restarts
+			if err == nil || errors.Is(err, context.Canceled) {
+				// Promoted (keep serving, now as the shard's primary), or
+				// the daemon is shutting down and the follower noticed
+				// first — the ctx.Done case follows.
+				continue
+			}
+			// A fatal replication error (divergence, bootstrap required
+			// against a wiped primary, operator misconfig): serving a
+			// possibly-stale read-only table forever would be worse than
+			// exiting loudly — a restart re-bootstraps cleanly.
+			fmt.Fprintf(out, "tkplqd: replication follower failed: %v\n", err)
+			if serr := shutdown(); serr != nil {
+				fmt.Fprintf(out, "tkplqd: %v\n", serr)
+			}
+			return fmt.Errorf("replication follower: %w", err)
+		}
 	}
 }
 

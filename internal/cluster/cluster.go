@@ -38,37 +38,80 @@ import (
 // topologyFile is the on-disk JSON shape of a Topology.
 //
 //	{
-//	  "shards": ["127.0.0.1:9001", "127.0.0.1:9002"],
+//	  "shards": ["127.0.0.1:9001", ["127.0.0.1:9002", "127.0.0.1:9003"]],
 //	  "objects": {"7": 0, "42": 1}   // optional explicit assignments
 //	}
 //
-// Shards are base addresses (host:port, optionally with an http:// scheme).
-// Objects not listed in "objects" — including objects that first appear in a
-// future ingest — are assigned by hashing their id, so the map stays total
-// without having to enumerate the universe of object ids up front.
+// Each entry of "shards" is one shard's replica set: either a bare address
+// (a single-member shard) or an array whose first element is the shard's
+// boot-time primary and whose remaining elements are followers. Addresses
+// are host:port, optionally with an http:// scheme. Objects not listed in
+// "objects" — including objects that first appear in a future ingest — are
+// assigned by hashing their id, so the map stays total without having to
+// enumerate the universe of object ids up front.
 type topologyFile struct {
-	Shards  []string       `json:"shards"`
+	Shards  []replicaSet   `json:"shards"`
 	Objects map[string]int `json:"objects,omitempty"`
 }
 
+// replicaSet accepts either a bare address string or an array of member
+// addresses, so single-member topologies keep the PR-7 file format.
+type replicaSet []string
+
+func (r *replicaSet) UnmarshalJSON(b []byte) error {
+	t := strings.TrimLeft(string(b), " \t\r\n")
+	if strings.HasPrefix(t, "\"") {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*r = replicaSet{s}
+		return nil
+	}
+	var ss []string
+	if err := json.Unmarshal(b, &ss); err != nil {
+		return fmt.Errorf("shard entry must be an address or an array of addresses: %w", err)
+	}
+	*r = ss
+	return nil
+}
+
 // Topology is a validated static object→shard assignment over a fixed list
-// of shard addresses. The zero value is invalid; build one with Load,
-// Parse or New.
+// of shard replica sets. The zero value is invalid; build one with Load,
+// Parse, New or NewReplicated.
 type Topology struct {
-	shards  []string
+	sets    [][]string            // sets[i][0] is shard i's boot-time primary
 	objects map[iupt.ObjectID]int // explicit overrides; nil = pure hash
 }
 
-// New builds an all-hash topology over the shard addresses (index i in the
-// slice is shard i). It validates like Load.
+// New builds an all-hash topology of single-member shards (index i in the
+// slice is shard i's only member). It validates like Load.
 func New(shards []string) (*Topology, error) {
-	return build(topologyFile{Shards: shards})
+	f := topologyFile{Shards: make([]replicaSet, len(shards))}
+	for i, a := range shards {
+		f.Shards[i] = replicaSet{a}
+	}
+	return build(f)
 }
 
-// NewWithObjects builds a topology with explicit per-object assignments on
-// top of the hash default. It validates like Load.
+// NewReplicated builds an all-hash topology of replica sets: sets[i][0] is
+// shard i's boot-time primary, the rest are followers. It validates like
+// Load.
+func NewReplicated(sets [][]string) (*Topology, error) {
+	f := topologyFile{Shards: make([]replicaSet, len(sets))}
+	for i, s := range sets {
+		f.Shards[i] = replicaSet(append([]string(nil), s...))
+	}
+	return build(f)
+}
+
+// NewWithObjects builds a topology of single-member shards with explicit
+// per-object assignments on top of the hash default. It validates like Load.
 func NewWithObjects(shards []string, objects map[iupt.ObjectID]int) (*Topology, error) {
-	f := topologyFile{Shards: shards}
+	f := topologyFile{Shards: make([]replicaSet, len(shards))}
+	for i, a := range shards {
+		f.Shards[i] = replicaSet{a}
+	}
 	if len(objects) > 0 {
 		f.Objects = make(map[string]int, len(objects))
 		for oid, idx := range objects {
@@ -108,24 +151,35 @@ func Parse(r io.Reader) (*Topology, error) {
 // build validates the raw file shape into a Topology. Validation is strict:
 // a topology error at boot is a configuration bug, and mis-routed ingest
 // would silently split an object's positioning sequence across shards —
-// corrupting every flow it contributes to — so nothing is forgiven here.
+// corrupting every flow it contributes to — so nothing is forgiven here. An
+// address appearing twice anywhere in the file (within one replica set,
+// across two sets, or as one shard's follower and another's primary) is
+// rejected: a process can hold exactly one shard's data.
 func build(f topologyFile) (*Topology, error) {
 	if len(f.Shards) == 0 {
 		return nil, fmt.Errorf("topology has no shards")
 	}
-	seen := make(map[string]int, len(f.Shards))
-	for i, addr := range f.Shards {
-		norm, err := normalizeAddr(addr)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+	type memberPos struct{ shard, member int }
+	seen := make(map[string]memberPos, len(f.Shards))
+	sets := make([][]string, len(f.Shards))
+	for i, set := range f.Shards {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("shard %d has an empty replica list", i)
 		}
-		if j, dup := seen[norm]; dup {
-			return nil, fmt.Errorf("shard %d and shard %d share address %q", j, i, norm)
+		sets[i] = make([]string, len(set))
+		for m, addr := range set {
+			norm, err := normalizeAddr(addr)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d member %d: %w", i, m, err)
+			}
+			if p, dup := seen[norm]; dup {
+				return nil, fmt.Errorf("shard %d member %d and shard %d member %d share address %q", p.shard, p.member, i, m, norm)
+			}
+			seen[norm] = memberPos{i, m}
+			sets[i][m] = norm
 		}
-		seen[norm] = i
-		f.Shards[i] = norm
 	}
-	t := &Topology{shards: f.Shards}
+	t := &Topology{sets: sets}
 	if len(f.Objects) > 0 {
 		t.objects = make(map[iupt.ObjectID]int, len(f.Objects))
 		for key, idx := range f.Objects {
@@ -171,14 +225,32 @@ func normalizeAddr(addr string) (string, error) {
 }
 
 // NumShards returns the number of shards in the topology.
-func (t *Topology) NumShards() int { return len(t.shards) }
+func (t *Topology) NumShards() int { return len(t.sets) }
 
-// Addr returns shard i's host:port address.
-func (t *Topology) Addr(i int) string { return t.shards[i] }
+// Addr returns shard i's boot-time primary host:port address.
+func (t *Topology) Addr(i int) string { return t.sets[i][0] }
 
-// Addrs returns the shard addresses in index order (a copy).
+// Addrs returns the shard boot-time primary addresses in index order (a
+// copy).
 func (t *Topology) Addrs() []string {
-	return append([]string(nil), t.shards...)
+	out := make([]string, len(t.sets))
+	for i, set := range t.sets {
+		out[i] = set[0]
+	}
+	return out
+}
+
+// NumMembers returns the size of shard i's replica set.
+func (t *Topology) NumMembers(i int) int { return len(t.sets[i]) }
+
+// Member returns shard i's m-th member address (member 0 is the boot-time
+// primary).
+func (t *Topology) Member(i, m int) string { return t.sets[i][m] }
+
+// Members returns shard i's replica-set addresses in member order (a copy):
+// member 0 is the boot-time primary, the rest are followers.
+func (t *Topology) Members(i int) []string {
+	return append([]string(nil), t.sets[i]...)
 }
 
 // ShardOf returns the owning shard index for an object id: the explicit
@@ -190,7 +262,7 @@ func (t *Topology) ShardOf(oid iupt.ObjectID) int {
 	if idx, ok := t.objects[oid]; ok {
 		return idx
 	}
-	return int(hashOID(oid) % uint64(len(t.shards)))
+	return int(hashOID(oid) % uint64(len(t.sets)))
 }
 
 // hashOID is FNV-1a over the object id's 8 little-endian bytes.
@@ -218,8 +290,8 @@ func (t *Topology) Owns(oid iupt.ObjectID, idx int) bool { return t.ShardOf(oid)
 // byShard[i][j] held in recs, so a shard-reported ingest error can be mapped
 // back to the caller's batch index.
 func (t *Topology) Split(recs []iupt.Record) (byShard [][]iupt.Record, origIdx [][]int) {
-	byShard = make([][]iupt.Record, len(t.shards))
-	origIdx = make([][]int, len(t.shards))
+	byShard = make([][]iupt.Record, len(t.sets))
+	origIdx = make([][]int, len(t.sets))
 	for i, rec := range recs {
 		s := t.ShardOf(rec.OID)
 		byShard[s] = append(byShard[s], rec)

@@ -18,6 +18,13 @@ func TestLoadAndValidation(t *testing.T) {
 		{"explicit objects", `{"shards":["a:1","b:2"],"objects":{"7":1,"42":0}}`, ""},
 		{"no shards", `{"shards":[]}`, "no shards"},
 		{"duplicate address", `{"shards":["a:1","http://a:1"]}`, "share address"},
+		{"replica set", `{"shards":[["a:1","a:2"],"b:1"]}`, ""},
+		{"empty replica list", `{"shards":[["a:1","a:2"],[]]}`, "empty replica list"},
+		{"duplicate within set", `{"shards":[["a:1","a:1"]]}`, "share address"},
+		{"duplicate member across shards", `{"shards":[["a:1","c:9"],["b:1","c:9"]]}`, "share address"},
+		{"follower doubles as another primary", `{"shards":[["a:1","b:1"],["b:1","b:2"]]}`, "share address"},
+		{"follower bad address", `{"shards":[["a:1","https://b:1"]]}`, "unsupported scheme"},
+		{"replica entry not a string", `{"shards":[[1,2]]}`, "array of addresses"},
 		{"missing port", `{"shards":["localhost"]}`, "missing port"},
 		{"https rejected", `{"shards":["https://a:1"]}`, "unsupported scheme"},
 		{"decorated url", `{"shards":["http://a:1/path"]}`, "bare host:port"},
@@ -122,6 +129,47 @@ func TestSplitPreservesOrderAndIndices(t *testing.T) {
 	filtered := topo.FilterOwned(recs, 0)
 	if len(filtered) != len(byShard[0]) {
 		t.Fatalf("FilterOwned(0) kept %d, split gave %d", len(filtered), len(byShard[0]))
+	}
+}
+
+func TestReplicaSetAccessors(t *testing.T) {
+	topo, err := Parse(strings.NewReader(`{"shards":[["p0:1","f0:1","f0:2"],"p1:1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", topo.NumShards())
+	}
+	if topo.Addr(0) != "p0:1" || topo.Addr(1) != "p1:1" {
+		t.Fatalf("Addr must return the boot-time primary: %v", topo.Addrs())
+	}
+	if topo.NumMembers(0) != 3 || topo.NumMembers(1) != 1 {
+		t.Fatalf("NumMembers = %d,%d, want 3,1", topo.NumMembers(0), topo.NumMembers(1))
+	}
+	if topo.Member(0, 2) != "f0:2" {
+		t.Fatalf("Member(0,2) = %q, want f0:2", topo.Member(0, 2))
+	}
+	members := topo.Members(0)
+	if len(members) != 3 || members[0] != "p0:1" || members[1] != "f0:1" {
+		t.Fatalf("Members(0) = %v", members)
+	}
+	members[0] = "mutated"
+	if topo.Member(0, 0) != "p0:1" {
+		t.Fatal("Members returned the internal slice")
+	}
+
+	// The equivalent programmatic constructor agrees with the file form.
+	topo2, err := NewReplicated([][]string{{"p0:1", "f0:1", "f0:2"}, {"p1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got, want := topo2.NumMembers(i), topo.NumMembers(i); got != want {
+			t.Fatalf("NewReplicated NumMembers(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := NewReplicated([][]string{{"a:1"}, nil}); err == nil || !strings.Contains(err.Error(), "empty replica list") {
+		t.Fatalf("NewReplicated with empty set: err = %v, want empty replica list", err)
 	}
 }
 

@@ -21,13 +21,24 @@ type bfEntry struct {
 	seq      int // FIFO tie-break for determinism
 }
 
-// bfHeap is a max-heap on ub (ties: lower seq first).
+// bfHeap is a max-heap on ub. Ties matter at the k boundary: when a
+// confirmed flow equals a remaining upper bound, the unconfirmed entry must
+// resolve first (its concrete flow could equal the tie and rank earlier),
+// and confirmed ties must pop in ascending S-location order — otherwise the
+// search confirms its k-th result by arrival order and diverges from the
+// (flow desc, sloc asc) total order Naive and Nested-Loop rank by.
 type bfHeap []bfEntry
 
 func (h bfHeap) Len() int { return len(h) }
 func (h bfHeap) Less(i, j int) bool {
 	if h[i].ub != h[j].ub {
 		return h[i].ub > h[j].ub
+	}
+	if h[i].flowDone != h[j].flowDone {
+		return !h[i].flowDone
+	}
+	if h[i].flowDone {
+		return h[i].qEntry.Item() < h[j].qEntry.Item()
 	}
 	return h[i].seq < h[j].seq
 }

@@ -106,6 +106,60 @@ func TestBestFirstTopKPrefix(t *testing.T) {
 	}
 }
 
+// TestBestFirstMatchesRankingExactly: for every k, BF returns exactly the
+// first k entries — S-location AND bit-identical flow — of the canonical
+// full ranking. The sharp case is a flow tie at the k boundary (equal flows,
+// including the zero-flow tail of a sparse table): the search must confirm
+// tied locations in ascending id order, not heap-arrival order, or its k-th
+// result diverges from Naive/NL and from a router's distributed fan-in.
+func TestBestFirstMatchesRankingExactly(t *testing.T) {
+	fig := indoor.Figure1Space()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Single prob-1.0 samples pin each object to one cell per report, so
+		// per-location flows take few distinct values and exact ties abound.
+		tb := iupt.NewTable()
+		for oid := 1; oid <= rng.Intn(6)+2; oid++ {
+			t0 := rng.Intn(3)
+			for t0 <= 8 {
+				tb.Append(iupt.Record{
+					OID:     iupt.ObjectID(oid),
+					T:       iupt.Time(t0),
+					Samples: iupt.SampleSet{{Loc: fig.PLocs[rng.Intn(len(fig.PLocs))], Prob: 1.0}},
+				})
+				t0 += rng.Intn(3) + 1
+			}
+		}
+		// Descending query order reverses the heap's arrival order, so a
+		// FIFO tie-break would confirm the HIGHEST tied location first.
+		q := make([]indoor.SLocID, len(fig.SLocs))
+		for i, s := range fig.SLocs {
+			q[len(q)-1-i] = s
+		}
+		e := NewEngine(fig.Space, Options{})
+		full, _, err := e.TopK(tb, q, len(q), 0, 8, AlgoNaive)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= len(q); k++ {
+			got, _, err := e.TopK(tb, q, k, 0, 8, AlgoBestFirst)
+			if err != nil || len(got) != k {
+				return false
+			}
+			for i := 0; i < k; i++ {
+				if got[i].SLoc != full[i].SLoc || got[i].Flow != full[i].Flow {
+					t.Logf("seed %d k %d: BF[%d] = %+v, ranking has %+v", seed, k, i, got[i], full[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestBestFirstPrunesMore: on the paper fixture with a selective query, BF
 // computes no more objects than NL.
 func TestBestFirstPrunesMore(t *testing.T) {

@@ -361,6 +361,13 @@ func (p *Partition) SeqRange() (lo, hi uint64) { return p.seqLo, p.seqHi }
 // SizeBytes returns the on-disk (and mapped) size.
 func (p *Partition) SizeBytes() int64 { return int64(len(p.data)) }
 
+// Bytes returns the partition's full mapped image — exactly the file's
+// bytes. The replication source streams it to bootstrapping followers
+// (byte-for-byte: partition identity implies bytes). Callers must hold a
+// Retain across every read of the returned slice: the mapping outlives a
+// concurrent compaction's delete of the file, but not the last Release.
+func (p *Partition) Bytes() []byte { return p.data }
+
 // Materialized returns the number of records decoded from this partition
 // since it was opened.
 func (p *Partition) Materialized() int64 { return p.materialized.Load() }

@@ -85,6 +85,9 @@ type Options struct {
 	// the documented defaults and leaves the background loop off; Compact
 	// remains callable manually either way.
 	Compact CompactionPolicy
+	// KeepSegments retains that many rotated-out WAL segments for
+	// replication catch-up (wal.Options.KeepSegments).
+	KeepSegments int
 }
 
 // CompactionPolicy tunes the size-tiered compaction planner.
@@ -189,10 +192,11 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 	}
 	s := &Store{dir: opts.Dir, opts: opts}
 	w, table, err := wal.Open(wal.Options{
-		Dir:       opts.Dir,
-		Policy:    opts.Policy,
-		SyncEvery: opts.SyncEvery,
-		Base:      s.recoverBase,
+		Dir:          opts.Dir,
+		Policy:       opts.Policy,
+		SyncEvery:    opts.SyncEvery,
+		Base:         s.recoverBase,
+		KeepSegments: opts.KeepSegments,
 	})
 	if err != nil {
 		s.closeParts()
@@ -467,6 +471,44 @@ func (s *Store) Partitions() []*Partition {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]*Partition(nil), s.parts...)
+}
+
+// Log exposes the head WAL for replication: internal/repl tails its
+// committed segment bytes and watches its append/rotate signal. Callers
+// must not append, snapshot or rotate through it.
+func (s *Store) Log() *wal.Store { return s.wal }
+
+// Failed returns the store's poison error, or nil while it accepts writes
+// (the readiness probe behind /readyz).
+func (s *Store) Failed() error { return s.wal.Failed() }
+
+// ReplicationView returns a mutually-consistent (sealed set, WAL position)
+// pair for a replication session: every returned partition's range is ≤ seq,
+// and the sealed set is complete up to seq — the segment at seq holds
+// exactly the frames appended after the newest returned partition. Seal
+// commits the partition before rotating the log, so the loop retries the
+// snapshot until neither half moved between the reads.
+func (s *Store) ReplicationView() (ps []*Partition, seq uint64, off int64) {
+	for i := 0; ; i++ {
+		seq, _ = s.wal.Position()
+		ps = s.Partitions()
+		var maxHi uint64
+		for _, p := range ps {
+			if _, hi := p.SeqRange(); hi > maxHi {
+				maxHi = hi
+			}
+		}
+		seq2, off2 := s.wal.Position()
+		if maxHi <= seq && seq2 == seq {
+			return ps, seq, off2
+		}
+		if i > 1000 {
+			// Seals are rare (one per rotation); if the view won't settle
+			// something is deeply wrong — return the latest rather than spin.
+			return ps, seq2, off2
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Stats returns a snapshot of the store's counters.

@@ -1,0 +1,50 @@
+package repl
+
+import (
+	"fmt"
+
+	"tkplq"
+	"tkplq/internal/iupt"
+	"tkplq/internal/parts"
+)
+
+// SystemApplier adapts a System over a partitioned store into the
+// follower's Applier: replicated batches go through System.Ingest — the
+// same validation, ingest lock, write-ahead append and live-monitor
+// notification a local ingest gets, which is what makes the follower's WAL
+// byte-identical and its subscriptions live — and seal markers through
+// System.Snapshot, which holds the ingest lock across the seal exactly as
+// on the primary.
+type SystemApplier struct {
+	sys   *tkplq.System
+	store *parts.Store
+}
+
+// NewSystemApplier builds the Applier for a follower daemon's System.
+func NewSystemApplier(sys *tkplq.System, store *parts.Store) *SystemApplier {
+	return &SystemApplier{sys: sys, store: store}
+}
+
+// Apply ingests one replicated batch.
+func (a *SystemApplier) Apply(recs []iupt.Record) error {
+	return a.sys.Ingest(recs)
+}
+
+// Seal seals the mutable head; the resulting partition sequence must be seq
+// (the caller verifies via Position).
+func (a *SystemApplier) Seal(seq uint64) error {
+	if err := a.sys.Snapshot(); err != nil {
+		return fmt.Errorf("seal %d: %w", seq, err)
+	}
+	return nil
+}
+
+// Position reports the store's committed WAL position.
+func (a *SystemApplier) Position() (uint64, int64) {
+	return a.store.Log().Position()
+}
+
+// SegmentPath resolves a WAL segment path in the store's directory.
+func (a *SystemApplier) SegmentPath(seq uint64) string {
+	return a.store.Log().SegmentPath(seq)
+}

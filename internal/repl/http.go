@@ -1,0 +1,16 @@
+package repl
+
+// HTTP paths of the replication endpoints. The primary's server mounts
+// Serve behind PathReplicate and Ack behind PathReplicateAck; a follower's
+// server mounts promotion behind PathPromote. They live here so the
+// follower's dialer and the server's mux cannot drift apart.
+const (
+	// PathReplicate is the long-lived streaming session: the follower POSTs
+	// its Handshake and reads stream frames until the connection dies.
+	PathReplicate = "/v2/replicate"
+	// PathReplicateAck receives the follower's out-of-band progress reports.
+	PathReplicateAck = "/v2/replicate/ack"
+	// PathPromote asks a follower to stop following and accept writes; the
+	// router calls it during failover. Idempotent.
+	PathPromote = "/v2/promote"
+)

@@ -1,0 +1,192 @@
+// Package repl implements per-shard primary→follower replication for the
+// partitioned store: a follower bootstraps by fetching the sealed partition
+// files it lacks byte-for-byte (partition identity = never-reused sequence
+// ranges, so a file's name implies its bytes), then tails the primary's
+// committed WAL over the same long-lived HTTP response, re-applying each
+// CRC32C frame through its own System's ingest lock. Because the WAL batch
+// encoding is deterministic and seals are driven by explicit stream markers,
+// a caught-up follower's table — rankings AND float64 flows — and its data
+// directory are bit-identical to the primary's.
+//
+// One replication session is one `POST /v2/replicate` exchange:
+//
+//	follower                                  primary
+//	--------                                  -------
+//	Handshake{seal seq, wal off, crc}  ───▶
+//	                                   ◀───  Manifest{files?, resync?, start}
+//	                                   ◀───  FileBegin/FileChunk*/FileEnd ...
+//	                                   ◀───  FilesDone
+//	                                   ◀───  WALFrame* / Seal / Heartbeat ...
+//	Ack{position} (POST /v2/replicate/ack, out of band, bounded window)
+//
+// Replication is asynchronous: an acked ingest the primary has not yet
+// streamed is lost if the primary dies and a follower is promoted. What the
+// protocol does guarantee is convergence without divergence — a rejoining
+// node whose history conflicts with the new primary's is detected by the
+// handshake (prefix CRC / seal-sequence comparison) and re-bootstrapped from
+// scratch, never merged.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Stream frame types. Every frame on the wire is
+// [type:1][len:uint32 LE][crc32c(payload):uint32 LE][payload].
+const (
+	frameManifest  byte = 1
+	frameFileBegin byte = 2
+	frameFileChunk byte = 3
+	frameFileEnd   byte = 4
+	frameFilesDone byte = 5
+	frameWAL       byte = 6 // payload = one on-disk WAL frame, byte-for-byte
+	frameSeal      byte = 7
+	frameHeartbeat byte = 8
+)
+
+const (
+	streamHdrLen = 9
+	// maxStreamPayload bounds one stream frame: a WAL frame (64 MiB payload
+	// bound + its own header) is the largest legitimate payload.
+	maxStreamPayload = 1<<26 + 1024
+	// fileChunkLen is the shipping granularity of partition files.
+	fileChunkLen = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBootstrapRequired reports that the primary cannot serve the follower's
+// position over the live stream — its history diverged or fell out of the
+// primary's WAL retention window — and the follower must restart to
+// re-bootstrap (file shipping only happens before the follower's store is
+// open). The server maps it to HTTP 409.
+var ErrBootstrapRequired = errors.New("repl: follower position cannot be served live; re-bootstrap required")
+
+// Handshake is the follower's request body: its durable position. WALCRC is
+// the CRC32C of the segment file's first WALOff bytes, letting the primary
+// verify the follower's log is a byte-identical prefix of its own before
+// resuming the stream mid-segment.
+type Handshake struct {
+	// Follower identifies the session (the member's advertised address);
+	// a re-dial under the same identity supersedes the previous session.
+	Follower string `json:"follower"`
+	// SealSeq is the newest sealed partition sequence in the follower's
+	// data directory.
+	SealSeq uint64 `json:"seal_seq"`
+	// WALSeq/WALOff/WALCRC describe the follower's newest WAL segment:
+	// its sequence, valid byte length (header included; 0 = no segment)
+	// and prefix checksum.
+	WALSeq uint64 `json:"wal_seq"`
+	WALOff int64  `json:"wal_off"`
+	WALCRC uint32 `json:"wal_crc"`
+	// Live marks a reconnect from an already-open store: partition files
+	// cannot be applied, so the primary must either resume from retained
+	// WAL segments or refuse with 409.
+	Live bool `json:"live"`
+}
+
+// Manifest is the first stream frame: the primary's decision about how the
+// follower gets from its reported position to the live tail.
+type Manifest struct {
+	// Session identifies this stream in acks.
+	Session int64 `json:"session"`
+	// FullResync tells the follower to wipe its data directory first: its
+	// history diverged from the primary's (e.g. an old primary rejoining
+	// after a failover that promoted a sibling).
+	FullResync bool `json:"full_resync,omitempty"`
+	// ResetWAL tells the follower to delete its WAL segments before
+	// opening: the stream restarts them from StartSeq's header.
+	ResetWAL bool `json:"reset_wal,omitempty"`
+	// Files lists the partition files shipped before the WAL tail.
+	Files []FileInfo `json:"files,omitempty"`
+	// StartSeq/StartOff is where the WAL tail begins: the follower's store
+	// must be at exactly this position when the first WALFrame applies.
+	StartSeq uint64 `json:"start_seq"`
+	StartOff int64  `json:"start_off"`
+}
+
+// FileInfo describes one shipped partition file.
+type FileInfo struct {
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	SeqLo uint64 `json:"seq_lo"`
+	SeqHi uint64 `json:"seq_hi"`
+}
+
+// fileEndMsg closes one shipped file: the CRC32C of its whole content.
+type fileEndMsg struct {
+	CRC uint32 `json:"crc"`
+}
+
+// sealMsg instructs the follower to seal its head now; the resulting
+// partition sequence must equal Seq (the segment the primary just finished
+// streaming plus one).
+type sealMsg struct {
+	Seq uint64 `json:"seq"`
+}
+
+// heartbeatMsg carries the primary's committed position while the stream is
+// idle; the follower derives its caught-up bit (and the router's staleness
+// bound) from it.
+type heartbeatMsg struct {
+	Seq uint64 `json:"seq"`
+	Off int64  `json:"off"`
+}
+
+// Ack is the follower's out-of-band progress report (POST
+// /v2/replicate/ack): session-relative applied counters (exact lag
+// accounting) plus its absolute durable position (failover choice).
+type Ack struct {
+	Follower string `json:"follower"`
+	Session  int64  `json:"session"`
+	// Frames/Bytes count WAL frames applied within this session.
+	Frames int64 `json:"frames"`
+	Bytes  int64 `json:"bytes"`
+	// SealSeq/WALOff is the follower's absolute durable position.
+	SealSeq uint64 `json:"seal_seq"`
+	WALOff  int64  `json:"wal_off"`
+}
+
+// writeFrame emits one stream frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [streamHdrLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads and CRC-verifies one stream frame.
+func readFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [streamHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	plen := binary.LittleEndian.Uint32(hdr[1:])
+	crc := binary.LittleEndian.Uint32(hdr[5:])
+	if plen > maxStreamPayload {
+		return 0, nil, fmt.Errorf("repl: stream frame of %d bytes exceeds the %d-byte bound", plen, maxStreamPayload)
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return 0, nil, errors.New("repl: stream frame CRC mismatch")
+	}
+	return typ, payload, nil
+}

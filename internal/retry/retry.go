@@ -1,0 +1,104 @@
+// Package retry is the cluster's shared retry policy: capped exponential
+// backoff with full jitter. The router's idempotent read fan-out legs, its
+// failover probes and a follower's replication reconnect loop all wait
+// through the same Policy, so retry pressure against a struggling node is
+// bounded and decorrelated everywhere. Ingest is never retried through this
+// package (or at all): an ingest whose response was lost may have been
+// applied, and replaying it would double-count records.
+package retry
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Defaults used for zero-valued Policy fields.
+const (
+	DefaultBase     = 100 * time.Millisecond
+	DefaultCap      = 2 * time.Second
+	DefaultAttempts = 3
+)
+
+// Policy is a capped exponential backoff schedule with full jitter: the
+// delay before retry n (n = 1 for the first retry) is drawn uniformly from
+// [0, min(Cap, Base<<(n-1))]. Full jitter (rather than equal or no jitter)
+// keeps a thundering herd of clients from re-converging on the same instant
+// after a shared failure. The zero value is usable and applies the
+// Default* constants.
+type Policy struct {
+	// Base is the ceiling of the first retry's delay.
+	Base time.Duration
+	// Cap bounds every delay ceiling regardless of attempt count.
+	Cap time.Duration
+	// Attempts is the total number of tries including the first; a Policy
+	// with Attempts = 3 performs at most 2 retries.
+	Attempts int
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return DefaultBase
+	}
+	return p.Base
+}
+
+func (p Policy) cap() time.Duration {
+	if p.Cap <= 0 {
+		return DefaultCap
+	}
+	return p.Cap
+}
+
+// MaxAttempts returns the effective total attempt count.
+func (p Policy) MaxAttempts() int {
+	if p.Attempts <= 0 {
+		return DefaultAttempts
+	}
+	return p.Attempts
+}
+
+// Ceiling returns the un-jittered delay bound before retry attempt (1-based:
+// attempt 1 is the first retry): min(Cap, Base<<(attempt-1)), guarding the
+// shift against overflow.
+func (p Policy) Ceiling(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base, cp := p.base(), p.cap()
+	// 2^62 ns is ~146 years; beyond 62 doublings the shift would wrap.
+	if shift := attempt - 1; shift < 62 && base<<shift > 0 {
+		if d := base << shift; d < cp {
+			return d
+		}
+	}
+	return cp
+}
+
+// Delay returns the jittered delay before retry attempt: uniform in
+// [0, Ceiling(attempt)]. rnd must return a float64 in [0, 1); nil uses the
+// package-global PRNG.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	c := p.Ceiling(attempt)
+	return time.Duration(rnd() * float64(c+1))
+}
+
+// Sleep waits the jittered delay for retry attempt, or returns early with
+// ctx.Err() if the context is canceled first.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt, nil)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

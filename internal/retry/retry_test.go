@@ -1,0 +1,85 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The schedule must double from Base and clamp at Cap.
+func TestCeilingSchedule(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Attempts: 8}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Ceiling(i + 1); got != w {
+			t.Errorf("Ceiling(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Degenerate attempt numbers clamp instead of misbehaving.
+	if got := p.Ceiling(0); got != 100*time.Millisecond {
+		t.Errorf("Ceiling(0) = %v, want Base", got)
+	}
+	if got := p.Ceiling(500); got != 2*time.Second {
+		t.Errorf("Ceiling(500) = %v, want Cap (no overflow)", got)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	var p Policy
+	if got := p.MaxAttempts(); got != DefaultAttempts {
+		t.Errorf("MaxAttempts = %d, want %d", got, DefaultAttempts)
+	}
+	if got := p.Ceiling(1); got != DefaultBase {
+		t.Errorf("Ceiling(1) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Ceiling(64); got != DefaultCap {
+		t.Errorf("Ceiling(64) = %v, want %v", got, DefaultCap)
+	}
+}
+
+// Full jitter: the delay is uniform over [0, ceiling] — in particular it can
+// be (near) zero and never exceeds the ceiling.
+func TestDelayFullJitterBounds(t *testing.T) {
+	p := Policy{Base: 80 * time.Millisecond, Cap: time.Second}
+	if got := p.Delay(3, func() float64 { return 0 }); got != 0 {
+		t.Errorf("Delay with rnd=0 = %v, want 0", got)
+	}
+	almostOne := func() float64 { return 0.999999 }
+	for attempt := 1; attempt <= 10; attempt++ {
+		c := p.Ceiling(attempt)
+		got := p.Delay(attempt, almostOne)
+		if got > c || got < c/2 {
+			t.Errorf("Delay(%d) with rnd≈1 = %v, want close to ceiling %v", attempt, got, c)
+		}
+	}
+	// The real PRNG stays in bounds too.
+	for i := 0; i < 1000; i++ {
+		if d := p.Delay(2, nil); d < 0 || d > p.Ceiling(2) {
+			t.Fatalf("Delay out of [0, ceiling]: %v", d)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 1) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancel")
+	}
+}

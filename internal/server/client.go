@@ -10,22 +10,32 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"tkplq/internal/repl"
 )
 
 // DefaultShardTimeout bounds one router→shard attempt when
-// Config.ShardTimeout is zero. Two attempts (one retry) must fit inside the
-// router's own request budget, so this is deliberately far below
-// DefaultRequestTimeout.
+// Config.ShardTimeout is zero. The retry policy's worst-case schedule must
+// fit inside the router's own request budget, so this is deliberately far
+// below DefaultRequestTimeout.
 const DefaultShardTimeout = 10 * time.Second
+
+// Member modes as learned from /readyz probes.
+const (
+	memberModeUnknown int32 = iota
+	memberModePrimary
+	memberModeFollower
+)
 
 // shardError is a failed router→shard call: which shard, where it lives,
 // and why it failed. The router surfaces it as the structured degraded-mode
 // 503 envelope naming the shard (writeShardError), so an operator — or the
 // cluster smoke test — can see exactly which member is missing.
 type shardError struct {
-	index int
-	addr  string
-	cause error
+	index  int
+	addr   string
+	status int // HTTP status of the refusal; 0 for transport failures
+	cause  error
 }
 
 func (e *shardError) Error() string {
@@ -34,17 +44,40 @@ func (e *shardError) Error() string {
 
 func (e *shardError) Unwrap() error { return e.cause }
 
-// shardClient is the router's HTTP client for one shard. Every call runs
-// under the caller's context capped by the per-attempt timeout; idempotent
-// reads (partial, span, stats) get a single retry when budget remains.
-// Ingest is never retried: a response lost after the shard applied the
-// batch must not be re-sent, or the shard would hold duplicate records.
+// retryableShardError reports whether err is worth retrying on another
+// replica: transport failures and 5xx refusals (member down, restarting,
+// mid-crash, or a follower refusing a write-ish call). A 4xx means the
+// request itself is bad everywhere.
+func retryableShardError(err error) bool {
+	se, ok := isShardError(err)
+	if !ok {
+		return false
+	}
+	return se.status == 0 || se.status >= 500
+}
+
+// shardClient is the router's HTTP client for one replica-set member.
+// Every call runs under the caller's context capped by the per-attempt
+// timeout; it performs exactly one attempt — retrying across the replica
+// set under the shared backoff policy is the router's job (readMember).
+// Ingest is never retried by anyone: a response lost after the member
+// applied the batch must not be re-sent, or it would hold duplicate
+// records.
 type shardClient struct {
-	index   int
+	shard   int
+	member  int
 	addr    string // host:port
 	base    string // http://host:port
 	hc      *http.Client
 	timeout time.Duration
+
+	// Health-loop state (written by probe, read by the request paths).
+	reachable atomic.Bool
+	ready     atomic.Bool
+	modeVal   atomic.Int32 // memberMode*
+	sealSeq   atomic.Uint64
+	walOff    atomic.Int64
+	cause     atomic.Pointer[string] // last probe's not-ready cause
 
 	requests    atomic.Int64
 	errs        atomic.Int64
@@ -52,14 +85,15 @@ type shardClient struct {
 	lastLatency atomic.Int64 // microseconds
 }
 
-func newShardClient(index int, addr string, timeout time.Duration) *shardClient {
+func newShardClient(shard, member int, addr string, timeout time.Duration) *shardClient {
 	if timeout <= 0 {
 		timeout = DefaultShardTimeout
 	}
 	return &shardClient{
-		index: index,
-		addr:  addr,
-		base:  "http://" + addr,
+		shard:  shard,
+		member: member,
+		addr:   addr,
+		base:   "http://" + addr,
 		hc: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConns:        16,
@@ -71,16 +105,52 @@ func newShardClient(index int, addr string, timeout time.Duration) *shardClient 
 	}
 }
 
-// err wraps a failure with the shard's identity.
+// err wraps a transport-level failure with the member's identity.
 func (c *shardClient) err(cause error) *shardError {
-	c.errs.Add(1)
-	return &shardError{index: c.index, addr: c.addr, cause: cause}
+	return c.errAt(0, cause)
 }
 
-// attempt performs one HTTP round-trip under the per-attempt timeout and
+// errAt wraps a failure carrying the refusing status code (0 = transport).
+func (c *shardClient) errAt(status int, cause error) *shardError {
+	c.errs.Add(1)
+	return &shardError{index: c.shard, addr: c.addr, status: status, cause: cause}
+}
+
+func (c *shardClient) modeName() string {
+	switch c.modeVal.Load() {
+	case memberModePrimary:
+		return "primary"
+	case memberModeFollower:
+		return "follower"
+	}
+	return ""
+}
+
+func (c *shardClient) probeCause() string {
+	if p := c.cause.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (c *shardClient) setCause(s string) {
+	c.cause.Store(&s)
+}
+
+// aheadOf compares durable positions: whether c has replicated strictly
+// more than o. The failover choice maximizes this.
+func (c *shardClient) aheadOf(o *shardClient) bool {
+	cs, os := c.sealSeq.Load(), o.sealSeq.Load()
+	if cs != os {
+		return cs > os
+	}
+	return c.walOff.Load() > o.walOff.Load()
+}
+
+// call performs one HTTP round-trip under the per-attempt timeout and
 // returns the status code and body. Bodies are fully read so connections
 // are reused.
-func (c *shardClient) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+func (c *shardClient) call(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -109,20 +179,69 @@ func (c *shardClient) attempt(ctx context.Context, method, path string, body []b
 	return resp.StatusCode, out, nil
 }
 
-// call performs the round-trip with up to one retry (idempotent calls
-// only). Retry triggers on transport errors and 5xx answers — a shard that
-// is down, restarting, or mid-crash — and only while the caller's own
-// context is still live, so the retry never blows the request budget.
-func (c *shardClient) call(ctx context.Context, method, path string, body []byte, idempotent bool) (int, []byte, error) {
-	status, out, err := c.attempt(ctx, method, path, body)
-	if !idempotent || ctx.Err() != nil {
-		return status, out, err
+// probe refreshes the member's health state from its /readyz. Probes use
+// their own short timeout and do not touch the request counters.
+func (c *shardClient) probe(ctx context.Context) {
+	actx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return
 	}
-	if err == nil && status < 500 {
-		return status, out, err
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.reachable.Store(false)
+		c.ready.Store(false)
+		c.setCause(err.Error())
+		return
 	}
-	c.retried.Add(1)
-	return c.attempt(ctx, method, path, body)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var rr ReadyResponse
+	if err == nil {
+		err = json.Unmarshal(body, &rr)
+	}
+	if err != nil {
+		c.reachable.Store(false)
+		c.ready.Store(false)
+		c.setCause("bad readyz answer: " + err.Error())
+		return
+	}
+	c.reachable.Store(true)
+	c.ready.Store(rr.Ready)
+	switch rr.Mode {
+	case "follower":
+		c.modeVal.Store(memberModeFollower)
+	default:
+		// An unreplicated member has no mode and serves writes: primary.
+		c.modeVal.Store(memberModePrimary)
+	}
+	c.sealSeq.Store(rr.SealSeq)
+	c.walOff.Store(rr.WALOff)
+	c.setCause(rr.Cause)
+}
+
+// promote asks the member to stop following and accept writes (idempotent
+// on the server side). On success the local health view flips immediately
+// so the router can route writes without waiting for the next probe.
+func (c *shardClient) promote(ctx context.Context) error {
+	status, out, err := c.call(ctx, http.MethodPost, repl.PathPromote, nil)
+	if err != nil {
+		return c.err(err)
+	}
+	if status != http.StatusOK {
+		return c.errAt(status, errorEnvelope(status, out))
+	}
+	var pr PromoteResponse
+	if err := json.Unmarshal(out, &pr); err != nil {
+		return c.err(fmt.Errorf("decoding promote response: %w", err))
+	}
+	c.modeVal.Store(memberModePrimary)
+	c.reachable.Store(true)
+	c.ready.Store(true)
+	c.sealSeq.Store(pr.SealSeq)
+	c.walOff.Store(pr.WALOff)
+	return nil
 }
 
 // errorEnvelope extracts the "error" field of a JSON error body, falling
@@ -137,19 +256,19 @@ func errorEnvelope(status int, body []byte) error {
 	return fmt.Errorf("status %d: %s", status, bytes.TrimSpace(body))
 }
 
-// partial POSTs a pinned-window query to the shard's /v2/partial and
+// partial POSTs a pinned-window query to the member's /v2/partial and
 // decodes the per-object contribution.
 func (c *shardClient) partial(ctx context.Context, req QueryV2) (*PartialResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, c.err(err)
 	}
-	status, out, err := c.call(ctx, http.MethodPost, "/v2/partial", body, true)
+	status, out, err := c.call(ctx, http.MethodPost, "/v2/partial", body)
 	if err != nil {
 		return nil, c.err(err)
 	}
 	if status != http.StatusOK {
-		return nil, c.err(errorEnvelope(status, out))
+		return nil, c.errAt(status, errorEnvelope(status, out))
 	}
 	var p PartialResponse
 	if err := json.Unmarshal(out, &p); err != nil {
@@ -161,14 +280,14 @@ func (c *shardClient) partial(ctx context.Context, req QueryV2) (*PartialRespons
 	return &p, nil
 }
 
-// span fetches the shard table's time span.
+// span fetches the member table's time span.
 func (c *shardClient) span(ctx context.Context) (*SpanResponse, error) {
-	status, out, err := c.call(ctx, http.MethodGet, "/v2/span", nil, true)
+	status, out, err := c.call(ctx, http.MethodGet, "/v2/span", nil)
 	if err != nil {
 		return nil, c.err(err)
 	}
 	if status != http.StatusOK {
-		return nil, c.err(errorEnvelope(status, out))
+		return nil, c.errAt(status, errorEnvelope(status, out))
 	}
 	var sp SpanResponse
 	if err := json.Unmarshal(out, &sp); err != nil {
@@ -177,7 +296,7 @@ func (c *shardClient) span(ctx context.Context) (*SpanResponse, error) {
 	return &sp, nil
 }
 
-// ingest forwards a sub-batch to the shard. On a 400 the decoded
+// ingest forwards a sub-batch to the shard's primary. On a 400 the decoded
 // IngestErrorResponse is returned so the router can map the failing index
 // back to the caller's batch. Never retried (see shardClient).
 func (c *shardClient) ingest(ctx context.Context, recs []RecordJSON) (*IngestResponse, *IngestErrorResponse, error) {
@@ -185,7 +304,7 @@ func (c *shardClient) ingest(ctx context.Context, recs []RecordJSON) (*IngestRes
 	if err != nil {
 		return nil, nil, c.err(err)
 	}
-	status, out, err := c.call(ctx, http.MethodPost, "/v1/ingest", body, false)
+	status, out, err := c.call(ctx, http.MethodPost, "/v1/ingest", body)
 	if err != nil {
 		return nil, nil, c.err(err)
 	}
@@ -199,22 +318,22 @@ func (c *shardClient) ingest(ctx context.Context, recs []RecordJSON) (*IngestRes
 	case http.StatusBadRequest:
 		var rej IngestErrorResponse
 		if err := json.Unmarshal(out, &rej); err != nil || rej.Error == "" {
-			return nil, nil, c.err(errorEnvelope(status, out))
+			return nil, nil, c.errAt(status, errorEnvelope(status, out))
 		}
 		return nil, &rej, nil
 	default:
-		return nil, nil, c.err(errorEnvelope(status, out))
+		return nil, nil, c.errAt(status, errorEnvelope(status, out))
 	}
 }
 
-// stats fetches the shard's /v1/stats payload verbatim.
+// stats fetches the member's /v1/stats payload verbatim.
 func (c *shardClient) stats(ctx context.Context) (json.RawMessage, error) {
-	status, out, err := c.call(ctx, http.MethodGet, "/v1/stats", nil, true)
+	status, out, err := c.call(ctx, http.MethodGet, "/v1/stats", nil)
 	if err != nil {
 		return nil, c.err(err)
 	}
 	if status != http.StatusOK {
-		return nil, c.err(errorEnvelope(status, out))
+		return nil, c.errAt(status, errorEnvelope(status, out))
 	}
 	return json.RawMessage(out), nil
 }

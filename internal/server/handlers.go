@@ -227,6 +227,9 @@ type StatsResponse struct {
 	WAL *WALStatsJSON `json:"wal,omitempty"`
 	// Storage is present only when the durable store is partitioned.
 	Storage *StorageStatsJSON `json:"storage,omitempty"`
+	// Replication is present on replicated members: follower lag on a
+	// primary, the upstream link on a follower.
+	Replication *ReplicationStatsJSON `json:"replication,omitempty"`
 }
 
 // MonitorStatJSON describes one live monitor feed in GET /v1/stats.
@@ -377,6 +380,13 @@ func (s *Server) convertRecords(in []RecordJSON) ([]tkplq.Record, *tkplq.IngestE
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.isFollower() {
+		// A follower's table is the primary's replicated WAL and nothing
+		// else; a direct write here would diverge it from the primary
+		// byte-for-byte and poison every bit-identity guarantee.
+		s.writeFollowerRefusal(w, "ingest")
+		return
+	}
 	var req IngestRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		errorJSON(w, http.StatusBadRequest, "bad ingest request: %v", err)
@@ -445,7 +455,10 @@ func (s *Server) storeWALStats() wal.Stats {
 // snapshot runs at a time; a failure is logged and retried by the next
 // ingest that crosses the threshold.
 func (s *Server) maybeAutoSnapshot() {
-	if s.cfg.Store == nil || s.cfg.SnapshotEvery <= 0 {
+	if s.cfg.Store == nil || s.cfg.SnapshotEvery <= 0 || s.isFollower() {
+		// On a follower, seals happen only where the replication stream says
+		// they did on the primary — a local auto-seal would cut partitions
+		// at different boundaries and break byte-identity.
 		return
 	}
 	// Lock-free probe: this runs on every ingest and must not serialize
@@ -476,6 +489,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Store == nil {
 		errorJSON(w, http.StatusNotImplemented, "persistence not configured (start tkplqd with -data-dir)")
+		return
+	}
+	if s.isFollower() {
+		s.writeFollowerRefusal(w, "snapshot")
 		return
 	}
 	started := time.Now()
@@ -520,6 +537,12 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	})
 	if !ok {
 		errorJSON(w, http.StatusNotImplemented, "compaction requires partitioned storage (start tkplqd with -storage parts)")
+		return
+	}
+	if s.isFollower() {
+		// Compaction rewrites the partition file set; a follower's must
+		// stay a byte-for-byte copy of what the primary shipped.
+		s.writeFollowerRefusal(w, "compaction")
 		return
 	}
 	started := time.Now()
@@ -640,9 +663,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SnapshotsRequested: s.snapshots.Load(),
 		}
 	}
+	out.Replication = s.replicationStats()
 	writeJSON(w, out)
 }
 
+// handleHealthz is pure liveness — "the process is up and serving HTTP".
+// Routing decisions belong to /readyz, which is allowed to say no (poisoned
+// store, syncing follower) while the process is perfectly alive.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":  "ok",

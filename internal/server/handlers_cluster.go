@@ -70,16 +70,22 @@ type ClusterStatsJSON struct {
 	Coalesced   int64 `json:"coalesced"`
 	CoalesceLed int64 `json:"coalesce_led"`
 	// IngestEpoch is the routed-ingest counter that keys coalescer flights.
-	IngestEpoch int64           `json:"ingest_epoch"`
-	Shards      []ShardStatJSON `json:"shards"`
+	IngestEpoch int64 `json:"ingest_epoch"`
+	// Failovers counts primary changes (promotions and adoptions) across
+	// all shards since the router started.
+	Failovers int64           `json:"failovers"`
+	Shards    []ShardStatJSON `json:"shards"`
 }
 
 // ShardStatJSON is one shard's health and client counters in a router's
 // GET /v1/stats, with the shard's own stats payload embedded verbatim when
 // it is reachable.
 type ShardStatJSON struct {
-	Shard         int             `json:"shard"`
-	Addr          string          `json:"addr"`
+	Shard int `json:"shard"`
+	// Addr is the shard's current primary — the member ingest goes to.
+	Addr string `json:"addr"`
+	// Primary is that member's index within the replica set.
+	Primary       int             `json:"primary"`
 	Healthy       bool            `json:"healthy"`
 	Error         string          `json:"error,omitempty"`
 	Requests      int64           `json:"requests"`
@@ -87,6 +93,26 @@ type ShardStatJSON struct {
 	Retries       int64           `json:"retries"`
 	LastLatencyMS float64         `json:"last_latency_ms"`
 	Stats         json.RawMessage `json:"stats,omitempty"`
+	// Members reports the health loop's per-member view of the replica set.
+	Members []MemberHealthJSON `json:"members,omitempty"`
+}
+
+// MemberHealthJSON is the router health loop's view of one replica-set
+// member, as learned from its /readyz.
+type MemberHealthJSON struct {
+	Member    int    `json:"member"`
+	Addr      string `json:"addr"`
+	Primary   bool   `json:"primary"`
+	Reachable bool   `json:"reachable"`
+	Ready     bool   `json:"ready"`
+	Mode      string `json:"mode,omitempty"`
+	SealSeq   uint64 `json:"seal_seq"`
+	WALOff    int64  `json:"wal_off"`
+	Requests  int64  `json:"requests"`
+	Errors    int64  `json:"errors"`
+	Retries   int64  `json:"retries"`
+	// Cause is the last probe's not-ready cause, empty when ready.
+	Cause string `json:"cause,omitempty"`
 }
 
 // ShardStatsJSON is the `shard` section of a shard's GET /v1/stats.

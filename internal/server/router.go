@@ -12,42 +12,300 @@ import (
 	"tkplq/internal/cluster"
 	"tkplq/internal/core"
 	"tkplq/internal/iupt"
+	"tkplq/internal/retry"
 )
 
+// DefaultHealthInterval paces the router's /readyz probe loop when
+// Config.HealthInterval is zero.
+const DefaultHealthInterval = time.Second
+
+// probeTimeout bounds one /readyz probe; probes must stay far cheaper than
+// the interval so a hung member cannot stall the loop.
+const probeTimeout = 2 * time.Second
+
+// failoverThreshold is how many consecutive failed/not-ready probes of a
+// shard's primary trigger promotion of a follower. Two probes distinguish a
+// dead process from one blip.
+const failoverThreshold = 2
+
 // Router is the fan-out/fan-in half of a distributed tkplq cluster. It owns
-// one shardClient per topology member and answers queries by collecting the
-// shards' per-object partial contributions (/v2/partial) and merging them in
-// canonical ascending-object order before ranking — the same additions in
-// the same order as a standalone process over the union table, so every
-// answer is bit-identical to single-node evaluation (see internal/core's
-// partial machinery and the PR-1 determinism contract).
+// one shardClient per replica-set member and answers queries by collecting
+// the shards' per-object partial contributions (/v2/partial) and merging
+// them in canonical ascending-object order before ranking — the same
+// additions in the same order as a standalone process over the union table,
+// so every answer is bit-identical to single-node evaluation (see
+// internal/core's partial machinery and the PR-1 determinism contract).
 //
 // The router holds no records itself: its engine exists only for query
 // validation, ranking and the density area division, all of which depend on
 // the space alone. Identical concurrent fan-outs dedupe through a
 // core.QueryCoalescer whose epoch the router bumps on every routed ingest,
 // so a query racing an ingest never joins a pre-ingest flight.
+//
+// With replicated shards (topology entries listing [primary, follower...]),
+// a background loop probes every member's /readyz: idempotent reads
+// load-balance round-robin across the shard's ready members and retry
+// across them under the shared backoff policy; ingest goes to the current
+// primary only and is never retried (a lost response may have been
+// applied). When a primary stays not-ready for failoverThreshold probes,
+// the router promotes the most-caught-up reachable follower (POST
+// /v2/promote, comparing (seal_seq, wal_off)) and swings the shard's writes
+// to it — so kill -9 of any single member leaves the cluster serving.
 type Router struct {
-	topo    *cluster.Topology
-	eng     *core.Engine
-	clients []*shardClient
-	coal    *core.QueryCoalescer
-	epoch   atomic.Int64
+	topo   *cluster.Topology
+	eng    *core.Engine
+	groups []*shardGroup
+	coal   *core.QueryCoalescer
+	epoch  atomic.Int64
+	retry  retry.Policy
+	logf   func(format string, args ...any)
+
+	healthEvery time.Duration
+	healthPoke  chan struct{}
+	healthStop  chan struct{}
+	healthDone  chan struct{}
+	stopOnce    sync.Once
 
 	fanOuts     atomic.Int64
 	shardErrors atomic.Int64
+	failovers   atomic.Int64
 }
 
-func newRouter(topo *cluster.Topology, sys *tkplq.System, timeout time.Duration) *Router {
-	rt := &Router{
-		topo: topo,
-		eng:  core.NewEngine(sys.Space(), core.Options{}),
-		coal: core.NewQueryCoalescer(),
+// shardGroup is one shard's replica set: its member clients and the
+// router's current belief about which of them is the primary.
+type shardGroup struct {
+	index   int
+	members []*shardClient
+	primary atomic.Int32 // index into members
+	rr      atomic.Uint32
+	fails   int // consecutive bad primary probes; health loop only
+}
+
+func (g *shardGroup) primaryClient() *shardClient {
+	return g.members[g.primary.Load()]
+}
+
+// candidates orders the group's members for one idempotent read: ready
+// members first, rotated round-robin so reads spread across caught-up
+// replicas, then the rest as a last resort (health state may be stale).
+func (g *shardGroup) candidates() []*shardClient {
+	n := len(g.members)
+	if n == 1 {
+		return g.members
 	}
+	start := int(g.rr.Add(1)) % n
+	ready := make([]*shardClient, 0, n)
+	var rest []*shardClient
+	for k := 0; k < n; k++ {
+		c := g.members[(start+k)%n]
+		if c.ready.Load() {
+			ready = append(ready, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return append(ready, rest...)
+}
+
+func newRouter(topo *cluster.Topology, sys *tkplq.System, timeout time.Duration, pol retry.Policy, healthEvery time.Duration, logf func(string, ...any)) *Router {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		topo:  topo,
+		eng:   core.NewEngine(sys.Space(), core.Options{}),
+		coal:  core.NewQueryCoalescer(),
+		retry: pol,
+		logf:  logf,
+	}
+	multi := false
 	for i := 0; i < topo.NumShards(); i++ {
-		rt.clients = append(rt.clients, newShardClient(i, topo.Addr(i), timeout))
+		g := &shardGroup{index: i}
+		for m := 0; m < topo.NumMembers(i); m++ {
+			c := newShardClient(i, m, topo.Member(i, m), timeout)
+			if m == 0 {
+				// Until the first probe says otherwise, member 0 is the
+				// primary and the only member trusted with reads — a
+				// follower mid-bootstrap must not serve an empty table.
+				c.ready.Store(true)
+				c.modeVal.Store(memberModePrimary)
+			}
+			g.members = append(g.members, c)
+		}
+		if len(g.members) > 1 {
+			multi = true
+		}
+		rt.groups = append(rt.groups, g)
+	}
+	if healthEvery == 0 {
+		healthEvery = DefaultHealthInterval
+	}
+	rt.healthEvery = healthEvery
+	if healthEvery > 0 && multi {
+		rt.healthPoke = make(chan struct{}, 1)
+		rt.healthStop = make(chan struct{})
+		rt.healthDone = make(chan struct{})
+		go rt.healthLoop()
 	}
 	return rt
+}
+
+// stop terminates the health loop (idempotent; no-op when it never ran).
+func (rt *Router) stop() {
+	rt.stopOnce.Do(func() {
+		if rt.healthStop != nil {
+			close(rt.healthStop)
+			<-rt.healthDone
+		}
+	})
+}
+
+// pokeHealth nudges the health loop to probe now instead of at the next
+// tick — called when a request just watched a member fail, so failover
+// detection does not wait out the interval.
+func (rt *Router) pokeHealth() {
+	if rt.healthPoke == nil {
+		return
+	}
+	select {
+	case rt.healthPoke <- struct{}{}:
+	default:
+	}
+}
+
+// healthLoop probes every member's /readyz each interval and drives
+// failover. It is the only writer of shardGroup.fails and the only caller
+// of promote, so failover decisions are serialized.
+func (rt *Router) healthLoop() {
+	defer close(rt.healthDone)
+	t := time.NewTicker(rt.healthEvery)
+	defer t.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-rt.healthStop
+		cancel()
+	}()
+	for {
+		select {
+		case <-rt.healthStop:
+			return
+		case <-t.C:
+		case <-rt.healthPoke:
+		}
+		var wg sync.WaitGroup
+		for _, g := range rt.groups {
+			for _, c := range g.members {
+				wg.Add(1)
+				go func(c *shardClient) {
+					defer wg.Done()
+					c.probe(ctx)
+				}(c)
+			}
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return
+		}
+		for _, g := range rt.groups {
+			rt.maybeFailover(ctx, g)
+		}
+	}
+}
+
+// maybeFailover inspects one group's fresh probe results and, when the
+// primary is gone, promotes the best follower. If another member already
+// claims primary mode (an operator promoted it, or a previous failover
+// partially completed), the router adopts it instead of promoting twice.
+func (rt *Router) maybeFailover(ctx context.Context, g *shardGroup) {
+	if len(g.members) == 1 {
+		return
+	}
+	cur := int(g.primary.Load())
+	p := g.members[cur]
+	if p.modeVal.Load() != memberModePrimary {
+		for i, c := range g.members {
+			if i != cur && c.reachable.Load() && c.modeVal.Load() == memberModePrimary {
+				g.primary.Store(int32(i))
+				g.fails = 0
+				rt.failovers.Add(1)
+				rt.logf("server: router adopted shard %d primary %s (was %s)", g.index, c.addr, p.addr)
+				return
+			}
+		}
+	}
+	if p.ready.Load() {
+		g.fails = 0
+		return
+	}
+	g.fails++
+	if g.fails < failoverThreshold {
+		return
+	}
+	best := -1
+	bestReady := false
+	for i, c := range g.members {
+		if i == cur || !c.reachable.Load() {
+			continue
+		}
+		r := c.ready.Load()
+		switch {
+		case best == -1, r && !bestReady:
+			best, bestReady = i, r
+		case r == bestReady && c.aheadOf(g.members[best]):
+			best, bestReady = i, r
+		}
+	}
+	if best == -1 {
+		return // nothing reachable to promote; keep trying next tick
+	}
+	b := g.members[best]
+	if err := b.promote(ctx); err != nil {
+		rt.logf("server: router failover of shard %d to %s failed: %v", g.index, b.addr, err)
+		return
+	}
+	g.primary.Store(int32(best))
+	g.fails = 0
+	rt.failovers.Add(1)
+	rt.logf("server: router failed shard %d over %s -> %s (seal %d, wal off %d)",
+		g.index, p.addr, b.addr, b.sealSeq.Load(), b.walOff.Load())
+}
+
+// readMember runs one idempotent call against a shard's replica set:
+// candidates in load-balanced order, retrying across them under the shared
+// backoff policy. A non-retryable answer (4xx — the request itself is bad)
+// returns immediately; transport failures and 5xx mark the member not-ready
+// and move on. Ingest must never go through here.
+func readMember[T any](ctx context.Context, rt *Router, g *shardGroup, f func(ctx context.Context, c *shardClient) (T, error)) (T, error) {
+	var zero T
+	cands := g.candidates()
+	attempts := rt.retry.MaxAttempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := rt.retry.Sleep(ctx, attempt); err != nil {
+				break
+			}
+		}
+		c := cands[attempt%len(cands)]
+		if attempt > 0 {
+			c.retried.Add(1)
+		}
+		out, err := f(ctx, c)
+		if err == nil {
+			return out, nil
+		}
+		if !retryableShardError(err) {
+			return zero, err
+		}
+		lastErr = err
+		c.ready.Store(false)
+		rt.pokeHealth()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return zero, lastErr
 }
 
 // kindNames is the reverse of the kinds map, for re-encoding fan-out queries.
@@ -96,30 +354,33 @@ func corePartial(pr *PartialResponse) *core.Partial {
 	return p
 }
 
-// fanPartials collects every shard's partial for q concurrently. The first
-// shard failure cancels the remaining legs and is returned as a *shardError
-// naming the shard; when several legs fail, a real failure wins over one
-// induced by the cancellation.
-func (rt *Router) fanPartials(ctx context.Context, q tkplq.Query, clients []*shardClient) ([]*core.Partial, error) {
+// fanPartials collects every shard's partial for q concurrently, each leg
+// retrying across its shard's replica set. The first shard whose whole
+// replica set fails cancels the remaining legs and is returned as a
+// *shardError naming the shard; when several legs fail, a real failure wins
+// over one induced by the cancellation.
+func (rt *Router) fanPartials(ctx context.Context, q tkplq.Query) ([]*core.Partial, error) {
 	rt.fanOuts.Add(1)
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	parts := make([]*core.Partial, len(clients))
-	errs := make([]error, len(clients))
+	parts := make([]*core.Partial, len(rt.groups))
+	errs := make([]error, len(rt.groups))
 	req := wireQuery(q)
 	var wg sync.WaitGroup
-	for i, c := range clients {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int, c *shardClient) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
-			pr, err := c.partial(fctx, req)
+			pr, err := readMember(fctx, rt, g, func(ctx context.Context, c *shardClient) (*PartialResponse, error) {
+				return c.partial(ctx, req)
+			})
 			if err != nil {
 				errs[i] = err
 				cancel()
 				return
 			}
 			parts[i] = corePartial(pr)
-		}(i, c)
+		}(i, g)
 	}
 	wg.Wait()
 	if err := firstShardError(ctx, errs); err != nil {
@@ -154,7 +415,7 @@ func firstShardError(ctx context.Context, errs []error) error {
 
 // fanMerged fans q to all shards and merges the partials.
 func (rt *Router) fanMerged(ctx context.Context, q tkplq.Query) (*core.Partial, error) {
-	parts, err := rt.fanPartials(ctx, q, rt.clients)
+	parts, err := rt.fanPartials(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -166,15 +427,17 @@ func (rt *Router) fanMerged(ctx context.Context, q tkplq.Query) (*core.Partial, 
 // across shards. Every shard must answer — a missing shard could hold the
 // newest records, and guessing would silently change the query's meaning.
 func (rt *Router) endOfData(ctx context.Context) (tkplq.Time, error) {
-	spans := make([]*SpanResponse, len(rt.clients))
-	errs := make([]error, len(rt.clients))
+	spans := make([]*SpanResponse, len(rt.groups))
+	errs := make([]error, len(rt.groups))
 	var wg sync.WaitGroup
-	for i, c := range rt.clients {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int, c *shardClient) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
-			spans[i], errs[i] = c.span(ctx)
-		}(i, c)
+			spans[i], errs[i] = readMember(ctx, rt, g, func(ctx context.Context, c *shardClient) (*SpanResponse, error) {
+				return c.span(ctx)
+			})
+		}(i, g)
 	}
 	wg.Wait()
 	if err := firstShardError(ctx, errs); err != nil {
@@ -206,9 +469,12 @@ func clampK(q tkplq.Query) int {
 // ranks. Identical concurrent fan-outs coalesce onto one evaluation.
 func (rt *Router) Do(ctx context.Context, q tkplq.Query) (*tkplq.Response, error) {
 	if q.Kind == tkplq.KindPresence {
-		c := rt.clients[rt.topo.ShardOf(q.OID)]
+		g := rt.groups[rt.topo.ShardOf(q.OID)]
 		rt.fanOuts.Add(1)
-		pr, err := c.partial(ctx, wireQuery(q))
+		req := wireQuery(q)
+		pr, err := readMember(ctx, rt, g, func(ctx context.Context, c *shardClient) (*PartialResponse, error) {
+			return c.partial(ctx, req)
+		})
 		if err != nil {
 			rt.shardErrors.Add(1)
 			return nil, err
@@ -277,13 +543,15 @@ func (rt *Router) DoBatch(ctx context.Context, qs []tkplq.Query) ([]*tkplq.Respo
 // shardIngestOutcome is one shard's result of a routed ingest.
 type shardIngestOutcome struct {
 	sent int
+	addr string
 	ok   *IngestResponse
 	rej  *IngestErrorResponse
 	err  error
 }
 
 // ingest splits the batch by owning shard, forwards the sub-batches
-// concurrently, and composes the outcome:
+// concurrently — each to its shard's current primary, never retried, never
+// to a follower — and composes the outcome:
 //
 //   - every shard applied → 200 RouterIngestResponse
 //   - a shard rejected its sub-batch and nothing was applied anywhere → 400
@@ -295,7 +563,9 @@ type shardIngestOutcome struct {
 //
 // Shard sub-batches are atomic (System.Ingest validates before appending),
 // but the cluster batch is not: the envelope, not a rollback, is the
-// partial-failure contract.
+// partial-failure contract. A failed leg pokes the health loop so failover
+// runs promptly; the client owns the decision to re-send (the batch may
+// have been applied even though the response was lost).
 func (rt *Router) ingest(ctx context.Context, recs []RecordJSON) (int, any) {
 	n := rt.topo.NumShards()
 	byShard := make([][]RecordJSON, n)
@@ -317,7 +587,12 @@ func (rt *Router) ingest(ctx context.Context, recs []RecordJSON) (int, any) {
 			defer wg.Done()
 			o := &outcomes[i]
 			o.sent = len(byShard[i])
-			o.ok, o.rej, o.err = rt.clients[i].ingest(ctx, byShard[i])
+			c := rt.groups[i].primaryClient()
+			o.addr = c.addr
+			o.ok, o.rej, o.err = c.ingest(ctx, byShard[i])
+			if o.err != nil {
+				rt.pokeHealth()
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -332,7 +607,7 @@ func (rt *Router) ingest(ctx context.Context, recs []RecordJSON) (int, any) {
 		if o.sent == 0 {
 			continue
 		}
-		row := ShardIngestJSON{Shard: i, Addr: rt.topo.Addr(i), Sent: o.sent}
+		row := ShardIngestJSON{Shard: i, Addr: o.addr, Sent: o.sent}
 		switch {
 		case o.ok != nil:
 			row.Ingested = o.ok.Ingested
@@ -383,34 +658,37 @@ func (rt *Router) ingest(ctx context.Context, recs []RecordJSON) (int, any) {
 			resp.Error = fmt.Sprintf("partial ingest: %d of %d records applied; %v", applied, len(recs), firstErr)
 		} else {
 			resp.Error = fmt.Sprintf("partial ingest: %d of %d records applied; shard %d (%s) rejected record %d: %s",
-				applied, len(recs), firstRejShard, rt.topo.Addr(firstRejShard),
+				applied, len(recs), firstRejShard, outcomes[firstRejShard].addr,
 				origIdx[firstRejShard][firstRej.Index], firstRej.Error)
 		}
 		return 502, resp
 	}
 }
 
-// clusterStats collects the router counters and every shard's own stats.
-// A dead shard does not fail the call: it is reported unhealthy with its
-// error, because /v1/stats is exactly the endpoint an operator reaches for
-// when a shard is down.
+// clusterStats collects the router counters, every member's health-loop
+// view, and the current primaries' own stats. A dead member does not fail
+// the call: it is reported unhealthy with its error, because /v1/stats is
+// exactly the endpoint an operator reaches for when a shard is down.
 func (rt *Router) clusterStats(ctx context.Context) ClusterStatsJSON {
 	out := ClusterStatsJSON{
 		FanOuts:     rt.fanOuts.Load(),
 		ShardErrors: rt.shardErrors.Load(),
+		Failovers:   rt.failovers.Load(),
 		IngestEpoch: rt.epoch.Load(),
-		Shards:      make([]ShardStatJSON, len(rt.clients)),
+		Shards:      make([]ShardStatJSON, len(rt.groups)),
 	}
 	out.Coalesced, out.CoalesceLed = rt.coal.Counts()
 	var wg sync.WaitGroup
-	for i, c := range rt.clients {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int, c *shardClient) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
+			c := g.primaryClient()
 			raw, err := c.stats(ctx)
 			row := &out.Shards[i]
 			row.Shard = i
 			row.Addr = c.addr
+			row.Primary = int(g.primary.Load())
 			if err != nil {
 				row.Error = err.Error()
 			} else {
@@ -421,7 +699,23 @@ func (rt *Router) clusterStats(ctx context.Context) ClusterStatsJSON {
 			row.Errors = c.errs.Load()
 			row.Retries = c.retried.Load()
 			row.LastLatencyMS = float64(c.lastLatency.Load()) / 1000
-		}(i, c)
+			for m, mc := range g.members {
+				row.Members = append(row.Members, MemberHealthJSON{
+					Member:    m,
+					Addr:      mc.addr,
+					Primary:   m == int(g.primary.Load()),
+					Reachable: mc.reachable.Load(),
+					Ready:     mc.ready.Load(),
+					Mode:      mc.modeName(),
+					SealSeq:   mc.sealSeq.Load(),
+					WALOff:    mc.walOff.Load(),
+					Requests:  mc.requests.Load(),
+					Errors:    mc.errs.Load(),
+					Retries:   mc.retried.Load(),
+					Cause:     mc.probeCause(),
+				})
+			}
+		}(i, g)
 	}
 	wg.Wait()
 	return out

@@ -48,6 +48,8 @@ import (
 
 	"tkplq"
 	"tkplq/internal/cluster"
+	"tkplq/internal/repl"
+	"tkplq/internal/retry"
 )
 
 // Serving roles. A standalone server owns the whole table; a shard owns one
@@ -114,6 +116,18 @@ type Config struct {
 	// ShardTimeout bounds one router→shard attempt; DefaultShardTimeout when
 	// zero (router role only).
 	ShardTimeout time.Duration
+	// Retry is the backoff schedule for idempotent read retries across a
+	// shard's replica set (router role). The zero value applies the retry
+	// package defaults. Ingest is never retried.
+	Retry retry.Policy
+	// HealthInterval paces the router's /readyz probe loop over every
+	// topology member; DefaultHealthInterval when zero, < 0 disables the
+	// loop (no load-balancing updates, no failover). Router role only.
+	HealthInterval time.Duration
+	// Replication wires per-shard replication (shard/standalone roles): the
+	// primary-side stream source and, on a member booted as a replica, the
+	// follower whose promotion flips the serving mode.
+	Replication *ReplConfig
 }
 
 // DefaultRequestTimeout bounds request handling when Config.RequestTimeout
@@ -134,6 +148,7 @@ type Server struct {
 	router  *Router // non-nil in the router role
 
 	ownershipRejects atomic.Int64 // shard role: ingest records refused as not-owned
+	following        atomic.Bool  // replica booted as a follower and not yet promoted
 
 	queries         atomic.Int64
 	queryErrors     atomic.Int64
@@ -185,9 +200,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown role %q (want %s, %s or %s)",
 			cfg.Role, RoleStandalone, RoleShard, RoleRouter)
 	}
+	if cfg.Replication != nil && cfg.Role == RoleRouter {
+		return nil, errors.New("server: the router role does not replicate (Replication is for shard/standalone members)")
+	}
 	s := &Server{sys: cfg.System, cfg: cfg, started: time.Now()}
+	if cfg.Replication != nil && cfg.Replication.Follower != nil {
+		s.following.Store(true)
+	}
 	if cfg.Role == RoleRouter {
-		s.router = newRouter(cfg.Topology, cfg.System, cfg.ShardTimeout)
+		s.router = newRouter(cfg.Topology, cfg.System, cfg.ShardTimeout, cfg.Retry, cfg.HealthInterval, cfg.Logf)
 	}
 
 	// Explicit method checks (rather than Go 1.22 method patterns) so a
@@ -204,6 +225,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v2/span", s.method(http.MethodGet, s.handleSpan))
 	mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/readyz", s.method(http.MethodGet, s.handleReadyz))
+	mux.HandleFunc(repl.PathReplicate, s.method(http.MethodPost, s.handleReplicate))
+	mux.HandleFunc(repl.PathReplicateAck, s.method(http.MethodPost, s.handleReplicateAck))
+	mux.HandleFunc(repl.PathPromote, s.method(http.MethodPost, s.handlePromote))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
@@ -283,5 +308,13 @@ func (s *Server) Serve() error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cfg.Logf("server: shutting down (%d queries, %d records ingested)",
 		s.queries.Load(), s.recordsIngested.Load())
+	if s.router != nil {
+		s.router.stop()
+	}
+	if rc := s.cfg.Replication; rc != nil && rc.Source != nil {
+		// The replication streams are active handlers that never end on
+		// their own; cancel them or httpSrv.Shutdown waits out its budget.
+		rc.Source.Shutdown()
+	}
 	return s.httpSrv.Shutdown(ctx)
 }

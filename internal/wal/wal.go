@@ -84,6 +84,13 @@ type Options struct {
 	// Open neither reads nor writes them in this mode, and Snapshot must
 	// not be called on the store — rotate with RotateAfterCommit instead.
 	Base func(dir string) (*iupt.Table, uint64, error)
+	// KeepSegments retains that many rotated-out segments on disk instead
+	// of deleting them at rotation (0 = delete immediately, the historical
+	// behavior). Retained segments are subsumed by committed artifacts and
+	// are never replayed on Open; they exist so a replication source can
+	// stream recent history to a briefly-disconnected follower without a
+	// full re-bootstrap.
+	KeepSegments int
 }
 
 // Stats is a snapshot of a Store's lifetime counters. Recovered* and
@@ -170,10 +177,17 @@ type Store struct {
 	seg    *os.File
 	lock   *os.File // flock'd lock file guarding the directory
 	seq    uint64   // current snapshot/segment sequence
+	segOff int64    // committed byte length of the active segment
 	dirty  bool     // segment has writes not yet fsynced
 	closed bool
 	failed error // poisoned: rotation failed past the snapshot commit point
 	stats  Stats
+
+	// watchers are poked (non-blocking) after every appended frame and
+	// every rotation so a replication source tailing the segment files can
+	// sleep until there is new committed log to read.
+	watchers  map[uint64]chan struct{}
+	nextWatch uint64
 
 	// sinceSnap mirrors stats.SinceSnapshot as an atomic so hot paths (the
 	// server probes it per ingest) can read it without taking mu.
@@ -266,19 +280,24 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 		}
 	}
 	// Segments older than the snapshot are fully contained in it: a crash
-	// between snapshot commit and cleanup leaves them behind. Drop them.
+	// between snapshot commit and cleanup leaves them behind. Drop the ones
+	// outside the replication retention window; retained ones stay on disk
+	// for catch-up streaming but are never replayed.
 	for seq, path := range segments {
-		if seq < snapSeq {
+		if seq < snapSeq && snapSeq-seq > uint64(opts.KeepSegments) {
 			_ = os.Remove(path)
 			delete(segments, seq)
 		}
 	}
 
-	// Replay surviving segments in sequence order. Normally exactly one
-	// (seq == snapSeq) exists; tolerate a torn tail only in the last.
+	// Replay surviving segments from the base cut on, in sequence order.
+	// Normally exactly one (seq == snapSeq) exists; tolerate a torn tail
+	// only in the last.
 	var segSeqs []uint64
 	for seq := range segments {
-		segSeqs = append(segSeqs, seq)
+		if seq >= snapSeq {
+			segSeqs = append(segSeqs, seq)
+		}
 	}
 	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
 	s.seq = snapSeq
@@ -319,6 +338,12 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
+		fi, err := s.seg.Stat()
+		if err != nil {
+			s.seg.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		s.segOff = fi.Size()
 	} else {
 		if s.seg, err = createSegment(segPath); err != nil {
 			return nil, nil, err
@@ -326,6 +351,7 @@ func Open(opts Options) (*Store, *iupt.Table, error) {
 		if err := syncDir(opts.Dir); err != nil {
 			return nil, nil, err
 		}
+		s.segOff = segHdrLen
 	}
 
 	if opts.Policy == SyncInterval {
@@ -436,6 +462,7 @@ func (s *Store) AppendBatch(recs []iupt.Record) error {
 		s.failed = fmt.Errorf("wal: append wrote a partial frame: %w", err)
 		return s.failed
 	}
+	s.segOff += int64(len(frame))
 	s.stats.Frames++
 	s.stats.Records += int64(len(recs))
 	s.stats.SinceSnapshot += int64(len(recs))
@@ -453,6 +480,7 @@ func (s *Store) AppendBatch(recs []iupt.Record) error {
 	} else {
 		s.dirty = true
 	}
+	s.notifyLocked()
 	return nil
 }
 
@@ -532,18 +560,23 @@ func (s *Store) rotateLocked(newSeq uint64) error {
 		return s.failed
 	}
 	old := s.seg
-	oldSeq := s.seq
 	s.seg = seg
 	s.seq = newSeq
+	s.segOff = segHdrLen
 	s.dirty = false
 	s.stats.Snapshots++
 	s.stats.SnapshotSeq = newSeq
 	s.stats.SinceSnapshot = 0
 	s.sinceSnap.Store(0)
-	// Cleanup is best-effort: the old segment is subsumed by artifact newSeq
-	// and removed by the next Open.
+	// Cleanup is best-effort: rotated-out segments are subsumed by artifact
+	// newSeq and removed by the next Open. With KeepSegments > 0 the most
+	// recent ones stay behind for replication catch-up; in steady state one
+	// segment leaves the window per rotation.
 	_ = old.Close()
-	_ = os.Remove(filepath.Join(s.dir, segmentName(oldSeq)))
+	if drop := int64(newSeq) - int64(s.opts.KeepSegments) - 1; drop >= 0 {
+		_ = os.Remove(filepath.Join(s.dir, segmentName(uint64(drop))))
+	}
+	s.notifyLocked()
 	if err := syncDir(s.dir); err != nil {
 		// The new segment's dirent may not be durable: a machine crash
 		// could recover artifact newSeq without the segment, losing frames
@@ -682,6 +715,154 @@ func (s *Store) Close() error {
 	}
 	unlockDir(s.lock)
 	return err
+}
+
+// --- Replication hooks -----------------------------------------------------
+//
+// internal/repl streams a primary's committed log to followers byte for
+// byte: the source tails the segment files (never past Position), followers
+// re-append the decoded batches through their own store, and because
+// encodeBatch is deterministic and every batch is exactly one frame, a
+// caught-up follower's segment is bit-identical to the primary's.
+
+// SegmentHeaderLen is the length of the segment file header ("TKWL" +
+// version), the offset of the first frame in every segment.
+const SegmentHeaderLen = segHdrLen
+
+// Position returns the committed write position: the active segment's
+// sequence and its byte length including every fully-appended frame. Readers
+// of the segment file must never read past the returned offset — bytes
+// beyond it may be a frame mid-write.
+func (s *Store) Position() (seq uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq, s.segOff
+}
+
+// Failed returns the poison error, or nil while the store accepts writes.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// SegmentPath returns the path of the segment with the given sequence
+// (which need not exist).
+func (s *Store) SegmentPath(seq uint64) string {
+	return filepath.Join(s.dir, segmentName(seq))
+}
+
+// Watch registers a wakeup channel poked (non-blocking, so a slow consumer
+// coalesces pokes) after every appended frame and every rotation. The
+// returned cancel must be called to unregister.
+func (s *Store) Watch() (<-chan struct{}, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watchers == nil {
+		s.watchers = make(map[uint64]chan struct{})
+	}
+	id := s.nextWatch
+	s.nextWatch++
+	ch := make(chan struct{}, 1)
+	s.watchers[id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		delete(s.watchers, id)
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyLocked pokes every watcher. Callers must hold s.mu.
+func (s *Store) notifyLocked() {
+	for _, ch := range s.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ErrPartialFrame reports that a buffer ends mid-frame: more bytes are
+// needed before the first frame is complete.
+var ErrPartialFrame = errors.New("wal: partial frame")
+
+// NextFrame validates the first frame in data (which must start at a frame
+// boundary) and returns its total length, header included. It returns
+// ErrPartialFrame when data ends mid-frame and a hard error for a garbage
+// length or CRC mismatch.
+func NextFrame(data []byte) (int, error) {
+	if len(data) < frameHdrLen {
+		return 0, ErrPartialFrame
+	}
+	plen := int64(binary.LittleEndian.Uint32(data))
+	if plen > maxFrameLen {
+		return 0, fmt.Errorf("wal: frame length %d exceeds the %d-byte bound", plen, maxFrameLen)
+	}
+	total := frameHdrLen + int(plen)
+	if len(data) < total {
+		return 0, ErrPartialFrame
+	}
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if crc32.Checksum(data[frameHdrLen:total], crcTable) != crc {
+		return 0, errors.New("wal: frame CRC mismatch")
+	}
+	return total, nil
+}
+
+// DecodeFrame parses one complete frame (header + payload) back into its
+// batch, verifying length and CRC.
+func DecodeFrame(frame []byte) ([]iupt.Record, error) {
+	total, err := NextFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if total != len(frame) {
+		return nil, fmt.Errorf("wal: frame is %d bytes, buffer holds %d", total, len(frame))
+	}
+	return decodeBatch(frame[frameHdrLen:total])
+}
+
+// ScanSegment walks a segment file without applying it: it returns the byte
+// length of the valid frame prefix (header included), the CRC32C of those
+// prefix bytes, and the number of complete frames. A torn or corrupt tail
+// simply ends the prefix. A follower's bootstrap scans its directory with
+// this to report a durable (offset, checksum) position the primary can
+// verify before resuming the stream mid-segment.
+func ScanSegment(path string) (validOff int64, crc uint32, frames int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(data) < segHdrLen || string(data[:4]) != segMagic ||
+		binary.LittleEndian.Uint16(data[4:6]) != segVersion {
+		return 0, 0, 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	off := int64(segHdrLen)
+	for off < int64(len(data)) {
+		n, err := NextFrame(data[off:])
+		if err != nil {
+			break
+		}
+		off += int64(n)
+		frames++
+	}
+	return off, crc32.Checksum(data[:off], crcTable), frames, nil
+}
+
+// PrefixCRC returns the CRC32C of the segment file's first n bytes, or an
+// error if the file is shorter. The replication source uses it to check
+// that a follower's reported position is a byte-identical prefix of its own
+// segment before resuming the stream there.
+func PrefixCRC(path string, n int64) (uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if int64(len(data)) < n {
+		return 0, fmt.Errorf("wal: %s is %d bytes, shorter than prefix %d", path, len(data), n)
+	}
+	return crc32.Checksum(data[:n], crcTable), nil
 }
 
 // encodeBatch renders one batch as a frame payload: record count, then each

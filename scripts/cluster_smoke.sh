@@ -7,6 +7,12 @@
 # degrade with the structured 503 naming that shard, keep serving
 # single-shard presence reads from the survivor, and recover full fan-outs
 # (same bytes as before the crash) once the shard restarts from its WAL.
+#
+# Phase 2 runs the replicated topology: each shard gets a WAL-shipped
+# follower, and kill -9 of a primary must leave the router serving the same
+# bytes with zero recovery action — reads retry onto the synced follower,
+# the health loop promotes it, ingest resumes on the new primary, and the
+# old primary rejoins as a follower without a full resync.
 # Run from the repo root (CI runs `make smoke-cluster`).
 set -euo pipefail
 
@@ -162,5 +168,147 @@ if [ "${AFTER_CRASH}" != "${BEFORE_CRASH}" ]; then
     echo "shard restart changed the answer:"
     echo "before: ${BEFORE_CRASH}"; echo "after:  ${AFTER_CRASH}"; exit 1
 fi
+
+###############################################################################
+# Phase 2: replicated shards — kill a primary, keep serving the same bytes.
+###############################################################################
+
+S0A_ADDR="127.0.0.1:$((BASE_PORT + 4))"
+S0B_ADDR="127.0.0.1:$((BASE_PORT + 5))"
+S1A_ADDR="127.0.0.1:$((BASE_PORT + 6))"
+S1B_ADDR="127.0.0.1:$((BASE_PORT + 7))"
+ROUTER2_ADDR="127.0.0.1:$((BASE_PORT + 8))"
+SOLO2_ADDR="127.0.0.1:$((BASE_PORT + 9))"
+
+# wait_ready ADDR LOG blocks until /readyz answers 200 — for a follower that
+# means bootstrapped AND caught up to the primary's committed position.
+wait_ready() {
+    local addr=$1 log=$2
+    for i in $(seq 1 200); do
+        if curl -fsS "http://${addr}/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if [ "$i" -eq 200 ]; then
+            echo "daemon on ${addr} never became ready:"; cat "${log}"; exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# compare2 STAGE checks every query answers byte-identically on router 2 vs
+# the phase-2 standalone.
+compare2() {
+    local stage=$1
+    for q in "${QUERIES[@]}"; do
+        WANT=$(query "${SOLO2_ADDR}" "${q}")
+        GOT=$(query "${ROUTER2_ADDR}" "${q}")
+        if [ "${GOT}" != "${WANT}" ]; then
+            echo "router diverged (${stage}) on ${q}:"
+            echo "want ${WANT}"; echo "got  ${GOT}"; exit 1
+        fi
+    done
+}
+
+echo "== phase 2: replicated topology (2 shards x 2 replicas)"
+cat > "${WORKDIR}/topology-repl.json" <<EOF
+{"shards":[["${S0A_ADDR}","${S0B_ADDR}"],["${S1A_ADDR}","${S1B_ADDR}"]]}
+EOF
+
+REPL_ARGS=(-dataset syn -topology "${WORKDIR}/topology-repl.json" -storage parts \
+    -fsync always -repl-heartbeat 100ms)
+"${WORKDIR}/tkplqd" -addr "${S0A_ADDR}" -role shard -shard-index 0 \
+    -iupt "${WORKDIR}/smoke.csv" -data-dir "${WORKDIR}/s0a" "${REPL_ARGS[@]}" \
+    > "${WORKDIR}/s0a.log" 2>&1 &
+S0A_PID=$!
+PIDS+=("${S0A_PID}")
+"${WORKDIR}/tkplqd" -addr "${S1A_ADDR}" -role shard -shard-index 1 \
+    -iupt "${WORKDIR}/smoke.csv" -data-dir "${WORKDIR}/s1a" "${REPL_ARGS[@]}" \
+    > "${WORKDIR}/s1a.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "${S0A_ADDR}" "${WORKDIR}/s0a.log"
+wait_healthy "${S1A_ADDR}" "${WORKDIR}/s1a.log"
+
+echo "== booting followers (bootstrap ships the primaries' partitions + WAL)"
+"${WORKDIR}/tkplqd" -addr "${S0B_ADDR}" -role shard -shard-index 0 \
+    -data-dir "${WORKDIR}/s0b" -replica-of "${S0A_ADDR}" "${REPL_ARGS[@]}" \
+    > "${WORKDIR}/s0b.log" 2>&1 &
+PIDS+=($!)
+"${WORKDIR}/tkplqd" -addr "${S1B_ADDR}" -role shard -shard-index 1 \
+    -data-dir "${WORKDIR}/s1b" -replica-of "${S1A_ADDR}" "${REPL_ARGS[@]}" \
+    > "${WORKDIR}/s1b.log" 2>&1 &
+PIDS+=($!)
+wait_ready "${S0B_ADDR}" "${WORKDIR}/s0b.log"
+wait_ready "${S1B_ADDR}" "${WORKDIR}/s1b.log"
+
+"${WORKDIR}/tkplqd" -addr "${ROUTER2_ADDR}" -role router \
+    -topology "${WORKDIR}/topology-repl.json" -shard-timeout 5s \
+    -health-interval 100ms > "${WORKDIR}/router2.log" 2>&1 &
+PIDS+=($!)
+"${WORKDIR}/tkplqd" -addr "${SOLO2_ADDR}" -dataset syn -iupt "${WORKDIR}/smoke.csv" \
+    > "${WORKDIR}/solo2.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "${ROUTER2_ADDR}" "${WORKDIR}/router2.log"
+wait_healthy "${SOLO2_ADDR}" "${WORKDIR}/solo2.log"
+
+# Let the health loop see all four members ready before the crash.
+for i in $(seq 1 100); do
+    READY=$(curl -fsS "http://${ROUTER2_ADDR}/v1/stats" | \
+        jq '[.cluster.shards[].members[] | select(.ready)] | length')
+    [ "${READY}" = "4" ] && break
+    if [ "$i" -eq 100 ]; then
+        echo "router never saw all members ready"; cat "${WORKDIR}/router2.log"; exit 1
+    fi
+    sleep 0.1
+done
+
+compare2 "replicated, healthy"
+
+echo "== routed ingest reaches the primaries and replicates"
+INGEST2='{"records":[
+  {"oid":9101,"t":2000,"samples":[{"ploc":0,"prob":1.0}]},
+  {"oid":9102,"t":2000,"samples":[{"ploc":1,"prob":0.5},{"ploc":2,"prob":0.5}]},
+  {"oid":9103,"t":2001,"samples":[{"ploc":3,"prob":1.0}]}]}'
+curl -fsS -X POST "http://${ROUTER2_ADDR}/v1/ingest" \
+    -H 'Content-Type: application/json' -d "${INGEST2}" | jq -e '.ingested == 3' >/dev/null
+curl -fsS -X POST "http://${SOLO2_ADDR}/v1/ingest" \
+    -H 'Content-Type: application/json' -d "${INGEST2}" >/dev/null
+compare2 "replicated, post-ingest"
+
+echo "== kill -9 the shard-0 primary: reads keep serving the same bytes"
+kill -9 "${S0A_PID}"
+wait "${S0A_PID}" 2>/dev/null || true
+compare2 "primary dead, pre-failover"
+
+echo "== router promotes the synced follower"
+for i in $(seq 1 100); do
+    FO=$(curl -fsS "http://${ROUTER2_ADDR}/v1/stats" | jq -r .cluster.failovers)
+    [ "${FO}" -ge 1 ] && break
+    if [ "$i" -eq 100 ]; then
+        echo "router never failed over"; cat "${WORKDIR}/router2.log"; exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://${ROUTER2_ADDR}/v1/stats" | \
+    jq -e --arg addr "${S0B_ADDR}" '.cluster.shards[0].addr == $addr' >/dev/null
+
+echo "== ingest resumes on the promoted primary"
+INGEST3='{"records":[
+  {"oid":9101,"t":2100,"samples":[{"ploc":4,"prob":1.0}]},
+  {"oid":9102,"t":2100,"samples":[{"ploc":5,"prob":1.0}]}]}'
+curl -fsS -X POST "http://${ROUTER2_ADDR}/v1/ingest" \
+    -H 'Content-Type: application/json' -d "${INGEST3}" | jq -e '.ingested == 2' >/dev/null
+curl -fsS -X POST "http://${SOLO2_ADDR}/v1/ingest" \
+    -H 'Content-Type: application/json' -d "${INGEST3}" >/dev/null
+compare2 "post-failover ingest"
+
+echo "== old primary rejoins as a follower, no full resync"
+"${WORKDIR}/tkplqd" -addr "${S0A_ADDR}" -role shard -shard-index 0 \
+    -data-dir "${WORKDIR}/s0a" -replica-of "${S0B_ADDR}" "${REPL_ARGS[@]}" \
+    > "${WORKDIR}/s0a-rejoin.log" 2>&1 &
+PIDS+=($!)
+wait_ready "${S0A_ADDR}" "${WORKDIR}/s0a-rejoin.log"
+curl -fsS "http://${S0A_ADDR}/v1/stats" | \
+    jq -e '.replication.upstream.full_resyncs == 0' >/dev/null
+compare2 "after rejoin"
 
 echo "cluster smoke OK"
